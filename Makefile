@@ -1,0 +1,36 @@
+# Convenience targets for the dxbar reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench figures figures-full examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Every paper table/figure plus the ablation and extension harnesses.
+bench:
+	$(GO) test -bench=. -benchmem
+
+# Regenerate every figure as CSV + SVG + Markdown under results/.
+figures:
+	$(GO) run ./cmd/dxbar-sweep -fig all -quality quick -out results -svg -md
+
+figures-full:
+	$(GO) run ./cmd/dxbar-sweep -fig all -quality full -out results -svg -md
+
+examples:
+	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing; do \
+		echo "=== $$e ==="; $(GO) run ./examples/$$e || exit 1; \
+	done
+
+clean:
+	rm -rf results

@@ -1,0 +1,78 @@
+// Command dxbar-sim runs one open-loop synthetic-traffic simulation and
+// prints the measured metrics.
+//
+// Example:
+//
+//	dxbar-sim -design dxbar -routing WF -pattern NUR -load 0.4
+//	dxbar-sim -design dxbar -load 0.3 -faults 0.5   # Fig. 11/12 style run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dxbar"
+)
+
+func main() {
+	var (
+		design  = flag.String("design", "dxbar", "router design: dxbar | unified | flitbless | scarab | buffered4 | buffered8")
+		routing = flag.String("routing", "DOR", "routing algorithm: DOR | WF")
+		pattern = flag.String("pattern", "UR", "traffic pattern: UR NUR BR BF CP MT PS NB TOR")
+		load    = flag.Float64("load", 0.3, "offered load in flits/node/cycle (fraction of capacity)")
+		width   = flag.Int("width", 8, "mesh width")
+		height  = flag.Int("height", 8, "mesh height")
+		warmup  = flag.Uint64("warmup", 2000, "warmup cycles")
+		measure = flag.Uint64("measure", 8000, "measurement cycles")
+		seed    = flag.Int64("seed", 42, "random seed")
+		flits   = flag.Int("flits", 1, "flits per packet")
+		faults  = flag.Float64("faults", 0, "fraction of routers with one failed crossbar (dxbar/unified only)")
+		gran    = flag.String("fault-granularity", "crossbar", "crossbar | crosspoint")
+		heatmap = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap")
+	)
+	flag.Parse()
+
+	res, err := dxbar.Run(dxbar.Config{
+		Design:         dxbar.Design(*design),
+		Routing:        *routing,
+		Pattern:        *pattern,
+		Load:           *load,
+		Width:          *width,
+		Height:         *height,
+		WarmupCycles:   *warmup,
+		MeasureCycles:  *measure,
+		Seed:           *seed,
+		FlitsPerPacket: *flits,
+		FaultFraction:  *faults,
+		FaultGranularity: func() string {
+			if *faults > 0 {
+				return *gran
+			}
+			return ""
+		}(),
+		TrackUtilization: *heatmap,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("design          %s (%s)\n", res.Design, res.Routing)
+	fmt.Printf("pattern         %s @ offered %.3f\n", res.Pattern, res.Load)
+	fmt.Printf("offered load    %.4f flits/node/cycle\n", res.OfferedLoad)
+	fmt.Printf("accepted load   %.4f flits/node/cycle\n", res.AcceptedLoad)
+	fmt.Printf("packets         %d\n", res.Packets)
+	fmt.Printf("avg latency     %.2f cycles (max %d)\n", res.AvgLatency, res.MaxLatency)
+	fmt.Printf("avg hops        %.2f\n", res.AvgHops)
+	fmt.Printf("avg energy      %.4f nJ/packet (total %.2f nJ)\n", res.AvgEnergyNJ, res.TotalEnergyNJ)
+	fmt.Printf("deflections     %.3f /packet\n", res.DeflectionsPerPacket)
+	fmt.Printf("retransmits     %.3f /packet\n", res.RetransmitsPerPacket)
+	fmt.Printf("buffering prob  %.4f\n", res.BufferingProbability)
+	fmt.Printf("dropped flits   %d\n", res.DroppedFlits)
+	fmt.Printf("total power     %.1f mW (buffers %.0f%%)\n", res.Power.TotalMW, res.Power.BufferShareOfTot*100)
+	if *heatmap {
+		fmt.Println()
+		fmt.Print(dxbar.Heatmap(res))
+	}
+}

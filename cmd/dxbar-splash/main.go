@@ -1,0 +1,108 @@
+// Command dxbar-splash runs the closed-loop SPLASH-2 substitute workloads
+// (Figs. 9 and 10) and can record/replay traffic traces.
+//
+// Examples:
+//
+//	dxbar-splash -bench Ocean -design dxbar
+//	dxbar-splash -bench all                         # full design matrix
+//	dxbar-splash -bench FFT -record fft.trc         # capture a trace
+//	dxbar-splash -replay fft.trc -design flitbless  # replay it open-loop
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dxbar"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "all", "benchmark name (see -list) or 'all'")
+		design  = flag.String("design", "", "router design; empty = full design matrix")
+		routing = flag.String("routing", "DOR", "routing algorithm: DOR | WF")
+		seed    = flag.Int64("seed", 42, "random seed")
+		list    = flag.Bool("list", false, "list benchmarks and exit")
+		record  = flag.String("record", "", "record the workload's trace to this file")
+		replay  = flag.String("replay", "", "replay a recorded trace instead of a benchmark")
+		detail  = flag.Bool("detailed", false, "use real set-associative L1/L2 caches instead of profile hit rates")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, b := range dxbar.SplashBenchmarks() {
+			fmt.Println(b)
+		}
+		return
+	}
+
+	if *replay != "" {
+		runReplay(*replay, *design, *routing)
+		return
+	}
+	if *record != "" {
+		runRecord(*bench, *seed, *record)
+		return
+	}
+
+	benches := dxbar.SplashBenchmarks()
+	if *bench != "all" {
+		benches = []string{*bench}
+	}
+	designs := []dxbar.Design{dxbar.DesignFlitBless, dxbar.DesignSCARAB,
+		dxbar.DesignBuffered4, dxbar.DesignBuffered8, dxbar.DesignDXbar, dxbar.DesignUnified}
+	if *design != "" {
+		designs = []dxbar.Design{dxbar.Design(*design)}
+	}
+
+	fmt.Printf("%-10s %-10s %-4s %10s %10s %10s %12s\n",
+		"benchmark", "design", "alg", "exec (cyc)", "packets", "lat (cyc)", "nJ/packet")
+	for _, b := range benches {
+		for _, d := range designs {
+			res, err := dxbar.RunSplash(dxbar.SplashConfig{
+				Design: d, Routing: *routing, Benchmark: b, Seed: *seed,
+				DetailedCaches: *detail,
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-10s %-10s %-4s %10d %10d %10.1f %12.4f\n",
+				b, d, res.Routing, res.ExecutionCycles, res.Packets, res.AvgLatency, res.AvgEnergyNJ)
+		}
+	}
+}
+
+func runRecord(bench string, seed int64, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := dxbar.RecordSplash(dxbar.SplashConfig{Benchmark: bench, Seed: seed}, f); err != nil {
+		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("recorded %s trace to %s\n", bench, path)
+}
+
+func runReplay(path, design, routing string) {
+	if design == "" {
+		design = string(dxbar.DesignDXbar)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	res, err := dxbar.RunTrace(dxbar.Design(design), routing, f, 0)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("replay on %s (%s): completed in %d cycles, %d packets, lat %.1f, %.4f nJ/packet\n",
+		res.Design, res.Routing, res.CompletionCycles, res.Packets, res.AvgLatency, res.AvgEnergyNJ)
+}

@@ -1,0 +1,142 @@
+// Command dxbar-sweep regenerates the paper's evaluation figures and
+// tables. Each figure is printed as an aligned text table and, with -out,
+// written as CSV (and optionally SVG and Markdown) ready for plotting and
+// reports.
+//
+// Example:
+//
+//	dxbar-sweep -fig 5 -quality full -out results/ -svg -md
+//	dxbar-sweep -fig all -quality quick
+//	dxbar-sweep -fig table3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"dxbar"
+	"dxbar/internal/report"
+)
+
+func main() {
+	var (
+		figFlag = flag.String("fig", "all", "figure to regenerate: 5 6 7 8 9 10 11 12 | table3 | all")
+		quality = flag.String("quality", "quick", "quick | full")
+		seed    = flag.Int64("seed", 42, "random seed")
+		outDir  = flag.String("out", "", "directory for file output (optional)")
+		svg     = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
+		md      = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
+	)
+	flag.Parse()
+
+	q := dxbar.Quick
+	if *quality == "full" {
+		q = dxbar.Full
+	}
+
+	type figFn func(dxbar.Quality, int64) (dxbar.Figure, error)
+	figs := map[string]figFn{
+		"5": dxbar.Figure5, "6": dxbar.Figure6,
+		"7": dxbar.Figure7, "8": dxbar.Figure8,
+		"9": dxbar.Figure9, "10": dxbar.Figure10,
+		"11": dxbar.Figure11, "12": dxbar.Figure12,
+	}
+	order := []string{"5", "6", "7", "8", "9", "10", "11", "12"}
+
+	want := func(id string) bool { return *figFlag == "all" || *figFlag == id }
+
+	if want("table3") || *figFlag == "all" {
+		emitTable3(*outDir, *md)
+	}
+	for _, id := range order {
+		if !want(id) {
+			continue
+		}
+		fig, err := figs[id](q, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		emitFigure(fig, *outDir, *svg, *md)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxbar-sweep:", err)
+	os.Exit(1)
+}
+
+// toReport converts a facade figure to the report package's shape.
+func toReport(fig dxbar.Figure) report.Figure {
+	out := report.Figure{ID: fig.ID, Title: fig.Title, XLabel: fig.XLabel, YLabel: fig.YLabel}
+	for _, s := range fig.Series {
+		out.Series = append(out.Series, report.Series{Label: s.Label, X: s.X, Y: s.Y, XNames: s.XNames})
+	}
+	return out
+}
+
+func table3Report() report.Table {
+	t := report.Table{
+		Title:   "Table III: area and energy estimation (65 nm, 1.0 V, 1 GHz)",
+		Columns: []string{"design", "area (mm^2)", "buffer energy (pJ/flit)"},
+	}
+	for _, r := range dxbar.Table3() {
+		t.Rows = append(t.Rows, []string{
+			r.Design,
+			strconv.FormatFloat(r.AreaMM2, 'f', 4, 64),
+			strconv.FormatFloat(r.BufferEnergyPJ, 'f', 1, 64),
+		})
+	}
+	return t
+}
+
+func emitTable3(outDir string, md bool) {
+	t := table3Report()
+	if err := report.WriteTableText(os.Stdout, t); err != nil {
+		fatal(err)
+	}
+	fmt.Println()
+	if outDir == "" {
+		return
+	}
+	writeFile(outDir, "table3.csv", func(f *os.File) error { return report.WriteTableCSV(f, t) })
+	if md {
+		writeFile(outDir, "table3.md", func(f *os.File) error { return report.WriteTableMarkdown(f, t) })
+	}
+}
+
+func emitFigure(fig dxbar.Figure, outDir string, svg, md bool) {
+	r := toReport(fig)
+	if err := report.WriteText(os.Stdout, r); err != nil {
+		fatal(err)
+	}
+	if outDir == "" {
+		return
+	}
+	writeFile(outDir, fig.ID+".csv", func(f *os.File) error { return report.WriteCSV(f, r) })
+	if svg {
+		writeFile(outDir, fig.ID+".svg", func(f *os.File) error {
+			_, err := f.WriteString(dxbar.FigureSVG(fig))
+			return err
+		})
+	}
+	if md {
+		writeFile(outDir, fig.ID+".md", func(f *os.File) error { return report.WriteMarkdown(f, r) })
+	}
+}
+
+func writeFile(dir, name string, fill func(*os.File) error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		fatal(err)
+	}
+}

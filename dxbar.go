@@ -1,0 +1,402 @@
+// Package dxbar is a cycle-accurate Network-on-Chip simulator reproducing
+// "Energy-Efficient and Fault-Tolerant Unified Buffer and Bufferless
+// Crossbar Architecture for NoCs" (Zhang, Morris, DiTomaso, Kodi — IPDPS
+// Workshops 2012).
+//
+// It implements the paper's two proposed routers — the DXbar dual-crossbar
+// design and the unified dual-input single-crossbar design — alongside the
+// four comparison designs (Flit-Bless, SCARAB, Buffered 4, Buffered 8), the
+// DOR and West-First routing algorithms, the nine synthetic traffic
+// patterns, crossbar fault injection with BIST-style delayed detection, and
+// the 65 nm energy/area model of Table III.
+//
+// The simplest entry point is Run:
+//
+//	res, err := dxbar.Run(dxbar.Config{
+//		Design:  dxbar.DesignDXbar,
+//		Routing: "DOR",
+//		Pattern: "UR",
+//		Load:    0.3,
+//	})
+//
+// For closed-loop workloads (the SPLASH-2 coherence substrate) and custom
+// sources, use NewNetwork.
+package dxbar
+
+import (
+	"fmt"
+
+	"dxbar/internal/core"
+	"dxbar/internal/energy"
+	"dxbar/internal/faults"
+	"dxbar/internal/router"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// Design selects a router microarchitecture.
+type Design string
+
+// The six evaluated router designs (§III.A).
+const (
+	// DesignDXbar is the paper's dual-crossbar router (primary bufferless
+	// + secondary buffered crossbar).
+	DesignDXbar Design = "dxbar"
+	// DesignUnified is the paper's unified dual-input single crossbar.
+	DesignUnified Design = "unified"
+	// DesignFlitBless is bufferless deflection routing (reference [6]).
+	DesignFlitBless Design = "flitbless"
+	// DesignSCARAB is bufferless drop + NACK retransmission (ref. [8]).
+	DesignSCARAB Design = "scarab"
+	// DesignBuffered4 is the generic 4-flit-FIFO input-buffered baseline.
+	DesignBuffered4 Design = "buffered4"
+	// DesignBuffered8 uses two 4-flit FIFOs per input (no HoL blocking).
+	DesignBuffered8 Design = "buffered8"
+	// DesignAFC is Adaptive Flow Control (reference [9]): per-router mode
+	// switching between bufferless and buffered operation. An extension
+	// design — the paper discusses AFC as the closest prior hybrid but did
+	// not simulate it.
+	DesignAFC Design = "afc"
+)
+
+// Designs lists the six designs of the paper's comparison, in its order.
+var Designs = []Design{DesignFlitBless, DesignSCARAB, DesignBuffered4, DesignBuffered8, DesignDXbar, DesignUnified}
+
+// AllDesigns additionally includes the extension designs (AFC).
+var AllDesigns = append(append([]Design{}, Designs...), DesignAFC)
+
+// Config describes one simulation run.
+type Config struct {
+	// Design selects the router microarchitecture (required).
+	Design Design
+	// Routing is "DOR" or "WF" (default "DOR"). Ignored by SCARAB, which
+	// is inherently minimal-adaptive.
+	Routing string
+	// Width and Height give the mesh dimensions (default 8×8).
+	Width, Height int
+	// Pattern is one of the nine synthetic patterns (default "UR").
+	Pattern string
+	// Load is the offered load in flits/node/cycle (fraction of capacity).
+	Load float64
+	// FlitsPerPacket is the packet size (default 1, as in the paper's
+	// synthetic experiments).
+	FlitsPerPacket int
+	// WarmupCycles and MeasureCycles delimit the measurement window
+	// (defaults 2000 and 8000).
+	WarmupCycles, MeasureCycles uint64
+	// Seed drives every random choice; same config + seed = same run.
+	Seed int64
+	// FaultFraction injects one crossbar fault into that fraction of the
+	// routers (§III.E; DXbar only), manifesting at FaultCycle.
+	FaultFraction float64
+	// FaultCycle is the fault manifestation cycle (default: 10).
+	FaultCycle uint64
+	// FaultGranularity is "crossbar" (default — §III.E's whole-crossbar
+	// failures) or "crosspoint" (a single input→output crosspoint fails).
+	FaultGranularity string
+	// FairnessThreshold overrides the DXbar fairness counter threshold
+	// (default core.FairnessThreshold = 4).
+	FairnessThreshold int
+	// BufferDepth overrides the per-input buffer depth (default: 4 for
+	// DXbar/unified/Buffered 4, 8 for Buffered 8). Used by the
+	// buffer-depth ablation; DXbar only.
+	BufferDepth int
+	// TrackUtilization enables per-link utilization counters (see
+	// Result.NodeUtilization and Heatmap).
+	TrackUtilization bool
+	// CreditDelay overrides the credit-return signalling latency in cycles
+	// (default 1; ablation of the round-trip the fairness threshold must
+	// cover, §II.A.2).
+	CreditDelay int
+	// PortOrderArbitration replaces DXbar's age-based arbitration with
+	// static port order (arbitration-policy ablation; DXbar only).
+	PortOrderArbitration bool
+}
+
+// Result is a simulation summary: the stats.Results metrics plus energy.
+type Result struct {
+	stats.Results
+	// AvgEnergyNJ is the average network energy per delivered packet in
+	// nanojoules over the measurement window (the paper's Fig. 6/8/10
+	// metric).
+	AvgEnergyNJ float64
+	// TotalEnergyNJ is the total measurement-window energy.
+	TotalEnergyNJ float64
+	// EventCounts are the raw energy-model event counts in the window.
+	EventCounts energy.Counts
+	// Design and Routing echo the configuration.
+	Design  Design
+	Routing string
+	Pattern string
+	Load    float64
+	// Power is the extension power breakdown (dynamic + leakage, mW at
+	// 1 GHz) over the measurement window; the paper's figures use the
+	// dynamic-only AvgEnergyNJ (see internal/energy/static.go).
+	Power energy.PowerBreakdown
+	// NodeUtilization is each node's mean outgoing-link utilization over
+	// the window (nil unless Config.TrackUtilization).
+	NodeUtilization []float64
+	// Width and Height echo the mesh size (for Heatmap rendering).
+	Width, Height int
+}
+
+func (c *Config) withDefaults() Config {
+	cfg := *c
+	if cfg.Routing == "" {
+		cfg.Routing = "DOR"
+	}
+	if cfg.Width == 0 {
+		cfg.Width = 8
+	}
+	if cfg.Height == 0 {
+		cfg.Height = 8
+	}
+	if cfg.Pattern == "" {
+		cfg.Pattern = "UR"
+	}
+	if cfg.FlitsPerPacket == 0 {
+		cfg.FlitsPerPacket = 1
+	}
+	if cfg.WarmupCycles == 0 {
+		cfg.WarmupCycles = 2000
+	}
+	if cfg.MeasureCycles == 0 {
+		cfg.MeasureCycles = 8000
+	}
+	if cfg.FaultCycle == 0 {
+		cfg.FaultCycle = 10
+	}
+	if cfg.FairnessThreshold == 0 {
+		cfg.FairnessThreshold = core.FairnessThreshold
+	}
+	return cfg
+}
+
+// bufferDepthFor returns the engine credit/buffer depth for a design.
+func bufferDepthFor(d Design) (int, error) {
+	switch d {
+	case DesignDXbar, DesignUnified, DesignBuffered4, DesignAFC:
+		return 4, nil
+	case DesignBuffered8:
+		return 8, nil
+	case DesignFlitBless, DesignSCARAB:
+		return 0, nil
+	}
+	return 0, fmt.Errorf("dxbar: unknown design %q", d)
+}
+
+// meterFor returns the design's energy meter.
+func meterFor(d Design) *energy.Meter {
+	switch d {
+	case DesignUnified:
+		return energy.NewUnifiedMeter()
+	case DesignBuffered8:
+		return energy.NewBuffered8Meter()
+	default:
+		return energy.NewMeter()
+	}
+}
+
+// factoryFor builds the per-node router factory.
+func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrder bool, plan *faults.Plan) (sim.RouterFactory, error) {
+	detectorFor := func(node int) *faults.Detector {
+		f, ok := plan.ForRouter(node)
+		return faults.NewDetector(f, plan.DetectionDelay, ok)
+	}
+	switch d {
+	case DesignDXbar:
+		return func(env *sim.Env) sim.Router {
+			r := core.NewDXbarDepth(env, algo, threshold, depth, detectorFor(env.Node))
+			r.SetPortOrderArbitration(portOrder)
+			return r
+		}, nil
+	case DesignUnified:
+		return func(env *sim.Env) sim.Router {
+			return core.NewUnified(env, algo, threshold, detectorFor(env.Node))
+		}, nil
+	case DesignFlitBless:
+		return func(env *sim.Env) sim.Router { return router.NewBless(env, algo) }, nil
+	case DesignSCARAB:
+		return func(env *sim.Env) sim.Router { return router.NewScarab(env) }, nil
+	case DesignBuffered4:
+		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, false) }, nil
+	case DesignBuffered8:
+		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, true) }, nil
+	case DesignAFC:
+		// One mode controller is shared by every router of the network.
+		var ctrl *router.AFCController
+		return func(env *sim.Env) sim.Router {
+			if ctrl == nil {
+				ctrl = router.NewAFCController(env.Mesh().Nodes())
+			}
+			return router.NewAFC(env, algo, ctrl)
+		}, nil
+	}
+	return nil, fmt.Errorf("dxbar: unknown design %q", d)
+}
+
+// Network bundles a ready-to-run engine with its meter and collector, for
+// callers that drive their own sources (closed-loop workloads, examples).
+type Network struct {
+	Engine *sim.Engine
+	Meter  *energy.Meter
+	Stats  *stats.Collector
+}
+
+// NetworkOptions configures NewNetwork.
+type NetworkOptions struct {
+	// Design and Routing select the router microarchitecture and routing
+	// algorithm (Routing defaults to "DOR").
+	Design  Design
+	Routing string
+	// Mesh is the topology (required).
+	Mesh *topology.Mesh
+	// Source and Sink drive and observe traffic; either may be nil.
+	Source sim.Source
+	Sink   sim.Sink
+	// Stats must be sized by the caller; its window defines what is
+	// measured (required).
+	Stats *stats.Collector
+	// FairnessThreshold defaults to core.FairnessThreshold.
+	FairnessThreshold int
+	// FaultPlan may be nil for a healthy network (DXbar/unified only).
+	FaultPlan *faults.Plan
+	// PreCycle runs at the start of every cycle (closed-loop workloads).
+	PreCycle func(cycle uint64)
+	// BufferDepth overrides the design's default buffer depth (ablations;
+	// DXbar only).
+	BufferDepth int
+	// CreditDelay overrides the credit-return latency (default 1 cycle).
+	CreditDelay int
+	// PortOrderArbitration switches DXbar to static port-order arbitration.
+	PortOrderArbitration bool
+}
+
+// NewNetwork assembles a network of the given design around a custom
+// source/sink.
+func NewNetwork(o NetworkOptions) (*Network, error) {
+	if o.FairnessThreshold == 0 {
+		o.FairnessThreshold = core.FairnessThreshold
+	}
+	if o.Routing == "" {
+		o.Routing = "DOR"
+	}
+	if o.FaultPlan == nil {
+		o.FaultPlan = faults.Empty()
+	}
+	if o.FaultPlan.Count() > 0 && o.Design != DesignDXbar && o.Design != DesignUnified {
+		return nil, fmt.Errorf("dxbar: fault injection is only supported for the dxbar/unified designs, not %q", o.Design)
+	}
+	algo, err := routing.New(o.Routing)
+	if err != nil {
+		return nil, err
+	}
+	depth, err := bufferDepthFor(o.Design)
+	if err != nil {
+		return nil, err
+	}
+	if o.BufferDepth != 0 {
+		if o.Design != DesignDXbar {
+			return nil, fmt.Errorf("dxbar: BufferDepth override is only supported for the dxbar design")
+		}
+		depth = o.BufferDepth
+	}
+	meter := meterFor(o.Design)
+	factory, err := factoryFor(o.Design, algo, o.FairnessThreshold, depth, o.PortOrderArbitration, o.FaultPlan)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.New(sim.Config{
+		Mesh:        o.Mesh,
+		Meter:       meter,
+		Stats:       o.Stats,
+		Source:      o.Source,
+		Sink:        o.Sink,
+		BufferDepth: depth,
+		CreditDelay: o.CreditDelay,
+		PreCycle:    o.PreCycle,
+	}, factory)
+	if err != nil {
+		return nil, err
+	}
+	return &Network{Engine: eng, Meter: meter, Stats: o.Stats}, nil
+}
+
+// Run executes one open-loop synthetic-traffic simulation.
+func Run(c Config) (Result, error) {
+	cfg := c.withDefaults()
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return Result{}, err
+	}
+	pattern, err := traffic.New(cfg.Pattern, mesh)
+	if err != nil {
+		return Result{}, err
+	}
+	bern, err := traffic.NewBernoulli(mesh, pattern, cfg.Load, cfg.FlitsPerPacket, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var plan *faults.Plan
+	if cfg.FaultFraction > 0 {
+		switch cfg.FaultGranularity {
+		case "", "crossbar":
+			plan, err = faults.NewPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
+		case "crosspoint":
+			plan, err = faults.NewCrosspointPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
+		default:
+			return Result{}, fmt.Errorf("dxbar: unknown fault granularity %q", cfg.FaultGranularity)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	coll := stats.NewCollector(mesh.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	if cfg.TrackUtilization {
+		coll.EnableLinkUtilization(mesh.Nodes())
+	}
+	net, err := NewNetwork(NetworkOptions{
+		Design:               cfg.Design,
+		Routing:              cfg.Routing,
+		Mesh:                 mesh,
+		Source:               sim.SourceAdapter{B: bern},
+		Stats:                coll,
+		FairnessThreshold:    cfg.FairnessThreshold,
+		FaultPlan:            plan,
+		BufferDepth:          cfg.BufferDepth,
+		CreditDelay:          cfg.CreditDelay,
+		PortOrderArbitration: cfg.PortOrderArbitration,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	net.Engine.Run(cfg.WarmupCycles)
+	base := net.Meter.Snapshot()
+	net.Engine.Run(cfg.MeasureCycles)
+	window := net.Meter.Snapshot().Sub(base)
+
+	res := Result{
+		Results:         coll.Results(),
+		EventCounts:     window,
+		TotalEnergyNJ:   net.Meter.EnergyPJ(window) / 1000.0,
+		Design:          cfg.Design,
+		Routing:         cfg.Routing,
+		Pattern:         cfg.Pattern,
+		Load:            cfg.Load,
+		NodeUtilization: coll.NodeUtilization(),
+		Width:           cfg.Width,
+		Height:          cfg.Height,
+	}
+	if res.Packets > 0 {
+		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)
+	}
+	res.Power, err = net.Meter.Breakdown(string(cfg.Design), window, cfg.MeasureCycles, mesh.Nodes())
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}

@@ -1,0 +1,34 @@
+// Heatmap: visualize per-node link utilization as ASCII art. Under the NUR
+// hot-spot pattern the four center nodes glow; Flit-Bless smears load onto
+// non-minimal links around the hot region (deflections), while DXbar keeps
+// traffic on minimal paths.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dxbar"
+)
+
+func main() {
+	for _, d := range []dxbar.Design{dxbar.DesignDXbar, dxbar.DesignFlitBless} {
+		res, err := dxbar.Run(dxbar.Config{
+			Design:           d,
+			Pattern:          "NUR",
+			Load:             0.35,
+			Seed:             9,
+			TrackUtilization: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("=== %s under NUR hot-spot traffic @ 0.35 ===\n", d)
+		fmt.Print(dxbar.Heatmap(res))
+		fmt.Printf("accepted %.3f | latency %.1f | %.3f nJ/packet | %.2f deflections/packet\n\n",
+			res.AcceptedLoad, res.AvgLatency, res.AvgEnergyNJ, res.DeflectionsPerPacket)
+	}
+	fmt.Println("Each cell is one router (darker = busier outgoing links).")
+	fmt.Println("The hot center shows in both; Flit-Bless additionally heats the")
+	fmt.Println("surrounding ring — deflected flits orbiting the contended region.")
+}

@@ -1,0 +1,56 @@
+// Hotspot: the scenario the paper's introduction motivates — bufferless
+// networks are cheap at low load but melt down when conflicts become
+// frequent. This example sweeps the NUR (hot-spot) pattern, where 25%
+// additional traffic converges on the four center nodes, and shows the
+// crossover: Flit-Bless matches DXbar's energy at 10% load, then deflection
+// storms multiply its energy and cap its throughput while DXbar keeps
+// absorbing conflicts in its secondary-crossbar buffers.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dxbar"
+)
+
+func main() {
+	fmt.Println("Hot-spot (NUR) load sweep on an 8x8 mesh")
+	fmt.Println()
+	designs := []dxbar.Design{dxbar.DesignFlitBless, dxbar.DesignSCARAB,
+		dxbar.DesignBuffered8, dxbar.DesignDXbar}
+	loads := []float64{0.1, 0.2, 0.3, 0.4, 0.5}
+
+	fmt.Printf("%-12s", "design")
+	for _, l := range loads {
+		fmt.Printf("   load %.1f      ", l)
+	}
+	fmt.Println()
+	fmt.Printf("%-12s", "")
+	for range loads {
+		fmt.Printf("   acc   nJ/pkt  ")
+	}
+	fmt.Println()
+
+	for _, d := range designs {
+		fmt.Printf("%-12s", d)
+		for _, l := range loads {
+			res, err := dxbar.Run(dxbar.Config{
+				Design:  d,
+				Pattern: "NUR",
+				Load:    l,
+				Seed:    7,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  %.3f  %6.3f  ", res.AcceptedLoad, res.AvgEnergyNJ)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("Watch the bufferless designs saturate first and their energy climb")
+	fmt.Println("past saturation (deflections and drops re-traverse links), while")
+	fmt.Println("DXbar's energy stays nearly flat — the paper's Figs. 5-8 in miniature.")
+}

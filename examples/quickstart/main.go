@@ -1,0 +1,39 @@
+// Quickstart: simulate the DXbar router against the generic buffered
+// baseline under uniform-random traffic at a moderate load, and print the
+// headline comparison — higher accepted throughput, lower latency and lower
+// energy per packet.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dxbar"
+)
+
+func main() {
+	fmt.Println("DXbar quickstart: 8x8 mesh, uniform random traffic, offered load 0.35")
+	fmt.Println()
+	fmt.Printf("%-12s %10s %12s %12s\n", "design", "accepted", "latency", "nJ/packet")
+
+	for _, d := range []dxbar.Design{dxbar.DesignBuffered4, dxbar.DesignDXbar} {
+		res, err := dxbar.Run(dxbar.Config{
+			Design:  d,
+			Routing: "DOR",
+			Pattern: "UR",
+			Load:    0.35,
+			Seed:    1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s %10.4f %12.2f %12.4f\n",
+			res.Design, res.AcceptedLoad, res.AvgLatency, res.AvgEnergyNJ)
+	}
+
+	fmt.Println()
+	fmt.Println("DXbar switches uncontended flits in a single cycle through its")
+	fmt.Println("bufferless primary crossbar and buffers conflict losers in the")
+	fmt.Println("secondary crossbar, so it beats the 3-stage buffered baseline on")
+	fmt.Println("latency while buffering only a small fraction of flits (lower energy).")
+}

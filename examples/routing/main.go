@@ -1,0 +1,49 @@
+// Routing: DOR (dimension-ordered XY) versus WF (west-first minimal
+// adaptive) on the patterns that discriminate between them — the paper's
+// Fig. 7 observation that DXbar-DOR wins on UR/NUR/CP while DXbar-WF is
+// competitive on the permutation patterns (BR, BF, MT, PS) whose traffic
+// benefits from adaptive spreading.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"dxbar"
+)
+
+func main() {
+	fmt.Println("DXbar routing-algorithm comparison at offered load 0.5")
+	fmt.Println()
+	fmt.Printf("%-8s %12s %12s %10s\n", "pattern", "DOR accepted", "WF accepted", "winner")
+
+	for _, p := range []string{"UR", "NUR", "CP", "BR", "BF", "MT", "PS"} {
+		var acc [2]float64
+		for i, algo := range []string{"DOR", "WF"} {
+			res, err := dxbar.Run(dxbar.Config{
+				Design:  dxbar.DesignDXbar,
+				Routing: algo,
+				Pattern: p,
+				Load:    0.5,
+				Seed:    21,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			acc[i] = res.AcceptedLoad
+		}
+		winner := "DOR"
+		if acc[1] > acc[0]*1.02 {
+			winner = "WF"
+		} else if acc[0] <= acc[1]*1.02 {
+			winner = "tie"
+		}
+		fmt.Printf("%-8s %12.3f %12.3f %10s\n", p, acc[0], acc[1], winner)
+	}
+
+	fmt.Println()
+	fmt.Println("DOR balances uniform and hot-spot traffic optimally; the adaptive")
+	fmt.Println("west-first re-direction pays off when a permutation concentrates")
+	fmt.Println("traffic on paths DOR cannot avoid. DXbar supports both because its")
+	fmt.Println("buffered flits can re-arbitrate toward any productive port (§II.B).")
+}

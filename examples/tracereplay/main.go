@@ -1,0 +1,43 @@
+// Trace replay: capture the packet trace of a coherence workload once, then
+// replay the identical traffic against every router design. Replay is
+// open-loop (injection timing no longer reacts to delivery), which makes it
+// a fast, perfectly-controlled way to compare designs and to archive
+// regression workloads.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"dxbar"
+)
+
+func main() {
+	fmt.Println("Recording the FFT coherence trace once...")
+	var buf bytes.Buffer
+	if err := dxbar.RecordSplash(dxbar.SplashConfig{Benchmark: "FFT", Seed: 5}, &buf); err != nil {
+		log.Fatal(err)
+	}
+	traceBytes := buf.Bytes()
+	fmt.Printf("trace size: %d bytes\n\n", len(traceBytes))
+
+	fmt.Printf("%-11s %14s %10s %12s\n", "design", "drain cycles", "latency", "nJ/packet")
+	for _, d := range []dxbar.Design{
+		dxbar.DesignFlitBless, dxbar.DesignSCARAB,
+		dxbar.DesignBuffered4, dxbar.DesignBuffered8,
+		dxbar.DesignDXbar, dxbar.DesignUnified,
+	} {
+		res, err := dxbar.RunTrace(d, "DOR", bytes.NewReader(traceBytes), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-11s %14d %10.1f %12.4f\n",
+			res.Design, res.CompletionCycles, res.AvgLatency, res.AvgEnergyNJ)
+	}
+
+	fmt.Println()
+	fmt.Println("Every design sees byte-identical traffic; differences are purely")
+	fmt.Println("microarchitectural. The dual-crossbar and unified DXbar variants")
+	fmt.Println("deliver near-identical numbers — the paper's §II.B claim.")
+}

@@ -1,0 +1,391 @@
+package dxbar
+
+import (
+	"fmt"
+
+	"dxbar/internal/energy"
+	"dxbar/internal/stats"
+	"dxbar/internal/viz"
+)
+
+// Quality trades simulation length for fidelity when regenerating the
+// paper's figures.
+type Quality struct {
+	// Warmup and Measure are the open-loop window sizes in cycles.
+	Warmup, Measure uint64
+	// Loads is the offered-load sweep for Figs. 5/6.
+	Loads []float64
+	// FaultFractions is the sweep for Figs. 11/12.
+	FaultFractions []float64
+	// SplashSeeds averages closed-loop runs over this many seeds.
+	SplashSeeds int
+}
+
+// Quick is a CI-friendly quality (seconds per figure).
+var Quick = Quality{
+	Warmup: 1000, Measure: 4000,
+	Loads:          []float64{0.1, 0.2, 0.3, 0.4, 0.5},
+	FaultFractions: []float64{0, 0.5, 1.0},
+	SplashSeeds:    1,
+}
+
+// Full matches the paper's axes (minutes per figure).
+var Full = Quality{
+	Warmup: 2000, Measure: 10000,
+	Loads:          []float64{0.1, 0.2, 0.3, 0.35, 0.4, 0.45, 0.5, 0.6, 0.7, 0.8, 0.9},
+	FaultFractions: []float64{0, 0.25, 0.5, 0.75, 1.0},
+	SplashSeeds:    3,
+}
+
+// Series is one labelled curve or bar group.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+	// XNames labels categorical X axes (patterns, benchmarks).
+	XNames []string
+}
+
+// Figure is regenerated data for one paper figure.
+type Figure struct {
+	ID, Title, XLabel, YLabel string
+	Series                    []Series
+}
+
+// figureDesigns are the six designs in the paper's legend order, with the
+// routing algorithm each uses in Figs. 5-10.
+var figureDesigns = []struct {
+	Label   string
+	Design  Design
+	Routing string
+}{
+	{"Flit-Bless", DesignFlitBless, "DOR"},
+	{"SCARAB", DesignSCARAB, "DOR"},
+	{"Buffered 4", DesignBuffered4, "DOR"},
+	{"Buffered 8", DesignBuffered8, "DOR"},
+	{"DXbar DOR", DesignDXbar, "DOR"},
+	{"DXbar WF", DesignDXbar, "WF"},
+}
+
+// loadSweepAll runs every figure design over the load axis in parallel and
+// returns per-design (accepted, energy) series.
+func loadSweepAll(pattern string, q Quality, seed int64) (acc, en map[string][]float64, err error) {
+	var configs []Config
+	for _, fd := range figureDesigns {
+		for _, l := range q.Loads {
+			configs = append(configs, Config{
+				Design: fd.Design, Routing: fd.Routing, Pattern: pattern, Load: l,
+				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
+			})
+		}
+	}
+	results, err := RunMany(configs, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	acc = make(map[string][]float64, len(figureDesigns))
+	en = make(map[string][]float64, len(figureDesigns))
+	i := 0
+	for _, fd := range figureDesigns {
+		for range q.Loads {
+			acc[fd.Label] = append(acc[fd.Label], results[i].AcceptedLoad)
+			en[fd.Label] = append(en[fd.Label], results[i].AvgEnergyNJ)
+			i++
+		}
+	}
+	return acc, en, nil
+}
+
+// Figure5 regenerates "Throughput of Uniform Random traffic pattern":
+// accepted vs offered load for the six designs.
+func Figure5(q Quality, seed int64) (Figure, error) {
+	fig := Figure{ID: "fig5", Title: "Throughput, Uniform Random",
+		XLabel: "offered load (fraction of capacity)", YLabel: "accepted load"}
+	acc, _, err := loadSweepAll("UR", q, seed)
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, fd := range figureDesigns {
+		fig.Series = append(fig.Series, Series{Label: fd.Label, X: q.Loads, Y: acc[fd.Label]})
+	}
+	return fig, nil
+}
+
+// Figure6 regenerates "Power of Uniform Random traffic pattern": average
+// energy per packet vs offered load.
+func Figure6(q Quality, seed int64) (Figure, error) {
+	fig := Figure{ID: "fig6", Title: "Energy, Uniform Random",
+		XLabel: "offered load (fraction of capacity)", YLabel: "average energy (nJ/packet)"}
+	_, en, err := loadSweepAll("UR", q, seed)
+	if err != nil {
+		return Figure{}, err
+	}
+	for _, fd := range figureDesigns {
+		fig.Series = append(fig.Series, Series{Label: fd.Label, X: q.Loads, Y: en[fd.Label]})
+	}
+	return fig, nil
+}
+
+// patternAxis is the paper's synthetic-pattern axis for Figs. 7/8.
+var patternAxis = []string{"UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR"}
+
+// figure78 computes throughput and energy at offered load 0.5 across all
+// nine synthetic patterns.
+func figure78(q Quality, seed int64) (thr, en Figure, err error) {
+	thr = Figure{ID: "fig7", Title: "Throughput at offered load 0.5, all synthetic patterns",
+		XLabel: "pattern", YLabel: "accepted load"}
+	en = Figure{ID: "fig8", Title: "Energy at offered load 0.5, all synthetic patterns",
+		XLabel: "pattern", YLabel: "average energy (nJ/packet)"}
+	xs := make([]float64, len(patternAxis))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	var configs []Config
+	for _, fd := range figureDesigns {
+		for _, p := range patternAxis {
+			configs = append(configs, Config{
+				Design: fd.Design, Routing: fd.Routing, Pattern: p, Load: 0.5,
+				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
+			})
+		}
+	}
+	results, e := RunMany(configs, 0)
+	if e != nil {
+		return Figure{}, Figure{}, e
+	}
+	i := 0
+	for _, fd := range figureDesigns {
+		var accs, ens []float64
+		for range patternAxis {
+			accs = append(accs, results[i].AcceptedLoad)
+			ens = append(ens, results[i].AvgEnergyNJ)
+			i++
+		}
+		thr.Series = append(thr.Series, Series{Label: fd.Label, X: xs, Y: accs, XNames: patternAxis})
+		en.Series = append(en.Series, Series{Label: fd.Label, X: xs, Y: ens, XNames: patternAxis})
+	}
+	return thr, en, nil
+}
+
+// Figure7 regenerates "Throughput at an offered load = 0.5 of all synthetic
+// traces".
+func Figure7(q Quality, seed int64) (Figure, error) {
+	thr, _, err := figure78(q, seed)
+	return thr, err
+}
+
+// Figure8 regenerates "Energy consumed at an offered load = 0.5 of all
+// synthetic traces".
+func Figure8(q Quality, seed int64) (Figure, error) {
+	_, en, err := figure78(q, seed)
+	return en, err
+}
+
+// figure910 runs the closed-loop SPLASH-2 substitute for every benchmark ×
+// design. Fig. 9 normalizes execution time to the Buffered 4 baseline, as
+// the paper's "Normalized Execution Time" axis does.
+func figure910(q Quality, seed int64) (timeFig, enFig Figure, err error) {
+	benches := SplashBenchmarks()
+	xs := make([]float64, len(benches))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	timeFig = Figure{ID: "fig9", Title: "Normalized execution time, SPLASH-2 traces",
+		XLabel: "benchmark", YLabel: "execution time (normalized to Buffered 4)"}
+	enFig = Figure{ID: "fig10", Title: "Energy, SPLASH-2 traces",
+		XLabel: "benchmark", YLabel: "average energy (nJ/packet)"}
+
+	var configs []SplashConfig
+	for _, fd := range figureDesigns {
+		for _, b := range benches {
+			for s := 0; s < q.SplashSeeds; s++ {
+				configs = append(configs, SplashConfig{
+					Design: fd.Design, Routing: fd.Routing, Benchmark: b, Seed: seed + int64(s),
+				})
+			}
+		}
+	}
+	runs, e := RunManySplash(configs, 0)
+	if e != nil {
+		return Figure{}, Figure{}, e
+	}
+	type cell struct{ time, energy float64 }
+	results := map[string][]cell{}
+	i := 0
+	for _, fd := range figureDesigns {
+		cells := make([]cell, len(benches))
+		for bi := range benches {
+			var sumT, sumE float64
+			for s := 0; s < q.SplashSeeds; s++ {
+				sumT += float64(runs[i].ExecutionCycles)
+				sumE += runs[i].AvgEnergyNJ
+				i++
+			}
+			cells[bi] = cell{time: sumT / float64(q.SplashSeeds), energy: sumE / float64(q.SplashSeeds)}
+		}
+		results[fd.Label] = cells
+	}
+	base, ok := results["Buffered 4"]
+	if !ok {
+		return Figure{}, Figure{}, fmt.Errorf("dxbar: missing Buffered 4 baseline")
+	}
+	for _, fd := range figureDesigns {
+		cells := results[fd.Label]
+		ts := make([]float64, len(benches))
+		es := make([]float64, len(benches))
+		for i := range cells {
+			ts[i] = cells[i].time / base[i].time
+			es[i] = cells[i].energy
+		}
+		timeFig.Series = append(timeFig.Series, Series{Label: fd.Label, X: xs, Y: ts, XNames: benches})
+		enFig.Series = append(enFig.Series, Series{Label: fd.Label, X: xs, Y: es, XNames: benches})
+	}
+	return timeFig, enFig, nil
+}
+
+// Figure9 regenerates "Normalized time of simulation of all SPLASH-2
+// traces".
+func Figure9(q Quality, seed int64) (Figure, error) {
+	tf, _, err := figure910(q, seed)
+	return tf, err
+}
+
+// Figure10 regenerates "Energy consumed of all SPLASH-2 traces".
+func Figure10(q Quality, seed int64) (Figure, error) {
+	_, ef, err := figure910(q, seed)
+	return ef, err
+}
+
+// FaultPoint is one cell of the Fig. 11/12 fault sweeps.
+type FaultPoint struct {
+	Fraction  float64
+	Routing   string
+	Load      float64
+	Accepted  float64
+	Latency   float64
+	EnergyNJ  float64
+	Delivered uint64
+}
+
+// FaultSweep runs DXbar under uniform-random traffic with crossbar faults
+// for both routing algorithms over the given fault fractions and loads
+// (Figs. 11 and 12 plot slices of this data).
+func FaultSweep(q Quality, seed int64, loads []float64) ([]FaultPoint, error) {
+	if loads == nil {
+		loads = q.Loads
+	}
+	var configs []Config
+	var keys []FaultPoint
+	for _, algo := range []string{"DOR", "WF"} {
+		for _, f := range q.FaultFractions {
+			for _, l := range loads {
+				configs = append(configs, Config{
+					Design: DesignDXbar, Routing: algo, Pattern: "UR", Load: l,
+					WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
+					FaultFraction: f, FaultCycle: 10,
+				})
+				keys = append(keys, FaultPoint{Fraction: f, Routing: algo, Load: l})
+			}
+		}
+	}
+	results, err := RunMany(configs, 0)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]FaultPoint, len(keys))
+	for i, res := range results {
+		p := keys[i]
+		p.Accepted = res.AcceptedLoad
+		p.Latency = res.AvgLatency
+		p.EnergyNJ = res.AvgEnergyNJ
+		p.Delivered = res.Packets
+		pts[i] = p
+	}
+	return pts, nil
+}
+
+// Figure11 regenerates the fault-tolerance throughput/latency plots:
+// accepted load vs offered load per fault fraction, for DOR (a) and WF (b),
+// plus latency (c).
+func Figure11(q Quality, seed int64) (Figure, error) {
+	pts, err := FaultSweep(q, seed, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "fig11", Title: "Throughput and latency under crossbar faults (DXbar, UR)",
+		XLabel: "offered load (fraction of capacity)", YLabel: "accepted load"}
+	for _, algo := range []string{"DOR", "WF"} {
+		for _, f := range q.FaultFractions {
+			var xs, ys []float64
+			for _, p := range pts {
+				if p.Routing == algo && p.Fraction == f {
+					xs = append(xs, p.Load)
+					ys = append(ys, p.Accepted)
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label: fmt.Sprintf("%s faults=%.0f%%", algo, f*100), X: xs, Y: ys})
+		}
+	}
+	return fig, nil
+}
+
+// Figure12 regenerates the fault-tolerance latency/power plots: average
+// energy vs offered load per fault fraction and routing algorithm.
+func Figure12(q Quality, seed int64) (Figure, error) {
+	pts, err := FaultSweep(q, seed, nil)
+	if err != nil {
+		return Figure{}, err
+	}
+	fig := Figure{ID: "fig12", Title: "Latency and power under crossbar faults (DXbar, UR)",
+		XLabel: "offered load (fraction of capacity)", YLabel: "average energy (nJ/packet)"}
+	for _, algo := range []string{"DOR", "WF"} {
+		for _, f := range q.FaultFractions {
+			var xs, ys []float64
+			for _, p := range pts {
+				if p.Routing == algo && p.Fraction == f {
+					xs = append(xs, p.Load)
+					ys = append(ys, p.EnergyNJ)
+				}
+			}
+			fig.Series = append(fig.Series, Series{
+				Label: fmt.Sprintf("%s faults=%.0f%%", algo, f*100), X: xs, Y: ys})
+		}
+	}
+	return fig, nil
+}
+
+// Table3Row re-exports the energy model's Table III reproduction.
+type Table3Row = energy.Table3Row
+
+// Table3 returns the reproduced Table III (area and buffer energy per
+// design at 65 nm / 1.0 V / 1 GHz).
+func Table3() []Table3Row { return energy.Table3() }
+
+// Heatmap renders a Result's per-node utilization as an ASCII grid
+// (requires Config.TrackUtilization).
+func Heatmap(r Result) string {
+	if r.NodeUtilization == nil {
+		return "(utilization tracking was not enabled)"
+	}
+	return stats.Heatmap(r.NodeUtilization, r.Width, r.Height)
+}
+
+// FigureSVG renders a regenerated figure as a standalone SVG document —
+// line charts for numeric axes (Figs. 5/6/11/12), grouped bars for
+// categorical axes (Figs. 7-10). The matching CSV from cmd/dxbar-sweep is
+// the figure's table view.
+func FigureSVG(fig Figure) string {
+	chart := viz.Chart{Title: fig.Title, XLabel: fig.XLabel, YLabel: fig.YLabel}
+	categorical := false
+	for _, s := range fig.Series {
+		chart.Series = append(chart.Series, viz.Series{Label: s.Label, X: s.X, Y: s.Y, XNames: s.XNames})
+		if s.XNames != nil {
+			categorical = true
+		}
+	}
+	if categorical {
+		return viz.BarSVG(chart)
+	}
+	return viz.LineSVG(chart)
+}

@@ -1,0 +1,244 @@
+package dxbar
+
+import (
+	"encoding/xml"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func sampleLineFigure() Figure {
+	return Figure{
+		ID: "fig5", Title: "Throughput, Uniform Random",
+		XLabel: "offered load", YLabel: "accepted load",
+		Series: []Series{
+			{Label: "Flit-Bless", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.27, 0.27}},
+			{Label: "SCARAB", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.26, 0.25}},
+			{Label: "Buffered 4", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.3, 0.32}},
+			{Label: "Buffered 8", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.3, 0.38}},
+			{Label: "DXbar DOR", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.3, 0.4}},
+			{Label: "DXbar WF", X: []float64{0.1, 0.3, 0.5}, Y: []float64{0.1, 0.3, 0.31}},
+		},
+	}
+}
+
+func sampleBarFigure() Figure {
+	names := []string{"UR", "NUR", "BR"}
+	return Figure{
+		ID: "fig7", Title: "Throughput by pattern",
+		XLabel: "pattern", YLabel: "accepted load",
+		Series: []Series{
+			{Label: "DXbar DOR", X: []float64{0, 1, 2}, Y: []float64{0.4, 0.23, 0.16}, XNames: names},
+			{Label: "Buffered 4", X: []float64{0, 1, 2}, Y: []float64{0.32, 0.19, 0.16}, XNames: names},
+		},
+	}
+}
+
+func assertWellFormedSVG(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		if _, err := dec.Token(); err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("not well-formed XML: %v", err)
+		}
+	}
+}
+
+// All rendered coordinates must stay inside the canvas (the no-browser
+// substitute for the "render it and look at it" check).
+func assertCoordinatesInBounds(t *testing.T, svg string) {
+	t.Helper()
+	re := regexp.MustCompile(`(?:cx|cy|x1|x2|y1|y2|x|y)="(-?[0-9.]+)"`)
+	for _, m := range re.FindAllStringSubmatch(svg, -1) {
+		v, err := strconv.ParseFloat(m[1], 64)
+		if err != nil {
+			t.Fatalf("bad coordinate %q", m[1])
+		}
+		if v < -20 || v > 800 {
+			t.Errorf("coordinate %v escapes the 760x440 canvas", v)
+		}
+	}
+}
+
+func TestFigureSVGLine(t *testing.T) {
+	svg := FigureSVG(sampleLineFigure())
+	assertWellFormedSVG(t, svg)
+	assertCoordinatesInBounds(t, svg)
+	for _, s := range sampleLineFigure().Series {
+		if !strings.Contains(svg, s.Label) {
+			t.Errorf("legend missing %q", s.Label)
+		}
+	}
+}
+
+func TestFigureSVGBar(t *testing.T) {
+	svg := FigureSVG(sampleBarFigure())
+	assertWellFormedSVG(t, svg)
+	assertCoordinatesInBounds(t, svg)
+	if !strings.Contains(svg, ">NUR</text>") {
+		t.Error("categorical axis labels missing")
+	}
+}
+
+func TestQualityPresets(t *testing.T) {
+	if len(Quick.Loads) == 0 || len(Full.Loads) <= len(Quick.Loads) {
+		t.Error("Full must sweep a longer load axis than Quick")
+	}
+	if Full.Warmup <= Quick.Warmup || Full.SplashSeeds <= Quick.SplashSeeds {
+		t.Error("Full must run longer than Quick")
+	}
+}
+
+func TestTable3Facade(t *testing.T) {
+	rows := Table3()
+	if len(rows) != 6 {
+		t.Fatalf("Table3 rows = %d", len(rows))
+	}
+}
+
+// End-to-end figure generation at a tiny quality (catches wiring breaks
+// between the facade, the parallel runner and the figure assembly).
+func TestFigure5And11EndToEnd(t *testing.T) {
+	q := Quality{Warmup: 100, Measure: 400, Loads: []float64{0.1, 0.2},
+		FaultFractions: []float64{0, 1.0}, SplashSeeds: 1}
+	fig5, err := Figure5(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig5.Series) != 6 {
+		t.Fatalf("fig5 series = %d, want 6", len(fig5.Series))
+	}
+	for _, s := range fig5.Series {
+		if len(s.Y) != len(q.Loads) {
+			t.Fatalf("series %s has %d points", s.Label, len(s.Y))
+		}
+	}
+	fig11, err := Figure11(q, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 algorithms × 2 fault fractions.
+	if len(fig11.Series) != 4 {
+		t.Fatalf("fig11 series = %d, want 4", len(fig11.Series))
+	}
+	assertWellFormedSVG(t, FigureSVG(fig5))
+	assertWellFormedSVG(t, FigureSVG(fig11))
+}
+
+func TestFaultSweepShape(t *testing.T) {
+	q := Quality{Warmup: 100, Measure: 300, Loads: []float64{0.1},
+		FaultFractions: []float64{0, 0.5}, SplashSeeds: 1}
+	pts, err := FaultSweep(q, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 { // 2 algos × 2 fractions × 1 load
+		t.Fatalf("points = %d, want 4", len(pts))
+	}
+	for _, p := range pts {
+		if p.Routing != "DOR" && p.Routing != "WF" {
+			t.Errorf("bad routing %q", p.Routing)
+		}
+		if p.Delivered == 0 {
+			t.Errorf("point %+v delivered nothing", p)
+		}
+	}
+}
+
+// Exercise every figure generator end to end at a minimal quality — the
+// wiring between facade, parallel runner and assembly must hold for each.
+func TestAllFigureGeneratorsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: runs the full figure matrix")
+	}
+	q := Quality{Warmup: 100, Measure: 300, Loads: []float64{0.1},
+		FaultFractions: []float64{0}, SplashSeeds: 1}
+	type gen struct {
+		name   string
+		f      func(Quality, int64) (Figure, error)
+		series int
+	}
+	gens := []gen{
+		{"fig6", Figure6, 6},
+		{"fig7", Figure7, 6},
+		{"fig8", Figure8, 6},
+		{"fig12", Figure12, 2}, // 2 algos × 1 fraction
+	}
+	for _, g := range gens {
+		fig, err := g.f(q, 5)
+		if err != nil {
+			t.Fatalf("%s: %v", g.name, err)
+		}
+		if len(fig.Series) != g.series {
+			t.Errorf("%s: series = %d, want %d", g.name, len(fig.Series), g.series)
+		}
+		for _, s := range fig.Series {
+			for _, y := range s.Y {
+				if y < 0 {
+					t.Errorf("%s/%s: negative value %v", g.name, s.Label, y)
+				}
+			}
+		}
+		assertWellFormedSVG(t, FigureSVG(fig))
+	}
+}
+
+// Figures 9/10 run the closed-loop matrix once (shared path figure910).
+func TestSplashFiguresEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow: 6 designs x 9 benchmarks")
+	}
+	q := Quality{Warmup: 100, Measure: 300, Loads: []float64{0.1},
+		FaultFractions: []float64{0}, SplashSeeds: 1}
+	fig9, err := Figure9(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig9.Series) != 6 {
+		t.Fatalf("fig9 series = %d", len(fig9.Series))
+	}
+	// Normalization: the Buffered 4 series must be exactly 1.0 everywhere.
+	for _, s := range fig9.Series {
+		if s.Label != "Buffered 4" {
+			continue
+		}
+		for i, y := range s.Y {
+			if y != 1.0 {
+				t.Errorf("baseline normalization broken at %s: %v", s.XNames[i], y)
+			}
+		}
+	}
+	fig10, err := Figure10(q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range fig10.Series {
+		for _, y := range s.Y {
+			if y <= 0 {
+				t.Errorf("fig10 %s: non-positive energy %v", s.Label, y)
+			}
+		}
+	}
+}
+
+// Heatmap rendering through the facade.
+func TestHeatmapFacade(t *testing.T) {
+	res, err := Run(Config{Design: DesignDXbar, Pattern: "NUR", Load: 0.2,
+		WarmupCycles: 200, MeasureCycles: 800, Seed: 3, TrackUtilization: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hm := Heatmap(res)
+	if len(hm) == 0 || hm == "(utilization tracking was not enabled)" {
+		t.Errorf("heatmap missing: %q", hm)
+	}
+	res2, _ := Run(Config{Design: DesignDXbar, Pattern: "UR", Load: 0.1,
+		WarmupCycles: 100, MeasureCycles: 200, Seed: 3})
+	if Heatmap(res2) != "(utilization tracking was not enabled)" {
+		t.Error("untracked run must say tracking was off")
+	}
+}

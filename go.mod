@@ -1,0 +1,3 @@
+module dxbar
+
+go 1.22

@@ -1,0 +1,139 @@
+// Package arbiter provides the arbitration and switch-allocation building
+// blocks used by every router design in the repository:
+//
+//   - RoundRobin: the classic rotating-priority arbiter used by the generic
+//     baseline router's separable allocator.
+//   - Matrix: a least-recently-served matrix arbiter (kept for ablations and
+//     as an alternative output-stage policy).
+//   - Separable: an output-first separable switch allocator (Becker & Dally,
+//     SC'09 — reference [14] of the paper) used by the Buffered 4/8 baseline.
+//   - DualInput: the paper's augmented output-first allocator for the
+//     unified dual-input crossbar (§II.B.1): each input port carries two
+//     candidate flits (bufferless and buffered); two V:1 arbiters in series
+//     select up to two grants per input port, and the conflict-free swap
+//     logic (§II.B.2) repairs physically conflicting combinations.
+//
+// All arbiters are deterministic state machines; none are safe for
+// concurrent use (the simulator is single-threaded per network).
+package arbiter
+
+import "fmt"
+
+// RoundRobin is an n-requester rotating-priority arbiter. The requester at
+// the pointer has highest priority; after a grant the pointer moves one past
+// the winner, giving every requester a bounded wait.
+type RoundRobin struct {
+	n   int
+	ptr int
+}
+
+// NewRoundRobin returns an arbiter over n requesters. n must be in (0, 64].
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("arbiter: invalid round-robin width %d", n))
+	}
+	return &RoundRobin{n: n}
+}
+
+// Grant picks the winning requester from the request bitmask (bit i set
+// means requester i asks). It returns -1 if no bit is set. Grant updates the
+// rotation pointer on success.
+func (r *RoundRobin) Grant(mask uint64) int {
+	if mask == 0 {
+		return -1
+	}
+	for off := 0; off < r.n; off++ {
+		i := (r.ptr + off) % r.n
+		if mask&(1<<uint(i)) != 0 {
+			r.ptr = (i + 1) % r.n
+			return i
+		}
+	}
+	return -1
+}
+
+// Peek is Grant without the pointer update (used by allocators that must
+// arbitrate combinationally and commit later).
+func (r *RoundRobin) Peek(mask uint64) int {
+	if mask == 0 {
+		return -1
+	}
+	for off := 0; off < r.n; off++ {
+		i := (r.ptr + off) % r.n
+		if mask&(1<<uint(i)) != 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// Commit moves the pointer past the given winner.
+func (r *RoundRobin) Commit(winner int) {
+	if winner >= 0 && winner < r.n {
+		r.ptr = (winner + 1) % r.n
+	}
+}
+
+// Matrix is a least-recently-served matrix arbiter: prio[i][j] == true means
+// requester i beats requester j. After a grant the winner drops below every
+// other requester.
+type Matrix struct {
+	n    int
+	prio [][]bool
+}
+
+// NewMatrix returns an n-requester matrix arbiter with initial priority by
+// index (lower index wins).
+func NewMatrix(n int) *Matrix {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("arbiter: invalid matrix width %d", n))
+	}
+	m := &Matrix{n: n, prio: make([][]bool, n)}
+	for i := range m.prio {
+		m.prio[i] = make([]bool, n)
+		for j := i + 1; j < n; j++ {
+			m.prio[i][j] = true
+		}
+	}
+	return m
+}
+
+// Grant picks the requester that beats every other requester in the mask,
+// updates the matrix, and returns its index (-1 if the mask is empty).
+func (m *Matrix) Grant(mask uint64) int {
+	if mask == 0 {
+		return -1
+	}
+	winner := -1
+	for i := 0; i < m.n; i++ {
+		if mask&(1<<uint(i)) == 0 {
+			continue
+		}
+		beatsAll := true
+		for j := 0; j < m.n; j++ {
+			if j == i || mask&(1<<uint(j)) == 0 {
+				continue
+			}
+			if !m.prio[i][j] {
+				beatsAll = false
+				break
+			}
+		}
+		if beatsAll {
+			winner = i
+			break
+		}
+	}
+	if winner == -1 {
+		// The matrix invariant guarantees a unique maximum; this is
+		// unreachable unless the matrix was corrupted.
+		panic("arbiter: matrix arbiter has no maximum")
+	}
+	for j := 0; j < m.n; j++ {
+		if j != winner {
+			m.prio[winner][j] = false
+			m.prio[j][winner] = true
+		}
+	}
+	return winner
+}

@@ -1,0 +1,157 @@
+package arbiter
+
+import "math/bits"
+
+// SubInput indices for the unified dual-input crossbar: each input port
+// carries up to two candidate flits per cycle.
+const (
+	// SubBufferless is the incoming (primary, bufferless-path) candidate.
+	SubBufferless = 0
+	// SubBuffered is the buffered (secondary-path) candidate. The PE
+	// injection port uses this sub-input as well (it sits on the buffered
+	// side of the demultiplexer, without a buffer).
+	SubBuffered = 1
+)
+
+// DualRequest describes one input port's candidates for one allocation
+// round of the unified crossbar.
+type DualRequest struct {
+	// Want[s] is the bitmask of output ports sub-input s requests
+	// (zero = no candidate / no request).
+	Want [2]uint64
+	// Age[s] is the age key of sub-input s's flit: lower wins. Only
+	// meaningful where Want[s] != 0.
+	Age [2]uint64
+}
+
+// DualGrant is the allocation result for one input port: the output granted
+// to each sub-input, or -1.
+type DualGrant [2]int
+
+// DualInput is the paper's augmented separable output-first allocator for
+// the unified dual-input crossbar (§II.B.1):
+//
+//   - Stage 1: the two sub-input request vectors of each input port are
+//     OR-ed into one P-bit vector; each output's P:1 arbiter picks one input
+//     port. Our P:1 arbiters are age-based with a class bit (the router's
+//     incoming-over-buffered priority, flippable by the fairness counter),
+//     matching the age-based arbitration used throughout the paper.
+//   - Stage 2: per input port, two V:1 arbiters in series pick up to two
+//     (sub-input, output) grants; the second arbiter is masked by the first
+//     arbiter's selection so it can never pick the same sub-input (§II.B.1).
+//   - Conflict-free swap (§II.B.2): the crossbar's transmission-gate
+//     segmentation requires the flit entering from the low end of the input
+//     line to use a lower-numbered output column than the flit entering from
+//     the high end. When the two grants violate that ordering, the swap
+//     logic exchanges which physical entry each flit uses, so both still
+//     make forward progress. Swaps are counted for statistics.
+type DualInput struct {
+	numPorts, numOut int
+	swaps            uint64
+}
+
+// NewDualInput returns an allocator for numPorts input ports and numOut
+// output ports (both 5 for the paper's unified crossbar).
+func NewDualInput(numPorts, numOut int) *DualInput {
+	if numPorts <= 0 || numPorts > 64 || numOut <= 0 || numOut > 64 {
+		panic("arbiter: invalid dual-input allocator radix")
+	}
+	return &DualInput{numPorts: numPorts, numOut: numOut}
+}
+
+// Swaps returns the cumulative number of conflict-free swaps performed.
+func (d *DualInput) Swaps() uint64 { return d.swaps }
+
+// Allocate computes the dual-input matching. preferBuffered flips the
+// priority class between the bufferless and buffered sub-inputs (the
+// fairness counter of §II.A.2 drives this). Each output is granted to at
+// most one (port, sub-input); each port receives at most two grants, one
+// per sub-input, on distinct outputs.
+func (d *DualInput) Allocate(reqs []DualRequest, preferBuffered bool) []DualGrant {
+	if len(reqs) != d.numPorts {
+		panic("arbiter: request slice has wrong port count")
+	}
+	pref, other := SubBufferless, SubBuffered
+	if preferBuffered {
+		pref, other = SubBuffered, SubBufferless
+	}
+
+	// Stage 1: per-output arbitration over OR-ed port-level requests.
+	// Priority: preferred-class requesters beat the other class; within a
+	// class, lower age wins; ties break on port index.
+	outWinner := make([]int, d.numOut)
+	for o := range outWinner {
+		outWinner[o] = -1
+	}
+	for o := 0; o < d.numOut; o++ {
+		bit := uint64(1) << uint(o)
+		bestPort := -1
+		bestClass := 2
+		var bestAge uint64
+		for p := 0; p < d.numPorts; p++ {
+			r := &reqs[p]
+			class := 2
+			var age uint64
+			if r.Want[pref]&bit != 0 {
+				class, age = 0, r.Age[pref]
+			} else if r.Want[other]&bit != 0 {
+				class, age = 1, r.Age[other]
+			}
+			if class == 2 {
+				continue
+			}
+			if class < bestClass || (class == bestClass && age < bestAge) {
+				bestPort, bestClass, bestAge = p, class, age
+			}
+		}
+		outWinner[o] = bestPort
+	}
+
+	// Stage 2: per-port serial V:1 arbitration.
+	grants := make([]DualGrant, d.numPorts)
+	for p := range grants {
+		grants[p] = DualGrant{-1, -1}
+	}
+	for p := 0; p < d.numPorts; p++ {
+		var grantedMask uint64
+		for o := 0; o < d.numOut; o++ {
+			if outWinner[o] == p {
+				grantedMask |= 1 << uint(o)
+			}
+		}
+		if grantedMask == 0 {
+			continue
+		}
+		r := &reqs[p]
+		// First V:1 arbiter: the preferred sub-input if it can use a
+		// granted output, otherwise the other one.
+		s1 := pref
+		m1 := r.Want[s1] & grantedMask
+		if m1 == 0 {
+			s1 = other
+			m1 = r.Want[s1] & grantedMask
+		}
+		if m1 == 0 {
+			continue // outputs were granted on stale requests; leave idle
+		}
+		o1 := bits.TrailingZeros64(m1)
+		grants[p][s1] = o1
+		// Second V:1 arbiter, in series: masked so it can only choose the
+		// other sub-input, and never the output already taken.
+		s2 := 1 - s1
+		m2 := r.Want[s2] & grantedMask &^ (1 << uint(o1))
+		if m2 != 0 {
+			o2 := bits.TrailingZeros64(m2)
+			grants[p][s2] = o2
+			// Conflict detection (§II.B.2): the low-end entry must use the
+			// lower output column. Sub-input 0 enters from the low end.
+			lo, hi := grants[p][0], grants[p][1]
+			if lo > hi {
+				// Swap logic reroutes the two flits through each other's
+				// physical entry point; both grants stand.
+				d.swaps++
+			}
+		}
+	}
+	return grants
+}

@@ -1,0 +1,201 @@
+package arbiter
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDualInputBothSubInputsSameCycle(t *testing.T) {
+	// The headline capability (paper Fig. 4(b)): I0 (bufferless) to O2 and
+	// I0' (buffered) to O3, simultaneously, from the same input port.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[0].Want[SubBufferless] = 1 << 2
+	reqs[0].Age[SubBufferless] = 10
+	reqs[0].Want[SubBuffered] = 1 << 3
+	reqs[0].Age[SubBuffered] = 5
+	g := d.Allocate(reqs, false)
+	if g[0][SubBufferless] != 2 || g[0][SubBuffered] != 3 {
+		t.Fatalf("grants = %v, want sub0->2 sub1->3", g[0])
+	}
+}
+
+func TestDualInputIncomingPriorityOverBuffered(t *testing.T) {
+	// Two ports want the same output; port 0 offers a buffered flit (older),
+	// port 1 an incoming flit (younger). Without the fairness flip, the
+	// incoming class wins.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[0].Want[SubBuffered] = 1 << 4
+	reqs[0].Age[SubBuffered] = 1 // older
+	reqs[1].Want[SubBufferless] = 1 << 4
+	reqs[1].Age[SubBufferless] = 100 // younger
+	g := d.Allocate(reqs, false)
+	if g[1][SubBufferless] != 4 {
+		t.Fatalf("incoming flit must win output 4, grants %v", g)
+	}
+	if g[0][SubBuffered] != -1 {
+		t.Fatalf("buffered flit must lose, grants %v", g)
+	}
+}
+
+func TestDualInputFairnessFlip(t *testing.T) {
+	// Same scenario with preferBuffered: the buffered class now wins.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[0].Want[SubBuffered] = 1 << 4
+	reqs[0].Age[SubBuffered] = 1
+	reqs[1].Want[SubBufferless] = 1 << 4
+	reqs[1].Age[SubBufferless] = 100
+	g := d.Allocate(reqs, true)
+	if g[0][SubBuffered] != 4 {
+		t.Fatalf("buffered flit must win under flipped priority, grants %v", g)
+	}
+	if g[1][SubBufferless] != -1 {
+		t.Fatalf("incoming flit must lose under flipped priority, grants %v", g)
+	}
+}
+
+func TestDualInputAgeWithinClass(t *testing.T) {
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[2].Want[SubBufferless] = 1 << 0
+	reqs[2].Age[SubBufferless] = 50
+	reqs[3].Want[SubBufferless] = 1 << 0
+	reqs[3].Age[SubBufferless] = 7 // older, must win
+	g := d.Allocate(reqs, false)
+	if g[3][SubBufferless] != 0 || g[2][SubBufferless] != -1 {
+		t.Fatalf("oldest incoming flit must win, grants %v", g)
+	}
+}
+
+func TestDualInputConflictSwapCounted(t *testing.T) {
+	// Sub-input 0 granted a HIGHER output than sub-input 1 violates the
+	// segmentation ordering and must be repaired by a counted swap.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[1].Want[SubBufferless] = 1 << 4
+	reqs[1].Age[SubBufferless] = 3
+	reqs[1].Want[SubBuffered] = 1 << 2
+	reqs[1].Age[SubBuffered] = 9
+	g := d.Allocate(reqs, false)
+	if g[1][SubBufferless] != 4 || g[1][SubBuffered] != 2 {
+		t.Fatalf("both sub-inputs must be granted, grants %v", g)
+	}
+	if d.Swaps() != 1 {
+		t.Fatalf("swaps = %d, want 1", d.Swaps())
+	}
+	// The non-conflicting orientation must not count a swap.
+	d2 := NewDualInput(5, 5)
+	reqs[1].Want[SubBufferless] = 1 << 2
+	reqs[1].Want[SubBuffered] = 1 << 4
+	d2.Allocate(reqs, false)
+	if d2.Swaps() != 0 {
+		t.Fatalf("swaps = %d, want 0", d2.Swaps())
+	}
+}
+
+func TestDualInputSecondArbiterCannotReuseSubInput(t *testing.T) {
+	// One sub-input requesting two outputs gets exactly one grant; the
+	// second serial arbiter serves only the other sub-input.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[0].Want[SubBufferless] = 1<<1 | 1<<2
+	reqs[0].Age[SubBufferless] = 1
+	g := d.Allocate(reqs, false)
+	granted := 0
+	if g[0][SubBufferless] != -1 {
+		granted++
+	}
+	if g[0][SubBuffered] != -1 {
+		granted++
+	}
+	if granted != 1 {
+		t.Fatalf("single flit must receive exactly one output, grants %v", g)
+	}
+}
+
+func TestDualInputInjectionPortModel(t *testing.T) {
+	// The PE injection port presents only a buffered-side candidate and can
+	// still win an uncontended output.
+	d := NewDualInput(5, 5)
+	reqs := make([]DualRequest, 5)
+	reqs[4].Want[SubBuffered] = 1 << 0
+	reqs[4].Age[SubBuffered] = 3
+	g := d.Allocate(reqs, false)
+	if g[4][SubBuffered] != 0 {
+		t.Fatalf("uncontended injection must win, grants %v", g)
+	}
+}
+
+// Property: the dual-input allocation is always physically valid — every
+// granted (port, sub-input, output) was requested, no output is granted
+// twice, and each sub-input receives at most one output.
+func TestDualInputValidityProperty(t *testing.T) {
+	d := NewDualInput(5, 5)
+	f := func(w0, w1 [5]uint8, a0, a1 [5]uint8, flip bool) bool {
+		reqs := make([]DualRequest, 5)
+		for p := 0; p < 5; p++ {
+			reqs[p].Want[0] = uint64(w0[p] & 0x1f)
+			reqs[p].Want[1] = uint64(w1[p] & 0x1f)
+			reqs[p].Age[0] = uint64(a0[p])
+			reqs[p].Age[1] = uint64(a1[p])
+		}
+		g := d.Allocate(reqs, flip)
+		usedOut := map[int]bool{}
+		for p := 0; p < 5; p++ {
+			for s := 0; s < 2; s++ {
+				o := g[p][s]
+				if o == -1 {
+					continue
+				}
+				if o < 0 || o > 4 {
+					return false
+				}
+				if reqs[p].Want[s]&(1<<uint(o)) == 0 {
+					return false // unrequested grant
+				}
+				if usedOut[o] {
+					return false // double-booked output
+				}
+				usedOut[o] = true
+			}
+			// Same port granted two outputs => they must differ.
+			if g[p][0] != -1 && g[p][0] == g[p][1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: if exactly one port requests output o (on either sub-input),
+// that port is granted o — the allocator wastes no uncontended output.
+func TestDualInputWorkConservingSingleRequester(t *testing.T) {
+	d := NewDualInput(5, 5)
+	f := func(port, out, sub uint8, age uint8) bool {
+		p := int(port) % 5
+		o := int(out) % 5
+		s := int(sub) % 2
+		reqs := make([]DualRequest, 5)
+		reqs[p].Want[s] = 1 << uint(o)
+		reqs[p].Age[s] = uint64(age)
+		g := d.Allocate(reqs, false)
+		return g[p][s] == o
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDualInputPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Allocate with wrong port count must panic")
+		}
+	}()
+	NewDualInput(5, 5).Allocate(make([]DualRequest, 3), false)
+}

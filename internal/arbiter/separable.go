@@ -1,0 +1,77 @@
+package arbiter
+
+// Separable is an output-first separable switch allocator for a router with
+// numIn input ports and numOut output ports, one candidate flit per input.
+// Stage 1: each output's arbiter picks one requesting input. Stage 2: each
+// input's arbiter picks one of the outputs granted to it. The result is a
+// conflict-free (partial) matching. This matches the allocator of the
+// Buffered 4/8 baseline (paper reference [14]).
+type Separable struct {
+	numIn, numOut int
+	outArb        []*RoundRobin // per output, over inputs
+	inArb         []*RoundRobin // per input, over outputs
+}
+
+// NewSeparable returns a separable allocator of the given radix.
+func NewSeparable(numIn, numOut int) *Separable {
+	s := &Separable{
+		numIn:  numIn,
+		numOut: numOut,
+		outArb: make([]*RoundRobin, numOut),
+		inArb:  make([]*RoundRobin, numIn),
+	}
+	for o := range s.outArb {
+		s.outArb[o] = NewRoundRobin(numIn)
+	}
+	for i := range s.inArb {
+		s.inArb[i] = NewRoundRobin(numOut)
+	}
+	return s
+}
+
+// Allocate computes a matching for the request matrix req (req[i][o] == true
+// means input i wants output o). It returns grant[i] = granted output for
+// input i, or -1. Each output is granted to at most one input and each input
+// receives at most one output. Arbiter pointers advance only for
+// granted input/output pairs so unsuccessful requesters keep their priority.
+func (s *Separable) Allocate(req [][]bool) []int {
+	if len(req) != s.numIn {
+		panic("arbiter: request matrix has wrong input count")
+	}
+	// Stage 1: output arbitration.
+	outWinner := make([]int, s.numOut) // input granted each output, or -1
+	for o := 0; o < s.numOut; o++ {
+		var mask uint64
+		for i := 0; i < s.numIn; i++ {
+			if req[i][o] {
+				mask |= 1 << uint(i)
+			}
+		}
+		outWinner[o] = s.outArb[o].Peek(mask)
+	}
+	// Stage 2: input arbitration among granted outputs.
+	grant := make([]int, s.numIn)
+	for i := range grant {
+		grant[i] = -1
+	}
+	for i := 0; i < s.numIn; i++ {
+		var mask uint64
+		for o := 0; o < s.numOut; o++ {
+			if outWinner[o] == i {
+				mask |= 1 << uint(o)
+			}
+		}
+		if o := s.inArb[i].Peek(mask); o != -1 {
+			grant[i] = o
+			s.inArb[i].Commit(o)
+			s.outArb[o].Commit(i)
+		}
+	}
+	return grant
+}
+
+// NumIn returns the allocator's input radix.
+func (s *Separable) NumIn() int { return s.numIn }
+
+// NumOut returns the allocator's output radix.
+func (s *Separable) NumOut() int { return s.numOut }

@@ -1,0 +1,134 @@
+// Package buffer provides the input-buffer and link-level flow-control
+// primitives shared by the buffered designs: a fixed-depth serial FIFO (the
+// paper's buffer slots are "connected serially, thus eliminating VCs and the
+// corresponding virtual-channel allocator", §II) and a credit counter with a
+// delayed return pipeline that models the one-cycle credit signalling delay
+// on the reverse link.
+package buffer
+
+import (
+	"fmt"
+
+	"dxbar/internal/flit"
+)
+
+// FIFO is a fixed-capacity first-in first-out flit buffer.
+type FIFO struct {
+	slots []*flit.Flit
+	head  int
+	count int
+}
+
+// NewFIFO returns an empty FIFO of the given depth (must be positive).
+func NewFIFO(depth int) *FIFO {
+	if depth <= 0 {
+		panic(fmt.Sprintf("buffer: invalid FIFO depth %d", depth))
+	}
+	return &FIFO{slots: make([]*flit.Flit, depth)}
+}
+
+// Depth returns the FIFO capacity.
+func (f *FIFO) Depth() int { return len(f.slots) }
+
+// Len returns the number of buffered flits.
+func (f *FIFO) Len() int { return f.count }
+
+// Full reports whether the FIFO has no free slot.
+func (f *FIFO) Full() bool { return f.count == len(f.slots) }
+
+// Empty reports whether the FIFO holds no flit.
+func (f *FIFO) Empty() bool { return f.count == 0 }
+
+// Push appends a flit; it panics on overflow because flow control is
+// supposed to make overflow impossible — a push into a full FIFO is a
+// simulator bug, not a network condition.
+func (f *FIFO) Push(fl *flit.Flit) {
+	if f.Full() {
+		panic("buffer: FIFO overflow (flow-control violation)")
+	}
+	f.slots[(f.head+f.count)%len(f.slots)] = fl
+	f.count++
+}
+
+// Head returns the oldest buffered flit without removing it (nil if empty).
+func (f *FIFO) Head() *flit.Flit {
+	if f.count == 0 {
+		return nil
+	}
+	return f.slots[f.head]
+}
+
+// Pop removes and returns the oldest buffered flit (nil if empty).
+func (f *FIFO) Pop() *flit.Flit {
+	if f.count == 0 {
+		return nil
+	}
+	fl := f.slots[f.head]
+	f.slots[f.head] = nil
+	f.head = (f.head + 1) % len(f.slots)
+	f.count--
+	return fl
+}
+
+// Credits tracks the free buffer space at the downstream end of one link.
+// The upstream router decrements on send; returned credits ride a small
+// delay pipeline that models the reverse-channel signalling latency.
+type Credits struct {
+	available int
+	max       int
+	// inflight[i] credits become available after i+1 more Tick calls.
+	inflight []int
+}
+
+// NewCredits returns a counter with the given capacity and credit-return
+// delay in cycles (delay >= 1; the paper's fairness discussion assumes a
+// non-zero credit round trip).
+func NewCredits(capacity, delay int) *Credits {
+	if capacity <= 0 || delay < 1 {
+		panic(fmt.Sprintf("buffer: invalid credits capacity=%d delay=%d", capacity, delay))
+	}
+	return &Credits{available: capacity, max: capacity, inflight: make([]int, delay)}
+}
+
+// Available returns the number of usable credits.
+func (c *Credits) Available() int { return c.available }
+
+// CanSend reports whether at least one credit is available.
+func (c *Credits) CanSend() bool { return c.available > 0 }
+
+// Consume spends one credit; it panics if none is available (an upstream
+// send without a credit is a flow-control violation).
+func (c *Credits) Consume() {
+	if c.available == 0 {
+		panic("buffer: credit underflow (flow-control violation)")
+	}
+	c.available--
+}
+
+// Return schedules one credit to become available after the configured
+// delay (called by the downstream router when a buffer slot frees).
+func (c *Credits) Return() {
+	c.inflight[len(c.inflight)-1]++
+	if c.pending()+c.available > c.max {
+		panic("buffer: credit overflow (more credits returned than consumed)")
+	}
+}
+
+// Tick advances the return pipeline by one cycle.
+func (c *Credits) Tick() {
+	c.available += c.inflight[0]
+	copy(c.inflight, c.inflight[1:])
+	c.inflight[len(c.inflight)-1] = 0
+}
+
+func (c *Credits) pending() int {
+	n := 0
+	for _, v := range c.inflight {
+		n += v
+	}
+	return n
+}
+
+// Outstanding returns credits consumed but not yet returned or in flight —
+// i.e. flits currently occupying downstream resources.
+func (c *Credits) Outstanding() int { return c.max - c.available - c.pending() }

@@ -1,0 +1,179 @@
+package coherence
+
+import "fmt"
+
+// Cache is a set-associative, write-back, LRU cache model operating on
+// block addresses (the simulator's unit is one 64 B cache block — Table I/II
+// block size — so no offset/index arithmetic below block granularity is
+// needed). It backs the coherence substrate's detailed mode, where L1/L2
+// hit rates *emerge* from the benchmark's working set instead of being
+// profile constants.
+type Cache struct {
+	sets, ways int
+
+	tags  [][]uint64
+	valid [][]bool
+	dirty [][]bool
+	stamp [][]uint64 // LRU timestamps
+
+	clock uint64
+
+	// Hits and Misses count Access outcomes (diagnostics and calibration
+	// tests).
+	Hits, Misses uint64
+}
+
+// NewCache builds a cache holding blocks total blocks with the given
+// associativity. blocks must be a positive multiple of ways.
+func NewCache(blocks, ways int) (*Cache, error) {
+	if blocks <= 0 || ways <= 0 || blocks%ways != 0 {
+		return nil, fmt.Errorf("coherence: invalid cache geometry %d blocks / %d ways", blocks, ways)
+	}
+	sets := blocks / ways
+	c := &Cache{sets: sets, ways: ways}
+	c.tags = make([][]uint64, sets)
+	c.valid = make([][]bool, sets)
+	c.dirty = make([][]bool, sets)
+	c.stamp = make([][]uint64, sets)
+	for s := 0; s < sets; s++ {
+		c.tags[s] = make([]uint64, ways)
+		c.valid[s] = make([]bool, ways)
+		c.dirty[s] = make([]bool, ways)
+		c.stamp[s] = make([]uint64, ways)
+	}
+	return c, nil
+}
+
+// MustCache is NewCache for static configurations.
+func MustCache(blocks, ways int) *Cache {
+	c, err := NewCache(blocks, ways)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func (c *Cache) set(addr uint64) int { return int(addr % uint64(c.sets)) }
+
+func (c *Cache) find(addr uint64) (set, way int, ok bool) {
+	s := c.set(addr)
+	for w := 0; w < c.ways; w++ {
+		if c.valid[s][w] && c.tags[s][w] == addr {
+			return s, w, true
+		}
+	}
+	return s, -1, false
+}
+
+// Access looks up addr and updates LRU state and hit/miss counters. write
+// marks the block dirty on a hit.
+func (c *Cache) Access(addr uint64, write bool) bool {
+	c.clock++
+	s, w, ok := c.find(addr)
+	if !ok {
+		c.Misses++
+		return false
+	}
+	c.Hits++
+	c.stamp[s][w] = c.clock
+	if write {
+		c.dirty[s][w] = true
+	}
+	return true
+}
+
+// Contains reports residency without touching LRU state or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	_, _, ok := c.find(addr)
+	return ok
+}
+
+// Eviction describes the victim displaced by a Fill.
+type Eviction struct {
+	Addr  uint64
+	Dirty bool
+	// Valid is false when the fill used an empty way.
+	Valid bool
+}
+
+// Fill installs addr (marking it dirty when write), evicting the LRU way
+// if the set is full. It must only be called after a missing Access
+// (duplicate fills panic — they indicate a protocol bug).
+func (c *Cache) Fill(addr uint64, write bool) Eviction {
+	c.clock++
+	s, _, ok := c.find(addr)
+	if ok {
+		panic("coherence: double fill")
+	}
+	victim := 0
+	for w := 0; w < c.ways; w++ {
+		if !c.valid[s][w] {
+			victim = w
+			goto install
+		}
+		if c.stamp[s][w] < c.stamp[s][victim] {
+			victim = w
+		}
+	}
+install:
+	ev := Eviction{}
+	if c.valid[s][victim] {
+		ev = Eviction{Addr: c.tags[s][victim], Dirty: c.dirty[s][victim], Valid: true}
+	}
+	c.tags[s][victim] = addr
+	c.valid[s][victim] = true
+	c.dirty[s][victim] = write
+	c.stamp[s][victim] = c.clock
+	return ev
+}
+
+// MarkDirty sets the dirty bit if addr is resident (L1 writeback landing
+// in L2).
+func (c *Cache) MarkDirty(addr uint64) {
+	if s, w, ok := c.find(addr); ok {
+		c.dirty[s][w] = true
+	}
+}
+
+// Invalidate removes addr, reporting whether it was resident and dirty.
+func (c *Cache) Invalidate(addr uint64) (present, wasDirty bool) {
+	s, w, ok := c.find(addr)
+	if !ok {
+		return false, false
+	}
+	c.valid[s][w] = false
+	d := c.dirty[s][w]
+	c.dirty[s][w] = false
+	return true, d
+}
+
+// HitRate returns hits / (hits + misses), 0 when unused.
+func (c *Cache) HitRate() float64 {
+	total := c.Hits + c.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(total)
+}
+
+// Detailed-mode cache geometries in 64 B blocks. Table I/II specify a
+// 64 KB 4-way L1 (1024 blocks) and a 1 MB 16-way L2 (16384 blocks) against
+// full benchmark runs of billions of references; our runs scale the
+// instruction budget down by ~three orders of magnitude, so the capacities
+// scale down with it — keeping the associativities and the
+// capacity-to-working-set ratios, which is what determines miss rates and
+// eviction traffic. (The paper itself scales its inputs to fit simulation:
+// FFT 16K, Water 512, etc.)
+const (
+	// L1Blocks / L1Ways: scaled 4-way L1.
+	L1Blocks = 64
+	L1Ways   = 4
+	// L2Blocks / L2Ways: scaled 16-way L2.
+	L2Blocks = 1024
+	L2Ways   = 16
+	// DetailedWorkingSetScale multiplies the profile address pools in
+	// detailed mode so working sets exceed the cache capacities the way
+	// the paper's inputs exceed theirs (Ocean 258×258 ≈ 4.2 MB per grid
+	// > the 1 MB L2).
+	DetailedWorkingSetScale = 16
+)

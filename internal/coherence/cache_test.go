@@ -1,0 +1,201 @@
+package coherence
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCacheGeometryValidation(t *testing.T) {
+	for _, bad := range [][2]int{{0, 4}, {16, 0}, {15, 4}, {-8, 2}} {
+		if _, err := NewCache(bad[0], bad[1]); err == nil {
+			t.Errorf("NewCache(%d,%d) must fail", bad[0], bad[1])
+		}
+	}
+	if _, err := NewCache(16, 4); err != nil {
+		t.Errorf("valid geometry failed: %v", err)
+	}
+}
+
+func TestCacheHitAfterFill(t *testing.T) {
+	c := MustCache(16, 4)
+	if c.Access(100, false) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(100, false)
+	if !c.Access(100, false) {
+		t.Fatal("filled block must hit")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Errorf("counters = %d/%d, want 1/1", c.Hits, c.Misses)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// Direct-mapped-per-set behaviour: 4 sets × 2 ways. Addresses 0, 4, 8
+	// map to set 0.
+	c := MustCache(8, 2)
+	c.Fill(0, false)
+	c.Fill(4, false)
+	c.Access(0, false) // 0 is now MRU; 4 is LRU
+	ev := c.Fill(8, false)
+	if !ev.Valid || ev.Addr != 4 {
+		t.Fatalf("LRU victim = %+v, want addr 4", ev)
+	}
+	if !c.Contains(0) || !c.Contains(8) || c.Contains(4) {
+		t.Error("post-eviction residency wrong")
+	}
+}
+
+func TestCacheDirtyEviction(t *testing.T) {
+	c := MustCache(4, 2) // 2 sets × 2 ways; even addrs -> set 0
+	c.Fill(0, true)      // dirty
+	c.Fill(2, false)
+	ev := c.Fill(4, false) // evicts 0 (LRU)
+	if !ev.Valid || ev.Addr != 0 || !ev.Dirty {
+		t.Fatalf("dirty eviction = %+v", ev)
+	}
+	ev2 := c.Fill(6, false) // evicts 2, clean
+	if ev2.Dirty {
+		t.Error("clean victim reported dirty")
+	}
+}
+
+func TestCacheWriteMakesDirty(t *testing.T) {
+	c := MustCache(4, 2)
+	c.Fill(0, false)
+	c.Access(0, true) // write hit dirties
+	if _, dirty := c.Invalidate(0); !dirty {
+		t.Error("write hit must dirty the block")
+	}
+}
+
+func TestCacheMarkDirty(t *testing.T) {
+	c := MustCache(4, 2)
+	c.Fill(0, false)
+	c.MarkDirty(0)
+	if _, dirty := c.Invalidate(0); !dirty {
+		t.Error("MarkDirty must set the bit")
+	}
+	c.MarkDirty(999) // absent: no-op, no panic
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := MustCache(4, 2)
+	c.Fill(0, true)
+	present, dirty := c.Invalidate(0)
+	if !present || !dirty {
+		t.Error("invalidate must report presence and dirtiness")
+	}
+	if present, _ := c.Invalidate(0); present {
+		t.Error("double invalidate must report absence")
+	}
+	if c.Contains(0) {
+		t.Error("invalidated block still resident")
+	}
+}
+
+func TestCacheDoubleFillPanics(t *testing.T) {
+	c := MustCache(4, 2)
+	c.Fill(0, false)
+	defer func() {
+		if recover() == nil {
+			t.Error("double fill must panic")
+		}
+	}()
+	c.Fill(0, false)
+}
+
+func TestCacheHitRate(t *testing.T) {
+	c := MustCache(16, 4)
+	if c.HitRate() != 0 {
+		t.Error("unused cache hit rate must be 0")
+	}
+	c.Access(1, false)
+	c.Fill(1, false)
+	c.Access(1, false)
+	c.Access(1, false)
+	if got := c.HitRate(); got != 2.0/3.0 {
+		t.Errorf("hit rate = %v, want 2/3", got)
+	}
+}
+
+// Property: a cache never holds more blocks than its capacity, and a block
+// just filled is always resident until evicted by a fill in its own set.
+func TestCacheCapacityProperty(t *testing.T) {
+	f := func(addrs []uint16) bool {
+		c := MustCache(16, 4)
+		resident := map[uint64]bool{}
+		for _, a := range addrs {
+			addr := uint64(a % 64)
+			if c.Access(addr, false) {
+				if !resident[addr] {
+					return false // hit on non-resident block
+				}
+				continue
+			}
+			if resident[addr] {
+				return false // miss on resident block
+			}
+			ev := c.Fill(addr, false)
+			if ev.Valid {
+				delete(resident, ev.Addr)
+			}
+			resident[addr] = true
+			if len(resident) > 16 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Detailed mode end to end: the workload completes, hit rates emerge in a
+// plausible band, and real evictions generate Put traffic.
+func TestDetailedModeWorkload(t *testing.T) {
+	prof := tinyProfile().Detailed()
+	// Enough references per tile to overflow the scaled L2 (1024 blocks)
+	// and force real capacity evictions.
+	prof.OpsPerProc = 2500
+	sys, _ := runSystem(t, prof, 21)
+	if sys.MsgCounts[Put] == 0 {
+		t.Error("detailed mode must generate real writebacks")
+	}
+	// Emergent hit rates must be sane (0 < rate < 1) on every tile that
+	// issued accesses.
+	for _, tl := range sys.tiles {
+		if tl.l1.Hits+tl.l1.Misses == 0 {
+			continue
+		}
+		if r := tl.l1.HitRate(); r <= 0 || r >= 1 {
+			t.Fatalf("tile %d L1 hit rate %v implausible", tl.node, r)
+		}
+	}
+}
+
+func TestDetailedModeDeterministic(t *testing.T) {
+	prof := tinyProfile().Detailed()
+	prof.OpsPerProc = 200
+	a, _ := runSystem(t, prof, 33)
+	b, _ := runSystem(t, prof, 33)
+	if a.FinishCycle() != b.FinishCycle() {
+		t.Errorf("detailed runs diverged: %d vs %d", a.FinishCycle(), b.FinishCycle())
+	}
+}
+
+func TestDetailedModeInvalidationsHitCaches(t *testing.T) {
+	prof := tinyProfile().Detailed()
+	prof.Write = 0.6
+	prof.Share = 0.9
+	prof.OpsPerProc = 300
+	sys, _ := runSystem(t, prof, 41)
+	if sys.MsgCounts[Inv] == 0 {
+		t.Skip("no invalidations generated in this configuration")
+	}
+	// Inv/InvAck pairing must still hold with real caches.
+	if sys.MsgCounts[Inv] != sys.MsgCounts[InvAck] {
+		t.Errorf("inv %d != invack %d", sys.MsgCounts[Inv], sys.MsgCounts[InvAck])
+	}
+}

@@ -1,0 +1,236 @@
+package coherence
+
+import (
+	"testing"
+
+	"dxbar/internal/energy"
+	"dxbar/internal/flit"
+	"dxbar/internal/router"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+)
+
+func TestProfilesComplete(t *testing.T) {
+	profs := Profiles()
+	if len(profs) != 9 {
+		t.Fatalf("want 9 benchmark profiles, got %d", len(profs))
+	}
+	want := []string{"FFT", "LU", "Radiosity", "Ocean", "Raytrace", "Radix", "Water", "FMM", "Barnes"}
+	for i, p := range profs {
+		if p.Name != want[i] {
+			t.Errorf("profile %d = %s, want %s", i, p.Name, want[i])
+		}
+		if p.L1Hit <= 0 || p.L1Hit >= 1 || p.L2Hit <= 0 || p.L2Hit >= 1 {
+			t.Errorf("%s: hit rates out of (0,1)", p.Name)
+		}
+		if p.OpsPerProc <= 0 || p.ComputeGap <= 0 || p.SharedBlocks <= 0 {
+			t.Errorf("%s: non-positive sizing", p.Name)
+		}
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	if p, ok := ProfileByName("Ocean"); !ok || p.Name != "Ocean" {
+		t.Error("ProfileByName(Ocean) failed")
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Error("unknown profile must not resolve")
+	}
+}
+
+func TestMsgTypeStringAndFlits(t *testing.T) {
+	if GetS.String() != "GetS" || Data.String() != "Data" || PutAck.String() != "PutAck" {
+		t.Error("message names wrong")
+	}
+	if Data.Flits() != DataFlits || Put.Flits() != DataFlits {
+		t.Error("data-bearing messages must be 5 flits")
+	}
+	for _, m := range []MsgType{GetS, GetM, FwdGetS, FwdGetM, Inv, InvAck, Unblock, PutAck, UpgAck} {
+		if m.Flits() != CtrlFlits {
+			t.Errorf("%v must be a single flit", m)
+		}
+	}
+}
+
+// tiny profile for fast protocol tests.
+func tinyProfile() Profile {
+	// Pools must comfortably exceed the MSHR depth or every dirty block is
+	// permanently re-outstanding and writebacks can never pick a victim.
+	return Profile{
+		Name: "tiny", OpsPerProc: 50, L1Hit: 0.2, L2Hit: 0.2,
+		Share: 0.7, Write: 0.5, ComputeGap: 2, Writeback: 0.5,
+		SharedBlocks: 64, PrivateBlocksPerTile: 32,
+	}
+}
+
+// runSystem wires a System into a DOR buffered network and runs it to
+// completion.
+func runSystem(t *testing.T, prof Profile, seed int64) (*System, *stats.Collector) {
+	t.Helper()
+	mesh := topology.MustMesh(4, 4)
+	sys, err := NewSystem(mesh, prof, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, 10_000_000)
+	algo := routing.DOR{}
+	eng, err := sim.New(sim.Config{
+		Mesh: mesh, Meter: energy.NewMeter(), Stats: coll,
+		Source: sys, Sink: sys, BufferDepth: 4, PreCycle: sys.PreCycle,
+	}, func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, false) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eng.RunUntil(sys.Quiesced, 2_000_000) {
+		t.Fatalf("workload did not finish; outstanding=%d finished=%d",
+			sys.OutstandingMessages(), sys.finished)
+	}
+	return sys, coll
+}
+
+func TestWorkloadCompletes(t *testing.T) {
+	sys, coll := runSystem(t, tinyProfile(), 1)
+	if sys.FinishCycle() == 0 {
+		t.Error("finish cycle not recorded")
+	}
+	if coll.Results().Packets == 0 {
+		t.Error("no network traffic generated")
+	}
+}
+
+func TestWorkloadDeterministic(t *testing.T) {
+	a, _ := runSystem(t, tinyProfile(), 7)
+	b, _ := runSystem(t, tinyProfile(), 7)
+	if a.FinishCycle() != b.FinishCycle() {
+		t.Errorf("same seed diverged: %d vs %d", a.FinishCycle(), b.FinishCycle())
+	}
+	for typ, n := range a.MsgCounts {
+		if b.MsgCounts[typ] != n {
+			t.Errorf("message count %v differs: %d vs %d", typ, n, b.MsgCounts[typ])
+		}
+	}
+}
+
+func TestProtocolMessageMix(t *testing.T) {
+	sys, _ := runSystem(t, tinyProfile(), 3)
+	mc := sys.MsgCounts
+	// A write-heavy shared workload must exercise the full protocol.
+	for _, typ := range []MsgType{GetS, GetM, Data, Unblock} {
+		if mc[typ] == 0 {
+			t.Errorf("no %v messages generated", typ)
+		}
+	}
+	if mc[Inv] == 0 || mc[InvAck] == 0 {
+		t.Error("shared writes must generate invalidations")
+	}
+	if mc[FwdGetS]+mc[FwdGetM] == 0 {
+		t.Error("dirty sharing must generate forwards")
+	}
+	if mc[Put] == 0 || mc[PutAck] == 0 {
+		t.Error("writebacks must flow")
+	}
+	// Every transaction unblocks exactly once: Unblock == GetS + GetM.
+	if mc[Unblock] != mc[GetS]+mc[GetM] {
+		t.Errorf("unblocks %d != requests %d", mc[Unblock], mc[GetS]+mc[GetM])
+	}
+	// Invariant: one grant per request — a 5-flit Data or a 1-flit UpgAck
+	// (forwards substitute for the home's reply, never duplicate it).
+	if mc[Data]+mc[UpgAck] != mc[GetS]+mc[GetM] {
+		t.Errorf("grants %d != requests %d", mc[Data]+mc[UpgAck], mc[GetS]+mc[GetM])
+	}
+	// A read-then-write shared workload must exercise the upgrade path.
+	if mc[UpgAck] == 0 {
+		t.Error("expected data-less write upgrades")
+	}
+	// Put/PutAck pair up.
+	if mc[Put] != mc[PutAck] {
+		t.Errorf("puts %d != putacks %d", mc[Put], mc[PutAck])
+	}
+	// Inv/InvAck pair up.
+	if mc[Inv] != mc[InvAck] {
+		t.Errorf("invs %d != invacks %d", mc[Inv], mc[InvAck])
+	}
+}
+
+func TestNoLeakedMessages(t *testing.T) {
+	sys, _ := runSystem(t, tinyProfile(), 5)
+	if sys.OutstandingMessages() != 0 {
+		t.Errorf("%d protocol messages leaked", sys.OutstandingMessages())
+	}
+}
+
+func TestDirectoryPlacement(t *testing.T) {
+	mesh := topology.MustMesh(8, 8)
+	sys, err := NewSystem(mesh, tinyProfile(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.dirNodes) != NumDirectories {
+		t.Fatalf("directories = %d, want %d", len(sys.dirNodes), NumDirectories)
+	}
+	seen := map[int]bool{}
+	for _, n := range sys.dirNodes {
+		if n < 0 || n >= mesh.Nodes() || seen[n] {
+			t.Fatalf("bad directory node %d", n)
+		}
+		seen[n] = true
+	}
+	// Homes must cover every directory.
+	homes := map[int]bool{}
+	for a := uint64(0); a < 64; a++ {
+		homes[sys.home(a)] = true
+	}
+	if len(homes) != NumDirectories {
+		t.Errorf("address interleaving reaches %d homes, want %d", len(homes), NumDirectories)
+	}
+}
+
+func TestMeshTooSmallRejected(t *testing.T) {
+	mesh := topology.MustMesh(2, 2)
+	if _, err := NewSystem(mesh, tinyProfile(), 1); err == nil {
+		t.Error("4-node mesh cannot host 16 directories")
+	}
+}
+
+func TestDeliverUnknownPacketPanics(t *testing.T) {
+	mesh := topology.MustMesh(4, 4)
+	sys, _ := NewSystem(mesh, tinyProfile(), 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown delivery must panic")
+		}
+	}()
+	sys.Deliver(flit.Packet{PacketID: 999}, 0)
+}
+
+func TestExecutionTimeScalesWithIntensity(t *testing.T) {
+	cold := tinyProfile()
+	cold.L1Hit = 0.99
+	cold.L2Hit = 0.99
+	hot := tinyProfile()
+	hot.L1Hit = 0.10
+	hot.L2Hit = 0.10
+	sysCold, _ := runSystem(t, cold, 9)
+	sysHot, _ := runSystem(t, hot, 9)
+	if sysHot.FinishCycle() <= sysCold.FinishCycle() {
+		t.Errorf("miss-heavy profile must run longer: hot=%d cold=%d",
+			sysHot.FinishCycle(), sysCold.FinishCycle())
+	}
+}
+
+func TestSharedVsPrivateAddressSpaces(t *testing.T) {
+	mesh := topology.MustMesh(4, 4)
+	sys, _ := NewSystem(mesh, tinyProfile(), 1)
+	t0, t1 := sys.tiles[0], sys.tiles[1]
+	for i := 0; i < 100; i++ {
+		a0, a1 := sys.privateAddr(t0), sys.privateAddr(t1)
+		if a0 == a1 {
+			t.Fatal("private pools of different tiles must not collide")
+		}
+		if s := sys.sharedAddr(t0); s >= 1<<32 {
+			t.Fatal("shared addresses must stay below the private range")
+		}
+	}
+}

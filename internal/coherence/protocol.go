@@ -1,0 +1,130 @@
+package coherence
+
+import "fmt"
+
+// MsgType enumerates the MESI directory-protocol messages that travel the
+// network.
+type MsgType int
+
+// Protocol message types.
+const (
+	// GetS requests a block for reading (requester → home).
+	GetS MsgType = iota
+	// GetM requests a block for writing (requester → home).
+	GetM
+	// Data carries a cache block (home/owner → requester, 5 flits).
+	Data
+	// FwdGetS asks a dirty owner to forward data and downgrade to S.
+	FwdGetS
+	// FwdGetM asks a dirty owner to forward data and invalidate.
+	FwdGetM
+	// Inv asks a sharer to invalidate (home → sharer).
+	Inv
+	// InvAck confirms an invalidation (sharer → requester).
+	InvAck
+	// Unblock tells the home the transaction completed (requester → home).
+	Unblock
+	// Put writes a dirty block back on eviction (owner → home, 5 flits).
+	Put
+	// PutAck confirms a writeback (home → evictor).
+	PutAck
+	// UpgAck grants a data-less write upgrade: the requester already holds
+	// the block in shared state, so only ownership (plus any outstanding
+	// invalidation acks) travels — one flit instead of a 5-flit Data.
+	UpgAck
+)
+
+// String returns the message-type mnemonic.
+func (t MsgType) String() string {
+	switch t {
+	case GetS:
+		return "GetS"
+	case GetM:
+		return "GetM"
+	case Data:
+		return "Data"
+	case FwdGetS:
+		return "FwdGetS"
+	case FwdGetM:
+		return "FwdGetM"
+	case Inv:
+		return "Inv"
+	case InvAck:
+		return "InvAck"
+	case Unblock:
+		return "Unblock"
+	case Put:
+		return "Put"
+	case PutAck:
+		return "PutAck"
+	case UpgAck:
+		return "UpgAck"
+	}
+	return fmt.Sprintf("MsgType(%d)", int(t))
+}
+
+// Flits returns the message's packet size in flits.
+func (t MsgType) Flits() int {
+	if t == Data || t == Put {
+		return DataFlits
+	}
+	return CtrlFlits
+}
+
+// message is one in-flight protocol message; the System maps packet IDs to
+// messages so Sink deliveries can be dispatched.
+type message struct {
+	typ  MsgType
+	addr uint64
+	// from and to are tile/directory node indices.
+	from, to int
+	// requester is the tile the transaction serves (meaningful for
+	// Fwd*/Inv, whose reply targets differ from their sender).
+	requester int
+	// acks is the invalidation-ack count carried by a Data reply for a
+	// GetM over shared state.
+	acks int
+}
+
+// dirState is a directory entry's stable MESI state (the requester-side
+// E vs S distinction is irrelevant to network traffic, so E is folded into
+// S — exclusive-clean replies generate the same messages).
+type dirState int
+
+const (
+	dirInvalid dirState = iota
+	dirShared
+	dirModified
+)
+
+func (s dirState) String() string {
+	switch s {
+	case dirInvalid:
+		return "I"
+	case dirShared:
+		return "S"
+	case dirModified:
+		return "M"
+	}
+	return "?"
+}
+
+// dirEntry is the directory's view of one block.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers map[int]bool
+	// busy marks an in-flight transaction; further requests queue.
+	busy bool
+	// waiting holds requests that arrived while busy, FIFO.
+	waiting []*message
+}
+
+func (e *dirEntry) addSharer(tile int) {
+	if e.sharers == nil {
+		e.sharers = make(map[int]bool, 4)
+	}
+	e.sharers[tile] = true
+}
+
+func (e *dirEntry) clearSharers() { e.sharers = nil }

@@ -1,0 +1,431 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"dxbar/internal/buffer"
+	"dxbar/internal/crossbar"
+	"dxbar/internal/faults"
+	"dxbar/internal/flit"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+)
+
+// BufferDepth is DXbar's per-input serial buffer depth (4 flits, §III.A).
+const BufferDepth = 4
+
+// DXbar is the dual-crossbar router of §II.A (Fig. 1):
+//
+//   - a primary bufferless crossbar with the four link inputs and five
+//     outputs, switching incoming flits in their arrival cycle (SA/ST);
+//   - a secondary buffered crossbar with five inputs — the four input
+//     buffers plus the PE injection port — and five outputs;
+//   - demultiplexers steering each arriving flit to the primary crossbar
+//     (arbitration winners) or into its buffer (losers), and multiplexers
+//     merging the two crossbars' outputs onto the output links.
+//
+// Arbitration is age-based; incoming flits outrank buffered/injection flits
+// except when the fairness counter flips priority (§II.A.2). Buffered flits
+// may re-route adaptively ("re-directing the buffered flit to another
+// progressive direction", §II.B) under WF routing.
+//
+// Fault tolerance (§II.C): either crossbar may fail permanently; after the
+// BIST detection delay the router degrades into a buffered router through
+// the surviving crossbar, using the 2×2 steering crossbars between the
+// buffers and the fabrics. During the undetected window, connection
+// attempts that hit the dead fabric fail (the allocator's busy/free probe)
+// and the affected flits fall back to the buffers or stall.
+type DXbar struct {
+	env  *sim.Env
+	algo routing.Algorithm
+
+	primary   *crossbar.XBar // 4 link inputs × 5 outputs
+	secondary *crossbar.XBar // 4 buffers + injection × 5 outputs
+	buffers   [flit.NumLinkPorts]*buffer.FIFO
+
+	fair     *fairness
+	detector *faults.Detector
+
+	// portOrder switches arbitration from age-based to static port order
+	// (an ablation of the paper's age-based priority, §II.A).
+	portOrder bool
+}
+
+// secondaryInjIn is the secondary-crossbar input index of the PE injection
+// port.
+const secondaryInjIn = 4
+
+// NewDXbar builds a dual-crossbar router with the paper's 4-flit buffers.
+// threshold is the fairness-counter threshold (use FairnessThreshold for
+// the paper's configuration). fault is the router's fault detector (use an
+// inactive detector for a healthy router). The engine must be configured
+// with BufferDepth 4.
+func NewDXbar(env *sim.Env, algo routing.Algorithm, threshold int, fault *faults.Detector) *DXbar {
+	return NewDXbarDepth(env, algo, threshold, BufferDepth, fault)
+}
+
+// SetPortOrderArbitration switches the router to static port-order
+// arbitration instead of age-based (the arbitration-policy ablation). Call
+// before the first Step.
+func (d *DXbar) SetPortOrderArbitration(on bool) { d.portOrder = on }
+
+// NewDXbarDepth is NewDXbar with a configurable per-input buffer depth
+// (buffer-depth ablations). The engine's credit BufferDepth must match.
+func NewDXbarDepth(env *sim.Env, algo routing.Algorithm, threshold, depth int, fault *faults.Detector) *DXbar {
+	d := &DXbar{
+		env:       env,
+		algo:      algo,
+		primary:   crossbar.NewXBar(flit.NumLinkPorts, flit.NumPorts),
+		secondary: crossbar.NewXBar(flit.NumPorts, flit.NumPorts),
+		fair:      newFairness(threshold),
+		detector:  fault,
+	}
+	if d.detector == nil {
+		d.detector = faults.NewDetector(faults.Fault{}, faults.DefaultDetectionDelay, false)
+	}
+	for p := range d.buffers {
+		d.buffers[p] = buffer.NewFIFO(depth)
+	}
+	return d
+}
+
+// waiter is a buffered or injection flit competing for the secondary
+// crossbar.
+type waiter struct {
+	f    *flit.Flit
+	port flit.Port // buffer index, or Local for the injection port
+}
+
+// Step implements sim.Router.
+func (d *DXbar) Step(cycle uint64) {
+	env := d.env
+	d.primary.Reset()
+	d.secondary.Reset()
+
+	// Apply manifest faults to the fabric models.
+	if d.detector.Manifest(cycle) {
+		f := d.detector.Fault()
+		target := d.primary
+		if f.Crossbar == faults.Secondary {
+			target = d.secondary
+		}
+		switch f.Granularity {
+		case faults.WholeCrossbar:
+			if !target.Dead() {
+				target.Kill()
+			}
+		case faults.Crosspoint:
+			target.InjectCrosspointFault(f.In, f.Out)
+		}
+	}
+	detected := d.detector.Detected(cycle)
+
+	// Gather incoming flits (age order) and waiting flits.
+	incoming := make([]*flit.Flit, 0, flit.NumLinkPorts)
+	inPort := make(map[*flit.Flit]flit.Port, flit.NumLinkPorts)
+	for p := flit.North; p <= flit.West; p++ {
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			incoming = append(incoming, f)
+			inPort[f] = p
+		}
+	}
+	if !d.portOrder {
+		sort.Slice(incoming, func(i, j int) bool { return incoming[i].Older(incoming[j]) })
+	}
+
+	waiters := d.collectWaiters()
+	waitersExist := len(waiters) > 0
+	flip := d.fair.flip(waitersExist)
+
+	var primaryWon, waiterWon bool
+	switch {
+	case detected && d.primary.Dead():
+		// Degraded mode A: the primary fabric is out; every incoming flit
+		// is demuxed into its buffer and the router runs as a buffered
+		// router through the secondary crossbar. Only flits already
+		// buffered at the start of the cycle compete (a buffer cannot be
+		// written and read in the same cycle).
+		for _, f := range incoming {
+			d.bufferFlit(f, inPort[f], cycle)
+		}
+		waiterWon = d.allocateWaiters(waiters, detected, cycle)
+	case detected && d.secondary.Dead():
+		// Degraded mode B: the secondary fabric is out; the 2×2 steering
+		// crossbars give the buffers (and, on idle rows, the injection
+		// port) access to the primary crossbar. One flit per input row.
+		primaryWon, waiterWon = d.allocateDegradedPrimary(incoming, inPort, flip, cycle)
+	default:
+		// Healthy (or not-yet-detected) operation.
+		// The pre-collected waiter list is used in both orders: a flit
+		// buffered this cycle must not be read back out in the same cycle.
+		if flip {
+			waiterWon = d.allocateWaiters(waiters, detected, cycle)
+			primaryWon = d.allocateIncoming(incoming, inPort, cycle)
+		} else {
+			primaryWon = d.allocateIncoming(incoming, inPort, cycle)
+			waiterWon = d.allocateWaiters(waiters, detected, cycle)
+		}
+	}
+
+	d.fair.observe(waitersExist, primaryWon, waiterWon)
+}
+
+// collectWaiters lists the current buffer heads and the injection head.
+func (d *DXbar) collectWaiters() []waiter {
+	ws := make([]waiter, 0, flit.NumPorts)
+	for p := flit.North; p <= flit.West; p++ {
+		if h := d.buffers[p].Head(); h != nil {
+			ws = append(ws, waiter{f: h, port: p})
+		}
+	}
+	if f := d.env.InjectionHead(); f != nil {
+		ws = append(ws, waiter{f: f, port: flit.Local})
+	}
+	if !d.portOrder {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].f.Older(ws[j].f) })
+	}
+	return ws
+}
+
+// allocateIncoming runs the primary-crossbar arbitration: each incoming
+// flit, oldest first, attempts its look-ahead output port; winners traverse
+// the primary crossbar and return their credit immediately, losers are
+// demuxed into their input buffer. Returns whether any incoming flit won.
+func (d *DXbar) allocateIncoming(incoming []*flit.Flit, inPort map[*flit.Flit]flit.Port, cycle uint64) bool {
+	won := false
+	for _, f := range incoming {
+		p := inPort[f]
+		out := d.requestPort(f)
+		if out != flit.Invalid && d.env.CanSend(out) {
+			if err := d.primary.Connect(int(p), int(out)); err == nil {
+				d.env.ReturnCredit(p)
+				d.sendVia(out, f, cycle)
+				won = true
+				continue
+			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
+				panic(err)
+			}
+		}
+		d.bufferFlit(f, p, cycle)
+	}
+	return won
+}
+
+// requestPort returns the output an incoming flit asks for: its look-ahead
+// route, or Local when it has arrived.
+func (d *DXbar) requestPort(f *flit.Flit) flit.Port {
+	if f.Dst == d.env.Node {
+		return flit.Local
+	}
+	if f.Route.IsCardinal() && d.env.HasLink(f.Route) {
+		return f.Route
+	}
+	// Defensive: recompute if the look-ahead field is unusable.
+	return routing.Request(d.algo, d.env.Mesh(), d.env.Node, f.Dst)
+}
+
+// allocateWaiters runs the secondary-crossbar arbitration: buffer heads and
+// the injection flit, oldest first, may take any free productive output —
+// the dual-crossbar design lets them progress "without blocking an incoming
+// packet from the primary crossbar as a separate path is available for
+// both" (§I). Once a fault has been *detected*, the 2×2 steering crossbars
+// between the buffers and the fabrics let a buffered flit whose secondary
+// path is faulty traverse the primary crossbar instead, provided its input
+// row is idle this cycle (§II.C). Returns whether any waiter won.
+func (d *DXbar) allocateWaiters(ws []waiter, detected bool, cycle uint64) bool {
+	won := false
+	for _, w := range ws {
+		for _, out := range d.waiterPorts(w.f) {
+			if !d.env.CanSend(out) {
+				continue
+			}
+			in := int(w.port)
+			if w.port == flit.Local {
+				in = secondaryInjIn
+			}
+			err := d.secondary.Connect(in, int(out))
+			if err == nil {
+				d.dispatchWaiter(w, out, cycle)
+				won = true
+				break
+			}
+			if errors.Is(err, crossbar.ErrFault) && detected && w.port != flit.Local {
+				// 2×2 steering fallback through the primary fabric.
+				if d.primary.Connect(int(w.port), int(out)) == nil {
+					d.dispatchWaiter(w, out, cycle)
+					won = true
+					break
+				}
+			}
+			// Busy column, undetected fault, or occupied fallback row:
+			// try the next productive port.
+		}
+	}
+	return won
+}
+
+// waiterPorts returns the output ports a waiting flit may use, in
+// preference order: Local when arrived, otherwise the routing algorithm's
+// productive set (adaptive re-direction under WF). Adaptive choices are
+// congestion-aware: the port with more downstream credits comes first, so a
+// re-directed flit heads for the less-loaded progressive direction.
+func (d *DXbar) waiterPorts(f *flit.Flit) []flit.Port {
+	if f.Dst == d.env.Node {
+		return []flit.Port{flit.Local}
+	}
+	ports := d.algo.Productive(d.env.Mesh(), d.env.Node, f.Dst)
+	if len(ports) == 2 && d.algo.Adaptive() {
+		a, b := d.env.DownstreamCredits(ports[0]), d.env.DownstreamCredits(ports[1])
+		if a != nil && b != nil && b.Available() > a.Available() {
+			return []flit.Port{ports[1], ports[0]}
+		}
+	}
+	return ports
+}
+
+// dispatchWaiter commits a winning waiter: pops its buffer (or consumes the
+// injection queue) and launches the flit.
+func (d *DXbar) dispatchWaiter(w waiter, out flit.Port, cycle uint64) {
+	if w.port == flit.Local {
+		d.env.ConsumeInjection(cycle)
+	} else {
+		d.buffers[w.port].Pop()
+		d.env.Meter().BufferRead()
+		d.env.ReturnCredit(w.port)
+	}
+	d.sendVia(out, w.f, cycle)
+}
+
+// allocateDegradedPrimary is degraded mode B (secondary dead, detected):
+// per input row, one candidate — the incoming flit, or the buffer head when
+// no flit arrived (or when the fairness flip prefers waiters) — contends
+// for the primary crossbar; incoming flits that are not the row candidate
+// are buffered. The injection port may use an idle row.
+func (d *DXbar) allocateDegradedPrimary(incoming []*flit.Flit, inPort map[*flit.Flit]flit.Port, flip bool, cycle uint64) (primaryWon, waiterWon bool) {
+	type rowCand struct {
+		f        *flit.Flit
+		isWaiter bool
+	}
+	var rows [flit.NumLinkPorts]rowCand
+	for _, f := range incoming {
+		rows[inPort[f]] = rowCand{f: f}
+	}
+	for p := flit.North; p <= flit.West; p++ {
+		h := d.buffers[p].Head()
+		if h == nil {
+			continue
+		}
+		if rows[p].f == nil || flip {
+			// The steering crossbar hands the row to the buffered flit;
+			// a displaced incoming flit is demuxed into the buffer.
+			if rows[p].f != nil {
+				d.bufferFlit(rows[p].f, p, cycle)
+			}
+			rows[p] = rowCand{f: h, isWaiter: true}
+		}
+	}
+	// Age-ordered allocation over the row candidates.
+	order := make([]flit.Port, 0, flit.NumLinkPorts)
+	for p := flit.North; p <= flit.West; p++ {
+		if rows[p].f != nil {
+			order = append(order, p)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return rows[order[i]].f.Older(rows[order[j]].f) })
+	usedRow := [flit.NumLinkPorts]bool{}
+	for _, p := range order {
+		cand := rows[p]
+		ports := d.waiterPorts(cand.f)
+		done := false
+		for _, out := range ports {
+			if !d.env.CanSend(out) {
+				continue
+			}
+			if err := d.primary.Connect(int(p), int(out)); err != nil {
+				continue
+			}
+			usedRow[p] = true
+			if cand.isWaiter {
+				d.buffers[p].Pop()
+				d.env.Meter().BufferRead()
+				d.env.ReturnCredit(p)
+				waiterWon = true
+			} else {
+				d.env.ReturnCredit(p)
+				primaryWon = true
+			}
+			d.sendVia(out, cand.f, cycle)
+			done = true
+			break
+		}
+		if !done && !cand.isWaiter {
+			// A losing incoming flit falls into its buffer as usual.
+			d.bufferFlit(cand.f, p, cycle)
+		}
+	}
+	// Injection through an idle row.
+	if f := d.env.InjectionHead(); f != nil {
+		for p := flit.North; p <= flit.West; p++ {
+			if rows[p].f != nil || usedRow[p] {
+				continue
+			}
+			injected := false
+			for _, out := range d.waiterPorts(f) {
+				if !d.env.CanSend(out) {
+					continue
+				}
+				if err := d.primary.Connect(int(p), int(out)); err != nil {
+					continue
+				}
+				d.env.ConsumeInjection(cycle)
+				d.sendVia(out, f, cycle)
+				waiterWon = true
+				injected = true
+				break
+			}
+			if injected {
+				break
+			}
+		}
+	}
+	return primaryWon, waiterWon
+}
+
+// bufferFlit demuxes a losing incoming flit into its input buffer.
+func (d *DXbar) bufferFlit(f *flit.Flit, p flit.Port, cycle uint64) {
+	d.buffers[p].Push(f) // flow control guarantees space; Push panics otherwise
+	f.Buffered++
+	d.env.Meter().BufferWrite()
+	d.env.Stats().BufferingEvent(cycle)
+}
+
+// sendVia launches f through output port out, charging the crossbar
+// traversal and computing the look-ahead route for the downstream router.
+func (d *DXbar) sendVia(out flit.Port, f *flit.Flit, cycle uint64) {
+	env := d.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if out != flit.Local {
+		next := env.Mesh().Neighbor(env.Node, out)
+		f.Route = routing.Request(d.algo, env.Mesh(), next, f.Dst)
+	}
+	env.Send(out, f)
+}
+
+// Occupancy returns the number of flits in the secondary-crossbar buffers.
+func (d *DXbar) Occupancy() int {
+	total := 0
+	for _, b := range d.buffers {
+		total += b.Len()
+	}
+	return total
+}
+
+// FairnessFlips returns how many times the fairness counter flipped
+// priority (diagnostics/ablations).
+func (d *DXbar) FairnessFlips() uint64 { return d.fair.Flips() }
+
+// Detector exposes the router's fault detector (tests).
+func (d *DXbar) Detector() *faults.Detector { return d.detector }

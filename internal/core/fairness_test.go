@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFairnessNoFlipWithoutWaiters(t *testing.T) {
+	f := newFairness(4)
+	for i := 0; i < 100; i++ {
+		if f.flip(false) {
+			t.Fatal("must never flip without waiters")
+		}
+		f.observe(false, true, false)
+	}
+	if f.count != 0 {
+		t.Error("counter must not advance without waiters")
+	}
+}
+
+func TestFairnessFlipsAfterThreshold(t *testing.T) {
+	f := newFairness(4)
+	for i := 0; i < 4; i++ {
+		if f.flip(true) {
+			t.Fatalf("flip fired early at win %d", i)
+		}
+		f.observe(true, true, false)
+	}
+	if !f.flip(true) {
+		t.Fatal("flip must fire after 4 consecutive primary wins with waiters")
+	}
+	if f.Flips() != 1 {
+		t.Errorf("flips = %d, want 1", f.Flips())
+	}
+}
+
+func TestFairnessResetsOnWaiterWin(t *testing.T) {
+	f := newFairness(4)
+	f.observe(true, true, false)
+	f.observe(true, true, false)
+	f.observe(true, false, true) // a waiter won
+	if f.count != 0 {
+		t.Errorf("counter = %d, want 0 after waiter win", f.count)
+	}
+	f.observe(true, true, true) // waiter win dominates
+	if f.count != 0 {
+		t.Error("waiter win must reset even when a primary flit also won")
+	}
+}
+
+func TestFairnessStaysFlippedUntilWaiterWins(t *testing.T) {
+	f := newFairness(2)
+	f.observe(true, true, false)
+	f.observe(true, true, false)
+	if !f.flip(true) {
+		t.Fatal("should be flipped")
+	}
+	// Flip cycle where the waiter still could not be served: stay flipped.
+	f.observe(true, true, false)
+	if !f.flip(true) {
+		t.Error("must stay flipped until a waiter wins")
+	}
+	if f.Flips() != 1 {
+		t.Errorf("staying flipped must not recount flips, got %d", f.Flips())
+	}
+	f.observe(true, false, true)
+	if f.flip(true) {
+		t.Error("must unflip after the waiter win")
+	}
+}
+
+func TestFairnessThresholdClamped(t *testing.T) {
+	f := newFairness(0)
+	f.observe(true, true, false)
+	if !f.flip(true) {
+		t.Error("threshold below 1 must clamp to 1")
+	}
+}
+
+// Property: with waiters continuously present and primary always winning,
+// the waiters' wait until priority flips is exactly the threshold.
+func TestFairnessBoundedWaitProperty(t *testing.T) {
+	f := func(thRaw uint8) bool {
+		th := int(thRaw)%16 + 1
+		fr := newFairness(th)
+		for i := 0; i < th; i++ {
+			if fr.flip(true) {
+				return false
+			}
+			fr.observe(true, true, false)
+		}
+		return fr.flip(true)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

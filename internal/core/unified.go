@@ -1,0 +1,238 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"dxbar/internal/arbiter"
+	"dxbar/internal/buffer"
+	"dxbar/internal/crossbar"
+	"dxbar/internal/faults"
+	"dxbar/internal/flit"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+)
+
+// Unified is the dual-input single-crossbar router of §II.B (Fig. 4): the
+// primary and secondary fabrics are merged into one 5×5 transmission-gate
+// crossbar, so the bufferless (incoming) and buffered candidate of the same
+// input port can traverse simultaneously to different outputs. Allocation
+// uses the augmented separable output-first allocator with two serial V:1
+// arbiters per input and the conflict-free swap logic (arbiter.DualInput).
+//
+// Buffering, fairness and look-ahead behaviour match DXbar; only the
+// switch fabric and allocator differ — the paper reports "similar
+// performance as dual crossbar architecture" with ~25% instead of ~33% area
+// overhead, at 15 pJ/flit instead of 13 pJ/flit switching energy (pair the
+// router with energy.NewUnifiedMeter).
+type Unified struct {
+	env  *sim.Env
+	algo routing.Algorithm
+
+	xbar    *crossbar.Unified
+	alloc   *arbiter.DualInput
+	buffers [flit.NumLinkPorts]*buffer.FIFO
+
+	fair     *fairness
+	detector *faults.Detector
+}
+
+// NewUnified builds a unified dual-input crossbar router. The engine must
+// be configured with BufferDepth 4 and an energy.NewUnifiedMeter.
+func NewUnified(env *sim.Env, algo routing.Algorithm, threshold int, fault *faults.Detector) *Unified {
+	u := &Unified{
+		env:      env,
+		algo:     algo,
+		xbar:     crossbar.NewUnified(flit.NumPorts),
+		alloc:    arbiter.NewDualInput(flit.NumPorts, flit.NumPorts),
+		fair:     newFairness(threshold),
+		detector: fault,
+	}
+	if u.detector == nil {
+		u.detector = faults.NewDetector(faults.Fault{}, faults.DefaultDetectionDelay, false)
+	}
+	for p := range u.buffers {
+		u.buffers[p] = buffer.NewFIFO(BufferDepth)
+	}
+	return u
+}
+
+// Step implements sim.Router.
+func (u *Unified) Step(cycle uint64) {
+	env := u.env
+	u.xbar.Reset()
+
+	// The unified fabric is a single point of failure; §II.C limits the
+	// fault study to the dual-crossbar design, but the model still honours
+	// an injected fault: a dead unified crossbar stops switching entirely
+	// (arrivals are buffered while space lasts, then back-pressure stalls
+	// the neighbourhood — the single-fabric design has no fallback path).
+	if u.detector.Manifest(cycle) && !u.xbar.Dead() {
+		u.xbar.Kill()
+	}
+
+	// Gather incoming flits and waiting flits.
+	var inFlit [flit.NumLinkPorts]*flit.Flit
+	for p := flit.North; p <= flit.West; p++ {
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			inFlit[p] = f
+		}
+	}
+	waiters := u.collectWaiters()
+	waitersExist := len(waiters) > 0
+	flip := u.fair.flip(waitersExist)
+
+	// Build the dual-input request vectors. Sub-input 0 (bufferless, low
+	// entry) carries the incoming flit's single look-ahead request;
+	// sub-input 1 (buffered, high entry) carries the buffer head's (or, on
+	// port index 4, the injection flit's) full productive set.
+	reqs := make([]arbiter.DualRequest, flit.NumPorts)
+	var waiterAt [flit.NumPorts]*waiter
+	for p := flit.North; p <= flit.West; p++ {
+		if f := inFlit[p]; f != nil {
+			out := u.requestPort(f)
+			if out != flit.Invalid && env.CanSend(out) {
+				reqs[p].Want[arbiter.SubBufferless] = 1 << uint(out)
+				reqs[p].Age[arbiter.SubBufferless] = f.InjectionCycle
+			}
+		}
+	}
+	for i := range waiters {
+		w := &waiters[i]
+		idx := int(w.port)
+		if w.port == flit.Local {
+			idx = secondaryInjIn
+		}
+		var mask uint64
+		for _, out := range u.waiterPorts(w.f) {
+			if env.CanSend(out) {
+				mask |= 1 << uint(out)
+			}
+		}
+		if mask != 0 {
+			reqs[idx].Want[arbiter.SubBuffered] = mask
+			reqs[idx].Age[arbiter.SubBuffered] = w.f.InjectionCycle
+			waiterAt[idx] = w
+		}
+	}
+
+	grants := u.alloc.Allocate(reqs, flip)
+
+	var primaryWon, waiterWon bool
+	for p := 0; p < flit.NumPorts; p++ {
+		gIncoming := grants[p][arbiter.SubBufferless]
+		gBuffered := grants[p][arbiter.SubBuffered]
+		// Conflict-free swap (§II.B.2): when both sub-inputs won, the flit
+		// bound for the lower output column must enter from the low end.
+		entIncoming, entBuffered := crossbar.EntryLow, crossbar.EntryHigh
+		if gIncoming != -1 && gBuffered != -1 && gIncoming > gBuffered {
+			entIncoming, entBuffered = crossbar.EntryHigh, crossbar.EntryLow
+		}
+		if gIncoming != -1 && p < flit.NumLinkPorts {
+			f := inFlit[p]
+			if err := u.xbar.Connect(p, entIncoming, gIncoming); err == nil {
+				env.ReturnCredit(flit.Port(p))
+				u.sendVia(flit.Port(gIncoming), f, cycle)
+				inFlit[p] = nil
+				primaryWon = true
+			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
+				panic(err)
+			}
+		}
+		if gBuffered != -1 && waiterAt[p] != nil {
+			w := waiterAt[p]
+			if err := u.xbar.Connect(p, entBuffered, gBuffered); err == nil {
+				u.dispatchWaiter(*w, flit.Port(gBuffered), cycle)
+				waiterWon = true
+			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
+				panic(err)
+			}
+		}
+	}
+
+	// Losing (or fault-blocked) incoming flits are demuxed into their
+	// buffers, exactly as in the dual-crossbar design.
+	for p := flit.North; p <= flit.West; p++ {
+		if f := inFlit[p]; f != nil {
+			u.bufferFlit(f, p, cycle)
+		}
+	}
+
+	u.fair.observe(waitersExist, primaryWon, waiterWon)
+}
+
+func (u *Unified) collectWaiters() []waiter {
+	ws := make([]waiter, 0, flit.NumPorts)
+	for p := flit.North; p <= flit.West; p++ {
+		if h := u.buffers[p].Head(); h != nil {
+			ws = append(ws, waiter{f: h, port: p})
+		}
+	}
+	if f := u.env.InjectionHead(); f != nil {
+		ws = append(ws, waiter{f: f, port: flit.Local})
+	}
+	sort.Slice(ws, func(i, j int) bool { return ws[i].f.Older(ws[j].f) })
+	return ws
+}
+
+func (u *Unified) requestPort(f *flit.Flit) flit.Port {
+	if f.Dst == u.env.Node {
+		return flit.Local
+	}
+	if f.Route.IsCardinal() && u.env.HasLink(f.Route) {
+		return f.Route
+	}
+	return routing.Request(u.algo, u.env.Mesh(), u.env.Node, f.Dst)
+}
+
+func (u *Unified) waiterPorts(f *flit.Flit) []flit.Port {
+	if f.Dst == u.env.Node {
+		return []flit.Port{flit.Local}
+	}
+	return u.algo.Productive(u.env.Mesh(), u.env.Node, f.Dst)
+}
+
+func (u *Unified) dispatchWaiter(w waiter, out flit.Port, cycle uint64) {
+	if w.port == flit.Local {
+		u.env.ConsumeInjection(cycle)
+	} else {
+		u.buffers[w.port].Pop()
+		u.env.Meter().BufferRead()
+		u.env.ReturnCredit(w.port)
+	}
+	u.sendVia(out, w.f, cycle)
+}
+
+func (u *Unified) bufferFlit(f *flit.Flit, p flit.Port, cycle uint64) {
+	u.buffers[p].Push(f)
+	f.Buffered++
+	u.env.Meter().BufferWrite()
+	u.env.Stats().BufferingEvent(cycle)
+}
+
+func (u *Unified) sendVia(out flit.Port, f *flit.Flit, cycle uint64) {
+	env := u.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if out != flit.Local {
+		next := env.Mesh().Neighbor(env.Node, out)
+		f.Route = routing.Request(u.algo, env.Mesh(), next, f.Dst)
+	}
+	env.Send(out, f)
+}
+
+// Occupancy returns the number of buffered flits.
+func (u *Unified) Occupancy() int {
+	total := 0
+	for _, b := range u.buffers {
+		total += b.Len()
+	}
+	return total
+}
+
+// Swaps returns the allocator's conflict-free swap count.
+func (u *Unified) Swaps() uint64 { return u.alloc.Swaps() }
+
+// FairnessFlips returns the fairness counter's flip count.
+func (u *Unified) FairnessFlips() uint64 { return u.fair.Flips() }

@@ -1,0 +1,121 @@
+// Package crossbar provides structural models of the two switch fabrics the
+// paper builds routers from:
+//
+//   - XBar: a plain matrix crossbar (the baseline's 5×5 switch, and the
+//     primary/secondary crossbars of the dual-crossbar DXbar router). It
+//     tracks per-cycle input/output occupancy, counts traversals for the
+//     energy model, and supports crosspoint faults and whole-crossbar
+//     failure (§II.C).
+//   - Unified: the dual-input single crossbar (§II.B, Fig. 4): one matrix
+//     crossbar whose output lines carry transmission gates, so each input
+//     row can be segmented and carry two flits simultaneously — one entering
+//     from the low end (the bufferless path) and one from the high end (the
+//     buffered path) — provided the low-entry flit uses a lower-numbered
+//     output column. Gates can be stuck-on or stuck-off for fault studies.
+//
+// Connection state is per cycle: routers call Reset at the start of each
+// cycle, then Connect for every granted flit; Connect validates the request
+// against occupancy and fault state exactly the way the paper's allocator
+// probes a crosspoint (busy/free test, §III.E).
+package crossbar
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Connection errors. Routers distinguish ErrFault (a permanent hardware
+// fault was hit — triggers fault detection) from occupancy errors (normal
+// contention — a simulator bug if allocation was correct).
+var (
+	// ErrFault is returned when the requested path crosses a faulty
+	// crosspoint, a dead crossbar, or an unusable transmission-gate
+	// configuration.
+	ErrFault = errors.New("crossbar: path is faulty")
+	// ErrBusy is returned when the input or output line is already driven
+	// this cycle.
+	ErrBusy = errors.New("crossbar: resource busy")
+)
+
+// XBar is a numIn×numOut matrix crossbar.
+type XBar struct {
+	numIn, numOut int
+	xpFault       [][]bool
+	dead          bool
+	inUse         []int // output connected per input, -1 free
+	outUse        []int // input connected per output, -1 free
+	traversals    uint64
+}
+
+// NewXBar returns a fault-free crossbar of the given radix.
+func NewXBar(numIn, numOut int) *XBar {
+	if numIn <= 0 || numOut <= 0 {
+		panic(fmt.Sprintf("crossbar: invalid radix %dx%d", numIn, numOut))
+	}
+	x := &XBar{
+		numIn:   numIn,
+		numOut:  numOut,
+		xpFault: make([][]bool, numIn),
+		inUse:   make([]int, numIn),
+		outUse:  make([]int, numOut),
+	}
+	for i := range x.xpFault {
+		x.xpFault[i] = make([]bool, numOut)
+	}
+	x.Reset()
+	return x
+}
+
+// NumIn returns the input radix.
+func (x *XBar) NumIn() int { return x.numIn }
+
+// NumOut returns the output radix.
+func (x *XBar) NumOut() int { return x.numOut }
+
+// Reset clears all per-cycle connections (call at the start of each cycle).
+func (x *XBar) Reset() {
+	for i := range x.inUse {
+		x.inUse[i] = -1
+	}
+	for o := range x.outUse {
+		x.outUse[o] = -1
+	}
+}
+
+// Connect establishes input→output for this cycle. It returns ErrFault if
+// the crosspoint is faulty or the crossbar is dead, ErrBusy if either line
+// is already driven.
+func (x *XBar) Connect(in, out int) error {
+	if in < 0 || in >= x.numIn || out < 0 || out >= x.numOut {
+		panic(fmt.Sprintf("crossbar: connect(%d,%d) out of range", in, out))
+	}
+	if x.dead || x.xpFault[in][out] {
+		return ErrFault
+	}
+	if x.inUse[in] != -1 || x.outUse[out] != -1 {
+		return ErrBusy
+	}
+	x.inUse[in] = out
+	x.outUse[out] = in
+	x.traversals++
+	return nil
+}
+
+// Connected returns the output driven by input in this cycle (-1 if none).
+func (x *XBar) Connected(in int) int { return x.inUse[in] }
+
+// Traversals returns the cumulative number of successful connections, which
+// the energy model multiplies by the per-flit crossbar energy.
+func (x *XBar) Traversals() uint64 { return x.traversals }
+
+// InjectCrosspointFault marks one crosspoint permanently faulty.
+func (x *XBar) InjectCrosspointFault(in, out int) { x.xpFault[in][out] = true }
+
+// Kill marks the whole crossbar permanently failed (§II.C fault model).
+func (x *XBar) Kill() { x.dead = true }
+
+// Dead reports whether the whole crossbar has failed.
+func (x *XBar) Dead() bool { return x.dead }
+
+// CrosspointCount returns the number of crosspoints (area model input).
+func (x *XBar) CrosspointCount() int { return x.numIn * x.numOut }

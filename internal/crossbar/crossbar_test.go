@@ -1,0 +1,234 @@
+package crossbar
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestXBarConnectAndReset(t *testing.T) {
+	x := NewXBar(5, 5)
+	if err := x.Connect(0, 3); err != nil {
+		t.Fatalf("connect failed: %v", err)
+	}
+	if x.Connected(0) != 3 {
+		t.Error("Connected(0) wrong")
+	}
+	if err := x.Connect(0, 2); !errors.Is(err, ErrBusy) {
+		t.Errorf("reusing input must be ErrBusy, got %v", err)
+	}
+	if err := x.Connect(1, 3); !errors.Is(err, ErrBusy) {
+		t.Errorf("reusing output must be ErrBusy, got %v", err)
+	}
+	x.Reset()
+	if err := x.Connect(1, 3); err != nil {
+		t.Errorf("connect after reset failed: %v", err)
+	}
+	if x.Traversals() != 2 {
+		t.Errorf("traversals = %d, want 2", x.Traversals())
+	}
+}
+
+func TestXBarCrosspointFault(t *testing.T) {
+	x := NewXBar(5, 5)
+	x.InjectCrosspointFault(2, 4)
+	if err := x.Connect(2, 4); !errors.Is(err, ErrFault) {
+		t.Errorf("faulty crosspoint must be ErrFault, got %v", err)
+	}
+	// Other crosspoints on the same lines still work.
+	if err := x.Connect(2, 3); err != nil {
+		t.Errorf("healthy crosspoint failed: %v", err)
+	}
+}
+
+func TestXBarKill(t *testing.T) {
+	x := NewXBar(5, 5)
+	x.Kill()
+	if !x.Dead() {
+		t.Error("Dead() must report true")
+	}
+	if err := x.Connect(0, 0); !errors.Is(err, ErrFault) {
+		t.Errorf("dead crossbar must be ErrFault, got %v", err)
+	}
+}
+
+func TestXBarAccessors(t *testing.T) {
+	x := NewXBar(4, 5)
+	if x.NumIn() != 4 || x.NumOut() != 5 || x.CrosspointCount() != 20 {
+		t.Error("accessors wrong")
+	}
+}
+
+func TestXBarPanicsOutOfRange(t *testing.T) {
+	x := NewXBar(5, 5)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range connect must panic")
+		}
+	}()
+	x.Connect(5, 0)
+}
+
+// Property: any sequence of Connect calls leaves each input and output
+// driven at most once per cycle, whatever the outcome pattern.
+func TestXBarOccupancyProperty(t *testing.T) {
+	f := func(pairs []uint8) bool {
+		x := NewXBar(5, 5)
+		inSeen := map[int]bool{}
+		outSeen := map[int]bool{}
+		for _, p := range pairs {
+			in, out := int(p)%5, int(p>>4)%5
+			err := x.Connect(in, out)
+			if err == nil {
+				if inSeen[in] || outSeen[out] {
+					return false
+				}
+				inSeen[in], outSeen[out] = true, true
+			} else if !errors.Is(err, ErrBusy) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnifiedSingleConnection(t *testing.T) {
+	u := NewUnified(5)
+	if err := u.Connect(0, EntryLow, 4); err != nil {
+		t.Fatalf("low-entry to far column must work with all gates on: %v", err)
+	}
+	if err := u.Connect(1, EntryHigh, 0); err != nil {
+		t.Fatalf("high-entry to column 0 must work: %v", err)
+	}
+	if u.Traversals() != 2 {
+		t.Error("traversal count wrong")
+	}
+}
+
+func TestUnifiedDualTraversalSameRow(t *testing.T) {
+	// Paper Fig. 4(b): I0 -> O2 (low) and I0' -> O3 (high) simultaneously.
+	u := NewUnified(5)
+	if err := u.Connect(0, EntryLow, 2); err != nil {
+		t.Fatalf("first connect: %v", err)
+	}
+	if err := u.Connect(0, EntryHigh, 3); err != nil {
+		t.Fatalf("dual traversal must be allowed: %v", err)
+	}
+}
+
+func TestUnifiedDualOrderingViolation(t *testing.T) {
+	u := NewUnified(5)
+	if err := u.Connect(0, EntryLow, 3); err != nil {
+		t.Fatal(err)
+	}
+	// High entry wanting a column at/above the low column cannot coexist.
+	if err := u.Connect(0, EntryHigh, 2); !errors.Is(err, ErrBusy) {
+		t.Errorf("ordering violation must be ErrBusy, got %v", err)
+	}
+	if err := u.Connect(0, EntryHigh, 3); !errors.Is(err, ErrBusy) {
+		t.Errorf("same column must be ErrBusy, got %v", err)
+	}
+}
+
+func TestUnifiedEntryBusy(t *testing.T) {
+	u := NewUnified(5)
+	if err := u.Connect(0, EntryLow, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Connect(0, EntryLow, 3); !errors.Is(err, ErrBusy) {
+		t.Errorf("same entry reuse must be ErrBusy, got %v", err)
+	}
+}
+
+func TestUnifiedOutputBusyAcrossRows(t *testing.T) {
+	u := NewUnified(5)
+	if err := u.Connect(0, EntryLow, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Connect(1, EntryLow, 2); !errors.Is(err, ErrBusy) {
+		t.Errorf("output column reuse must be ErrBusy, got %v", err)
+	}
+}
+
+func TestUnifiedStuckOffBlocksReach(t *testing.T) {
+	u := NewUnified(5)
+	u.InjectGateStuckOff(0, 1) // row 0 severed between columns 1 and 2
+	if err := u.Connect(0, EntryLow, 3); !errors.Is(err, ErrFault) {
+		t.Errorf("low entry past stuck-off gate must be ErrFault, got %v", err)
+	}
+	if err := u.Connect(0, EntryLow, 1); err != nil {
+		t.Errorf("low entry before stuck-off gate must work: %v", err)
+	}
+	u.Reset()
+	if err := u.Connect(0, EntryHigh, 0); !errors.Is(err, ErrFault) {
+		t.Errorf("high entry past stuck-off gate must be ErrFault, got %v", err)
+	}
+	if err := u.Connect(0, EntryHigh, 2); err != nil {
+		t.Errorf("high entry before stuck-off gate must work: %v", err)
+	}
+}
+
+func TestUnifiedStuckOnPreventsSegmentation(t *testing.T) {
+	u := NewUnified(5)
+	// Adjacent columns 2,3: only gate 2 lies between; make it stuck on.
+	u.InjectGateStuckOn(0, 2)
+	if err := u.Connect(0, EntryLow, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Connect(0, EntryHigh, 3); !errors.Is(err, ErrFault) {
+		t.Errorf("unsegmentable dual traversal must be ErrFault, got %v", err)
+	}
+	// A wider separation has other gates to open.
+	u.Reset()
+	if err := u.Connect(0, EntryLow, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := u.Connect(0, EntryHigh, 4); err != nil {
+		t.Errorf("wider dual traversal must still work: %v", err)
+	}
+}
+
+func TestUnifiedCrosspointFaultAndKill(t *testing.T) {
+	u := NewUnified(5)
+	u.InjectCrosspointFault(1, 1)
+	if err := u.Connect(1, EntryLow, 1); !errors.Is(err, ErrFault) {
+		t.Errorf("crosspoint fault must be ErrFault, got %v", err)
+	}
+	u.Kill()
+	if !u.Dead() {
+		t.Error("Dead() wrong")
+	}
+	if err := u.Connect(2, EntryLow, 2); !errors.Is(err, ErrFault) {
+		t.Errorf("dead unified crossbar must be ErrFault, got %v", err)
+	}
+}
+
+func TestUnifiedCounts(t *testing.T) {
+	u := NewUnified(5)
+	if u.N() != 5 || u.CrosspointCount() != 25 || u.GateCount() != 20 {
+		t.Error("count accessors wrong")
+	}
+}
+
+// Property: for a healthy unified crossbar, a low-entry and high-entry pair
+// on the same row connects successfully iff lowCol < highCol.
+func TestUnifiedDualFeasibilityProperty(t *testing.T) {
+	f := func(lowRaw, highRaw uint8) bool {
+		low, high := int(lowRaw)%5, int(highRaw)%5
+		u := NewUnified(5)
+		if err := u.Connect(0, EntryLow, low); err != nil {
+			return false
+		}
+		err := u.Connect(0, EntryHigh, high)
+		if low < high {
+			return err == nil
+		}
+		return errors.Is(err, ErrBusy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package crossbar
+
+import "fmt"
+
+// Entry ends of a unified-crossbar input row. The bufferless (primary-path)
+// demultiplexer output drives the row from the low end; the buffered
+// (secondary-path) output drives it from the high end.
+const (
+	EntryLow  = 0 // bufferless candidate
+	EntryHigh = 1 // buffered candidate
+)
+
+// Unified is the dual-input single crossbar of §II.B (Fig. 4a): an n×n
+// matrix crossbar with a transmission gate between every pair of adjacent
+// output columns on each input row. Turning a gate off segments the row so
+// two flits can traverse it simultaneously:
+//
+//	low entry ──[col0]──g0──[col1]──g1──[col2]──g2──[col3]──g3──[col4]── high entry
+//
+// A flit entering from the low end reaching column c needs gates g0..g(c-1)
+// conducting; a flit from the high end reaching column c needs gates
+// gc..g(n-2) conducting; both at once need lowCol < highCol and at least one
+// healthy gate turned off between them.
+type Unified struct {
+	n          int
+	xpFault    [][]bool
+	stuckOn    [][]bool // gate cannot be opened (cannot segment there)
+	stuckOff   [][]bool // gate cannot conduct (blocks the row there)
+	dead       bool
+	rowCol     [][2]int // per row: column driven from [EntryLow, EntryHigh], -1 free
+	outUse     []int    // row driving each output column, -1 free
+	traversals uint64
+}
+
+// NewUnified returns a fault-free n×n unified crossbar (n = 5 in the paper).
+func NewUnified(n int) *Unified {
+	if n < 2 {
+		panic(fmt.Sprintf("crossbar: unified crossbar needs radix >= 2, got %d", n))
+	}
+	u := &Unified{
+		n:        n,
+		xpFault:  make([][]bool, n),
+		stuckOn:  make([][]bool, n),
+		stuckOff: make([][]bool, n),
+		rowCol:   make([][2]int, n),
+		outUse:   make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		u.xpFault[i] = make([]bool, n)
+		u.stuckOn[i] = make([]bool, n-1)
+		u.stuckOff[i] = make([]bool, n-1)
+	}
+	u.Reset()
+	return u
+}
+
+// N returns the crossbar radix.
+func (u *Unified) N() int { return u.n }
+
+// Reset clears per-cycle connection state.
+func (u *Unified) Reset() {
+	for i := range u.rowCol {
+		u.rowCol[i] = [2]int{-1, -1}
+	}
+	for o := range u.outUse {
+		u.outUse[o] = -1
+	}
+}
+
+// reachable reports whether a signal entering row `in` from `entry` can be
+// driven to column `out` given stuck-off gates.
+func (u *Unified) reachable(in, entry, out int) bool {
+	if entry == EntryLow {
+		for g := 0; g < out; g++ {
+			if u.stuckOff[in][g] {
+				return false
+			}
+		}
+	} else {
+		for g := out; g < u.n-1; g++ {
+			if u.stuckOff[in][g] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// canSegment reports whether some healthy (not stuck-on) gate exists in the
+// open interval between the low and high columns of row in.
+func (u *Unified) canSegment(in, lowCol, highCol int) bool {
+	for g := lowCol; g < highCol; g++ {
+		if !u.stuckOn[in][g] {
+			return true
+		}
+	}
+	return false
+}
+
+// Connect drives output column out from row in, entering at the given end.
+// It returns ErrFault when the path is physically unusable (dead crossbar,
+// faulty crosspoint, stuck gates, or a same-row companion that cannot be
+// segmented away) and ErrBusy on occupancy conflicts.
+func (u *Unified) Connect(in, entry, out int) error {
+	if in < 0 || in >= u.n || out < 0 || out >= u.n || (entry != EntryLow && entry != EntryHigh) {
+		panic(fmt.Sprintf("crossbar: unified connect(%d,%d,%d) out of range", in, entry, out))
+	}
+	if u.dead || u.xpFault[in][out] {
+		return ErrFault
+	}
+	if u.rowCol[in][entry] != -1 || u.outUse[out] != -1 {
+		return ErrBusy
+	}
+	if !u.reachable(in, entry, out) {
+		return ErrFault
+	}
+	// Check compatibility with the companion already on this row.
+	otherCol := u.rowCol[in][1-entry]
+	if otherCol != -1 {
+		lowCol, highCol := out, otherCol
+		if entry == EntryHigh {
+			lowCol, highCol = otherCol, out
+		}
+		if lowCol >= highCol {
+			// The segmentation ordering is violated; the allocator's swap
+			// logic is responsible for never issuing this.
+			return ErrBusy
+		}
+		if !u.canSegment(in, lowCol, highCol) {
+			return ErrFault
+		}
+	}
+	u.rowCol[in][entry] = out
+	u.outUse[out] = in
+	u.traversals++
+	return nil
+}
+
+// Traversals returns cumulative successful connections.
+func (u *Unified) Traversals() uint64 { return u.traversals }
+
+// Kill marks the whole unified crossbar failed.
+func (u *Unified) Kill() { u.dead = true }
+
+// Dead reports whether the crossbar has failed.
+func (u *Unified) Dead() bool { return u.dead }
+
+// InjectCrosspointFault marks crosspoint (in, out) permanently faulty.
+func (u *Unified) InjectCrosspointFault(in, out int) { u.xpFault[in][out] = true }
+
+// InjectGateStuckOn marks gate g of row in stuck conducting (the row can no
+// longer be segmented at g).
+func (u *Unified) InjectGateStuckOn(in, g int) { u.stuckOn[in][g] = true }
+
+// InjectGateStuckOff marks gate g of row in stuck open (signals cannot cross
+// between columns g and g+1).
+func (u *Unified) InjectGateStuckOff(in, g int) { u.stuckOff[in][g] = true }
+
+// CrosspointCount returns the number of crosspoints.
+func (u *Unified) CrosspointCount() int { return u.n * u.n }
+
+// GateCount returns the number of transmission gates (n-1 per row).
+func (u *Unified) GateCount() int { return u.n * (u.n - 1) }

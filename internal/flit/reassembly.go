@@ -1,0 +1,85 @@
+package flit
+
+// Reassembler collects out-of-order flits of multi-flit packets at a
+// destination, mimicking the MSHR-based reassembly the paper delegates to the
+// cache controller (§II.A, citing CHIPPER): one entry per in-flight packet,
+// completed when all NumFlits flits have arrived.
+//
+// A Reassembler belongs to a single node and is not safe for concurrent use
+// (the simulator is single-threaded per network).
+type Reassembler struct {
+	pending map[uint64]*assembly
+	// Completed packets since the last Drain call, in completion order.
+	done []Packet
+}
+
+// Packet is a fully reassembled packet as seen by the destination.
+type Packet struct {
+	PacketID       uint64
+	Src, Dst       int
+	Kind           Kind
+	NumFlits       int
+	InjectionCycle uint64
+	// CompletionCycle is the cycle the final flit was ejected.
+	CompletionCycle uint64
+	// Hops is the total link traversals summed over the packet's flits.
+	Hops int
+	// Deflections and Retransmits are summed over the packet's flits.
+	Deflections, Retransmits int
+}
+
+type assembly struct {
+	pkt      Packet
+	received uint64 // bitmap of Seq values seen (packets are <=64 flits)
+	count    int
+}
+
+// NewReassembler returns an empty reassembler.
+func NewReassembler() *Reassembler {
+	return &Reassembler{pending: make(map[uint64]*assembly)}
+}
+
+// Accept ingests one ejected flit at the given cycle and returns the
+// completed packet (and true) if this flit finishes its packet. Duplicate
+// flits (same PacketID/Seq — possible only if a design retransmits without
+// deduplication) are ignored.
+func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
+	a, ok := r.pending[f.PacketID]
+	if !ok {
+		a = &assembly{pkt: Packet{
+			PacketID:       f.PacketID,
+			Src:            f.Src,
+			Dst:            f.Dst,
+			Kind:           f.Kind,
+			NumFlits:       int(f.NumFlits),
+			InjectionCycle: f.InjectionCycle,
+		}}
+		r.pending[f.PacketID] = a
+	}
+	bit := uint64(1) << (f.Seq % 64)
+	if a.received&bit != 0 {
+		return Packet{}, false // duplicate
+	}
+	a.received |= bit
+	a.count++
+	a.pkt.Hops += f.Hops
+	a.pkt.Deflections += f.Deflections
+	a.pkt.Retransmits += f.Retransmits
+	if a.count == int(f.NumFlits) {
+		a.pkt.CompletionCycle = cycle
+		delete(r.pending, f.PacketID)
+		r.done = append(r.done, a.pkt)
+		return a.pkt, true
+	}
+	return Packet{}, false
+}
+
+// Pending returns the number of partially assembled packets.
+func (r *Reassembler) Pending() int { return len(r.pending) }
+
+// Drain returns and clears the list of packets completed since the last call.
+func (r *Reassembler) Drain() []Packet {
+	d := r.done
+	r.done = nil
+	return d
+}

@@ -1,0 +1,164 @@
+package report
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func lineFigure() Figure {
+	return Figure{
+		ID: "fig5", Title: "Throughput", XLabel: "load", YLabel: "accepted",
+		Series: []Series{
+			{Label: "DXbar DOR", X: []float64{0.1, 0.2}, Y: []float64{0.1, 0.199}},
+			{Label: "Flit-Bless", X: []float64{0.1, 0.2}, Y: []float64{0.1, 0.198}},
+		},
+	}
+}
+
+func barFigure() Figure {
+	return Figure{
+		ID: "fig7", Title: "Patterns", XLabel: "pattern", YLabel: "accepted",
+		Series: []Series{
+			{Label: "DXbar", X: []float64{0, 1}, Y: []float64{0.4, 0.2}, XNames: []string{"UR", "NUR"}},
+		},
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteText(&b, lineFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fig5", "Throughput", "DXbar DOR", "0.10:0.100", "0.20:0.199"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	b.Reset()
+	if err := WriteText(&b, barFigure()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "UR=0.400") {
+		t.Errorf("categorical text output wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteCSVParses(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, lineFigure()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&b).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 { // header + 2 series × 2 points
+		t.Fatalf("csv rows = %d, want 5", len(recs))
+	}
+	if recs[0][0] != "series" || recs[1][0] != "DXbar DOR" || recs[1][3] != "0.100000" {
+		t.Errorf("csv content wrong: %v", recs[:2])
+	}
+}
+
+func TestWriteCSVCategorical(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteCSV(&b, barFigure()); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := csv.NewReader(&b).ReadAll()
+	if recs[1][2] != "UR" {
+		t.Errorf("x_name column wrong: %v", recs[1])
+	}
+}
+
+func TestWriteMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMarkdown(&b, barFigure()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "| series | UR | NUR |") {
+		t.Errorf("markdown header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "| DXbar | 0.400 | 0.200 |") {
+		t.Errorf("markdown row wrong:\n%s", out)
+	}
+	// Numeric axis variant.
+	b.Reset()
+	_ = WriteMarkdown(&b, lineFigure())
+	if !strings.Contains(b.String(), "| series | 0.1 | 0.2 |") {
+		t.Errorf("numeric markdown header wrong:\n%s", b.String())
+	}
+}
+
+func TestWriteMarkdownEscapesPipes(t *testing.T) {
+	fig := barFigure()
+	fig.Series[0].Label = "A|B"
+	var b bytes.Buffer
+	_ = WriteMarkdown(&b, fig)
+	if !strings.Contains(b.String(), `A\|B`) {
+		t.Error("pipe in label must be escaped")
+	}
+}
+
+func TestWriteMarkdownEmpty(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteMarkdown(&b, Figure{ID: "x", Title: "empty"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "(no data)") {
+		t.Error("empty figure must say so")
+	}
+}
+
+func sampleTable() Table {
+	return Table{
+		Title:   "Table III",
+		Columns: []string{"design", "area", "buffer"},
+		Rows: [][]string{
+			{"flitbless", "0.0396", "0.0"},
+			{"dxbar", "0.0528", "25.0"},
+		},
+	}
+}
+
+func TestWriteTableText(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTableText(&b, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 { // title + header + 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), b.String())
+	}
+	// Columns align: "area" starts at the same offset in header and rows.
+	hIdx := strings.Index(lines[1], "area")
+	rIdx := strings.Index(lines[2], "0.0396")
+	if hIdx != rIdx {
+		t.Errorf("columns misaligned: header@%d row@%d\n%s", hIdx, rIdx, b.String())
+	}
+}
+
+func TestWriteTableCSV(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTableCSV(&b, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&b).ReadAll()
+	if err != nil || len(recs) != 3 {
+		t.Fatalf("csv = %v, %v", recs, err)
+	}
+}
+
+func TestWriteTableMarkdown(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTableMarkdown(&b, sampleTable()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "| design | area | buffer |") {
+		t.Errorf("markdown table wrong:\n%s", b.String())
+	}
+}

@@ -1,0 +1,325 @@
+package router
+
+import (
+	"sort"
+
+	"dxbar/internal/arbiter"
+	"dxbar/internal/flit"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+)
+
+// AFC implements a simplified variant of Adaptive Flow Control (Jafri et
+// al., MICRO'10 — the paper's reference [9]), the closest prior hybrid:
+// the network switches between bufferless deflection operation (low load:
+// buffers bypassed, minimum energy) and buffered operation (high load:
+// conflicts absorbed in the input FIFOs). The paper positions DXbar against
+// AFC — DXbar gets both behaviours simultaneously from its dual fabrics
+// with no mode state — so AFC is provided as an extension design for
+// head-to-head comparison (design name "afc").
+//
+// Simplification (documented in DESIGN.md): the published AFC switches
+// modes *per router*, with a neighbour-coordination protocol that keeps the
+// mixed-mode network deadlock-free. Mixing deflection with blocking buffers
+// naively is unsound — a deflected flit parked in a Y-channel buffer whose
+// head waits on an X channel breaks XY routing's acyclic channel-dependency
+// order. This implementation therefore switches modes *network-wide* with a
+// drain barrier: when the controller decides to change mode it first stops
+// injection and lets the network empty (pure deflection always drains by
+// the age-priority argument; pure buffered XY/WF always drains by the turn
+// model), then flips every router at once. Each steady mode is individually
+// deadlock-free, and the barrier ensures no flit ever observes both. The
+// drain cost is AFC's coarser adaptation penalty, which is the paper's
+// qualitative point about per-router mode complexity.
+type AFC struct {
+	env  *sim.Env
+	algo routing.Algorithm
+	ctrl *AFCController
+
+	fifos [flit.NumLinkPorts]*entryQueue
+	alloc *arbiter.Separable
+}
+
+// AFC controller states.
+const (
+	afcModeBufferless = iota
+	afcModeBuffered
+)
+
+// AFC mode-policy constants.
+const (
+	// AFCWindow is the observation window in cycles.
+	AFCWindow = 64
+	// AFCOnDeflectionRate switches to buffered mode when per-node
+	// deflections per cycle exceed this rate within a window.
+	AFCOnDeflectionRate = 0.08
+	// AFCOffInjectionRate returns to bufferless mode when the per-node
+	// injection rate falls below this (hysteresis against thrashing).
+	AFCOffInjectionRate = 0.12
+)
+
+// AFCController is the shared network-wide mode state. Build exactly one
+// per network and hand it to every router's NewAFC.
+type AFCController struct {
+	nodes int
+
+	mode     int
+	draining bool
+	next     int
+
+	netFlits int // flits inside routers/links (not source queues)
+
+	windowStart       uint64
+	windowDeflections int
+	windowInjections  int
+
+	lastTick uint64
+	started  bool
+
+	// ModeSwitches counts completed transitions (diagnostics).
+	ModeSwitches uint64
+}
+
+// NewAFCController returns a controller for a network of the given size,
+// starting in bufferless mode (AFC's low-power default).
+func NewAFCController(nodes int) *AFCController {
+	return &AFCController{nodes: nodes, mode: afcModeBufferless, next: afcModeBufferless}
+}
+
+// Buffered reports whether the network is currently in buffered mode.
+func (c *AFCController) Buffered() bool { return c.mode == afcModeBuffered }
+
+// Draining reports whether a mode transition is in progress.
+func (c *AFCController) Draining() bool { return c.draining }
+
+// InjectionAllowed reports whether sources may inject this cycle.
+func (c *AFCController) InjectionAllowed() bool { return !c.draining }
+
+// tick runs the mode policy once per cycle (the first router to step in a
+// cycle advances it).
+func (c *AFCController) tick(cycle uint64) {
+	if c.started && cycle == c.lastTick {
+		return
+	}
+	c.started = true
+	c.lastTick = cycle
+
+	if c.draining {
+		if c.netFlits == 0 {
+			c.mode = c.next
+			c.draining = false
+			c.ModeSwitches++
+			c.windowStart = cycle
+			c.windowDeflections = 0
+			c.windowInjections = 0
+		}
+		return
+	}
+	if cycle-c.windowStart < AFCWindow {
+		return
+	}
+	deflRate := float64(c.windowDeflections) / float64(AFCWindow) / float64(c.nodes)
+	injRate := float64(c.windowInjections) / float64(AFCWindow) / float64(c.nodes)
+	switch {
+	case c.mode == afcModeBufferless && deflRate > AFCOnDeflectionRate:
+		c.next = afcModeBuffered
+		c.draining = true
+	case c.mode == afcModeBuffered && injRate < AFCOffInjectionRate:
+		c.next = afcModeBufferless
+		c.draining = true
+	}
+	c.windowStart = cycle
+	c.windowDeflections = 0
+	c.windowInjections = 0
+}
+
+// NewAFC builds one AFC router sharing the given controller. The engine
+// must be configured with BufferDepth 4 (credits are live in both modes; in
+// bufferless mode every arrival is consumed in its arrival cycle, so the
+// credit loop never throttles deflection).
+func NewAFC(env *sim.Env, algo routing.Algorithm, ctrl *AFCController) *AFC {
+	a := &AFC{
+		env:   env,
+		algo:  algo,
+		ctrl:  ctrl,
+		alloc: arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+	}
+	for p := range a.fifos {
+		a.fifos[p] = &entryQueue{}
+	}
+	return a
+}
+
+// Controller exposes the shared controller (diagnostics and tests).
+func (a *AFC) Controller() *AFCController { return a.ctrl }
+
+// Occupancy returns buffered flits across the input FIFOs.
+func (a *AFC) Occupancy() int {
+	total := 0
+	for _, q := range a.fifos {
+		total += q.len()
+	}
+	return total
+}
+
+// Step implements sim.Router.
+func (a *AFC) Step(cycle uint64) {
+	a.ctrl.tick(cycle)
+	if a.ctrl.Buffered() || a.Occupancy() > 0 {
+		// Buffered mode — and the tail of a buffered→bufferless drain,
+		// where leftover buffered flits still leave through the allocator.
+		a.stepBuffered(cycle)
+		return
+	}
+	a.stepBufferless(cycle)
+}
+
+// stepBufferless is Flit-Bless switching with AFC accounting.
+func (a *AFC) stepBufferless(cycle uint64) {
+	env := a.env
+	mesh := env.Mesh()
+	node := env.Node
+
+	arrivals := make([]*flit.Flit, 0, flit.NumPorts)
+	links := 0
+	for p := flit.North; p <= flit.West; p++ {
+		if mesh.HasPort(node, p) {
+			links++
+		}
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			env.ReturnCredit(p) // consumed this cycle, slot never used
+			arrivals = append(arrivals, f)
+		}
+	}
+
+	var injectee *flit.Flit
+	if len(arrivals) < links && a.ctrl.InjectionAllowed() {
+		if f := env.InjectionHead(); f != nil {
+			arrivals = append(arrivals, f)
+			injectee = f
+		}
+	}
+
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Older(arrivals[j]) })
+	for _, f := range arrivals {
+		out := a.deflectionAssign(f)
+		if out == flit.Invalid {
+			panic("router: afc bufferless mode failed to assign an output")
+		}
+		if f == injectee {
+			env.ConsumeInjection(cycle)
+			a.ctrl.netFlits++
+			a.ctrl.windowInjections++
+		}
+		if out == flit.Local {
+			a.ctrl.netFlits--
+		}
+		a.send(out, f, cycle)
+	}
+}
+
+// deflectionAssign picks the Flit-Bless-style output for f (never Invalid
+// for a legal candidate count, by the port-counting argument).
+func (a *AFC) deflectionAssign(f *flit.Flit) flit.Port {
+	env := a.env
+	if f.Dst == env.Node && env.OutputFree(flit.Local) {
+		return flit.Local
+	}
+	order := routing.DeflectionOrder(a.algo, env.Mesh(), env.Node, f.Dst)
+	prod := a.algo.Productive(env.Mesh(), env.Node, f.Dst)
+	for i, p := range order {
+		if env.OutputFree(p) {
+			if f.Dst == env.Node || i >= len(prod) {
+				f.Deflections++
+				a.ctrl.windowDeflections++
+			}
+			return p
+		}
+	}
+	return flit.Invalid
+}
+
+// stepBuffered is the generic buffered baseline with AFC accounting.
+func (a *AFC) stepBuffered(cycle uint64) {
+	env := a.env
+
+	for p := flit.North; p <= flit.West; p++ {
+		f := env.In[p]
+		if f == nil {
+			continue
+		}
+		env.In[p] = nil
+		a.fifos[p].push(bufEntry{f: f, ready: cycle + 1})
+		f.Buffered++
+		env.Meter().BufferWrite()
+		env.Stats().BufferingEvent(cycle)
+	}
+
+	req := make([][]bool, flit.NumPorts)
+	for i := range req {
+		req[i] = make([]bool, flit.NumPorts)
+	}
+	heads := [flit.NumPorts]*flit.Flit{}
+
+	desired := func(f *flit.Flit) []flit.Port {
+		if f.Dst == env.Node {
+			return []flit.Port{flit.Local}
+		}
+		return a.algo.Productive(env.Mesh(), env.Node, f.Dst)
+	}
+	for p := flit.North; p <= flit.West; p++ {
+		h := a.fifos[p].head()
+		if h == nil || h.ready > cycle {
+			continue
+		}
+		heads[p] = h.f
+		for _, out := range desired(h.f) {
+			if env.CanSend(out) {
+				req[p][out] = true
+			}
+		}
+	}
+	if a.ctrl.InjectionAllowed() {
+		if f := env.InjectionHead(); f != nil {
+			heads[flit.Local] = f
+			for _, out := range desired(f) {
+				if env.CanSend(out) {
+					req[flit.Local][out] = true
+				}
+			}
+		}
+	}
+
+	grants := a.alloc.Allocate(req)
+	for i, o := range grants {
+		if o == -1 || heads[i] == nil {
+			continue
+		}
+		out := flit.Port(o)
+		if i == int(flit.Local) {
+			env.ConsumeInjection(cycle)
+			a.ctrl.netFlits++
+			a.ctrl.windowInjections++
+		} else {
+			a.fifos[i].pop()
+			env.Meter().BufferRead()
+			env.ReturnCredit(flit.Port(i))
+		}
+		if out == flit.Local {
+			a.ctrl.netFlits--
+		}
+		a.send(out, heads[i], cycle)
+	}
+}
+
+func (a *AFC) send(p flit.Port, f *flit.Flit, cycle uint64) {
+	env := a.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if p != flit.Local {
+		next := env.Mesh().Neighbor(env.Node, p)
+		f.Route = routing.Request(a.algo, env.Mesh(), next, f.Dst)
+	}
+	env.Send(p, f)
+}

@@ -1,0 +1,209 @@
+package router
+
+import (
+	"dxbar/internal/arbiter"
+	"dxbar/internal/flit"
+	"dxbar/internal/routing"
+	"dxbar/internal/sim"
+)
+
+// bufEntry is a buffered flit plus the cycle it becomes eligible for switch
+// allocation (the extra cycle models the baseline's RC pipeline stage).
+type bufEntry struct {
+	f     *flit.Flit
+	ready uint64
+}
+
+// entryQueue is a small FIFO of bufEntry (the baseline needs the eligibility
+// timestamp, which buffer.FIFO deliberately does not carry).
+type entryQueue struct {
+	entries []bufEntry
+}
+
+func (q *entryQueue) push(e bufEntry) { q.entries = append(q.entries, e) }
+func (q *entryQueue) len() int        { return len(q.entries) }
+func (q *entryQueue) head() *bufEntry {
+	if len(q.entries) == 0 {
+		return nil
+	}
+	return &q.entries[0]
+}
+func (q *entryQueue) pop() bufEntry {
+	e := q.entries[0]
+	q.entries = q.entries[1:]
+	return e
+}
+
+// Buffered is the generic input-buffered baseline router: per-input serial
+// FIFOs (no virtual channels), a separable output-first switch allocator,
+// credit flow control, and the 3-stage RC·SA/ST·LT pipeline (one eligibility
+// cycle in the buffer before a flit may compete for the switch).
+//
+// With split=false it is the paper's Buffered 4 (one 4-flit FIFO per input,
+// subject to head-of-line blocking); with split=true it is Buffered 8 (two
+// 4-flit FIFOs per input whose heads both compete, removing HoL blocking —
+// "the split design resembles DXbar only at the buffering and provides for
+// a fair comparison").
+type Buffered struct {
+	env   *sim.Env
+	algo  routing.Algorithm
+	split bool
+	fifos [flit.NumLinkPorts][]*entryQueue
+	// nextFIFO alternates arrivals between the two FIFOs of a split input
+	// (the split design steers arrivals round-robin; it falls back to the
+	// other FIFO only when the preferred one is full).
+	nextFIFO [flit.NumLinkPorts]int
+	alloc    *arbiter.Separable
+}
+
+// NewBuffered builds a Buffered 4 (split=false) or Buffered 8 (split=true)
+// router. The engine must be configured with BufferDepth 4 or 8
+// respectively so credits match buffer capacity.
+func NewBuffered(env *sim.Env, algo routing.Algorithm, split bool) *Buffered {
+	b := &Buffered{
+		env:   env,
+		algo:  algo,
+		split: split,
+		alloc: arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+	}
+	for p := range b.fifos {
+		if split {
+			b.fifos[p] = []*entryQueue{{}, {}}
+		} else {
+			b.fifos[p] = []*entryQueue{{}}
+		}
+	}
+	return b
+}
+
+// fifoDepth is the per-FIFO capacity (4 flits, paper §III.A).
+const fifoDepth = 4
+
+// Step implements sim.Router.
+func (b *Buffered) Step(cycle uint64) {
+	env := b.env
+
+	// Buffer writes (BW stage): flits become eligible next cycle (RC).
+	for p := flit.North; p <= flit.West; p++ {
+		f := env.In[p]
+		if f == nil {
+			continue
+		}
+		env.In[p] = nil
+		q := b.pickQueue(p)
+		if q == nil {
+			panic("router: buffered input overflow (credit violation)")
+		}
+		q.push(bufEntry{f: f, ready: cycle + 1})
+		f.Buffered++
+		env.Meter().BufferWrite()
+		env.Stats().BufferingEvent(cycle)
+	}
+
+	// Build the request matrix: inputs 0..3 are the link FIFOs, input 4 is
+	// the PE injection port.
+	req := make([][]bool, flit.NumPorts)
+	for i := range req {
+		req[i] = make([]bool, flit.NumPorts)
+	}
+	// cand[i][o] is the candidate flit queue index behind request (i, o).
+	type candidate struct {
+		q *entryQueue
+		f *flit.Flit
+	}
+	cand := make([][]candidate, flit.NumPorts)
+	for i := range cand {
+		cand[i] = make([]candidate, flit.NumPorts)
+	}
+
+	requestPorts := func(i int, q *entryQueue, f *flit.Flit) {
+		for _, p := range b.desiredPorts(f) {
+			if !b.env.CanSend(p) {
+				continue
+			}
+			o := int(p)
+			if !req[i][o] || (cand[i][o].f != nil && f.Older(cand[i][o].f)) {
+				req[i][o] = true
+				cand[i][o] = candidate{q: q, f: f}
+			}
+		}
+	}
+
+	for p := flit.North; p <= flit.West; p++ {
+		for _, q := range b.fifos[p] {
+			if h := q.head(); h != nil && h.ready <= cycle {
+				requestPorts(int(p), q, h.f)
+			}
+		}
+	}
+	if f := env.InjectionHead(); f != nil {
+		requestPorts(int(flit.Local), nil, f)
+	}
+
+	// Switch allocation and traversal.
+	grants := b.alloc.Allocate(req)
+	for i, o := range grants {
+		if o == -1 {
+			continue
+		}
+		c := cand[i][o]
+		outPort := flit.Port(o)
+		if c.q != nil {
+			e := c.q.pop()
+			env.Meter().BufferRead()
+			env.ReturnCredit(flit.Port(i))
+			b.send(outPort, e.f, cycle)
+		} else {
+			env.ConsumeInjection(cycle)
+			b.send(outPort, c.f, cycle)
+		}
+	}
+}
+
+// pickQueue selects the FIFO an arrival on port p is written to:
+// round-robin between the two FIFOs of a split input (falling back to the
+// other when the preferred one is full), the only FIFO otherwise; nil when
+// everything is full.
+func (b *Buffered) pickQueue(p flit.Port) *entryQueue {
+	qs := b.fifos[p]
+	for i := 0; i < len(qs); i++ {
+		q := qs[(b.nextFIFO[p]+i)%len(qs)]
+		if q.len() < fifoDepth {
+			b.nextFIFO[p] = (b.nextFIFO[p] + i + 1) % len(qs)
+			return q
+		}
+	}
+	return nil
+}
+
+// desiredPorts returns the output ports the flit may request here: Local
+// when arrived, otherwise the algorithm's productive set (all of it for the
+// adaptive WF, the single DOR port otherwise).
+func (b *Buffered) desiredPorts(f *flit.Flit) []flit.Port {
+	if f.Dst == b.env.Node {
+		return []flit.Port{flit.Local}
+	}
+	return b.algo.Productive(b.env.Mesh(), b.env.Node, f.Dst)
+}
+
+func (b *Buffered) send(p flit.Port, f *flit.Flit, cycle uint64) {
+	env := b.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if p != flit.Local {
+		next := env.Mesh().Neighbor(env.Node, p)
+		f.Route = routing.Request(b.algo, env.Mesh(), next, f.Dst)
+	}
+	env.Send(p, f)
+}
+
+// Occupancy returns the number of buffered flits (test/diagnostic hook).
+func (b *Buffered) Occupancy() int {
+	total := 0
+	for p := range b.fifos {
+		for _, q := range b.fifos[p] {
+			total += q.len()
+		}
+	}
+	return total
+}

@@ -1,0 +1,160 @@
+package router
+
+import (
+	"sort"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/sim"
+)
+
+// Scarab is the SCARAB router: bufferless, minimally-adaptive, single-cycle.
+// An incoming flit that finds no free productive output port is dropped; a
+// NACK travels back to the source on a dedicated circuit-switched network
+// (one cycle per hop) and triggers a retransmission. Ejection conflicts
+// also drop (the losing flit cannot wait).
+type Scarab struct {
+	env *sim.Env
+}
+
+// NewScarab builds a SCARAB router. SCARAB's routing is minimal adaptive
+// without turn restrictions (bufferless networks cannot deadlock), so no
+// routing.Algorithm parameter exists.
+func NewScarab(env *sim.Env) *Scarab {
+	return &Scarab{env: env}
+}
+
+// minimalPorts returns the (up to two) minimal directions toward dst,
+// larger-offset dimension first — SCARAB's fully adaptive minimal set.
+func minimalPorts(env *sim.Env, at, dst int) []flit.Port {
+	m := env.Mesh()
+	ax, ay := m.XY(at)
+	dx, dy := m.XY(dst)
+	var xPort, yPort flit.Port = flit.Invalid, flit.Invalid
+	if dx > ax {
+		xPort = flit.East
+	} else if dx < ax {
+		xPort = flit.West
+	}
+	if dy > ay {
+		yPort = flit.South
+	} else if dy < ay {
+		yPort = flit.North
+	}
+	xd, yd := abs(dx-ax), abs(dy-ay)
+	ports := make([]flit.Port, 0, 2)
+	if xd >= yd {
+		if xPort != flit.Invalid {
+			ports = append(ports, xPort)
+		}
+		if yPort != flit.Invalid {
+			ports = append(ports, yPort)
+		}
+	} else {
+		if yPort != flit.Invalid {
+			ports = append(ports, yPort)
+		}
+		if xPort != flit.Invalid {
+			ports = append(ports, xPort)
+		}
+	}
+	return ports
+}
+
+// Step implements sim.Router.
+func (s *Scarab) Step(cycle uint64) {
+	env := s.env
+	mesh := env.Mesh()
+	node := env.Node
+
+	arrivals := make([]*flit.Flit, 0, flit.NumPorts)
+	links := 0
+	for p := flit.North; p <= flit.West; p++ {
+		if mesh.HasPort(node, p) {
+			links++
+		}
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			arrivals = append(arrivals, f)
+		}
+	}
+	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Older(arrivals[j]) })
+
+	for _, f := range arrivals {
+		if f.Dst == node {
+			if env.OutputFree(flit.Local) {
+				s.send(flit.Local, f, cycle)
+			} else {
+				s.drop(f, cycle)
+			}
+			continue
+		}
+		if p := s.freeProductive(f); p != flit.Invalid {
+			s.send(p, f, cycle)
+		} else {
+			s.drop(f, cycle)
+		}
+	}
+
+	// Injection: permitted when an input slot was free; the new flit is
+	// simply not injected (it waits in the queue) if its productive ports
+	// are taken — the source never drops.
+	if len(arrivals) < links {
+		if f := env.InjectionHead(); f != nil {
+			if f.Dst == node {
+				// Patterns never map a node to itself; defensive.
+				if env.OutputFree(flit.Local) {
+					env.ConsumeInjection(cycle)
+					s.send(flit.Local, f, cycle)
+				}
+				return
+			}
+			if p := s.freeProductive(f); p != flit.Invalid {
+				env.ConsumeInjection(cycle)
+				s.send(p, f, cycle)
+			}
+		}
+	}
+}
+
+func (s *Scarab) freeProductive(f *flit.Flit) flit.Port {
+	for _, p := range minimalPorts(s.env, s.env.Node, f.Dst) {
+		if s.env.OutputFree(p) {
+			return p
+		}
+	}
+	return flit.Invalid
+}
+
+func (s *Scarab) send(p flit.Port, f *flit.Flit, cycle uint64) {
+	env := s.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if p != flit.Local {
+		next := env.Mesh().Neighbor(env.Node, p)
+		ports := minimalPorts(env, next, f.Dst)
+		if len(ports) == 0 {
+			f.Route = flit.Local
+		} else {
+			f.Route = ports[0]
+		}
+	}
+	env.Send(p, f)
+}
+
+// drop discards f, charges the NACK network for the return trip to the
+// source, and schedules the retransmission: the NACK needs one cycle per
+// hop back, then the source re-injects.
+func (s *Scarab) drop(f *flit.Flit, cycle uint64) {
+	env := s.env
+	dist := env.Mesh().Distance(env.Node, f.Src)
+	env.Stats().DroppedFlit(cycle)
+	env.Meter().NackHops(dist)
+	env.ScheduleRetransmit(f, uint64(dist)+1)
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,31 @@
+package routing
+
+import (
+	"testing"
+
+	"dxbar/internal/topology"
+)
+
+func BenchmarkDORProductive(b *testing.B) {
+	m := topology.MustMesh(8, 8)
+	a := DOR{}
+	for i := 0; i < b.N; i++ {
+		a.Productive(m, i%64, (i*31)%64)
+	}
+}
+
+func BenchmarkWestFirstProductive(b *testing.B) {
+	m := topology.MustMesh(8, 8)
+	a := WestFirst{}
+	for i := 0; i < b.N; i++ {
+		a.Productive(m, i%64, (i*31)%64)
+	}
+}
+
+func BenchmarkDeflectionOrder(b *testing.B) {
+	m := topology.MustMesh(8, 8)
+	a := DOR{}
+	for i := 0; i < b.N; i++ {
+		DeflectionOrder(a, m, i%64, (i*31)%64)
+	}
+}

@@ -1,0 +1,225 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/topology"
+)
+
+var mesh = topology.MustMesh(8, 8)
+
+func TestNew(t *testing.T) {
+	for _, name := range []string{"DOR", "dor", "XY", "xy"} {
+		a, err := New(name)
+		if err != nil || a.Name() != "DOR" {
+			t.Errorf("New(%q) = %v, %v", name, a, err)
+		}
+	}
+	for _, name := range []string{"WF", "wf", "west-first"} {
+		a, err := New(name)
+		if err != nil || a.Name() != "WF" {
+			t.Errorf("New(%q) = %v, %v", name, a, err)
+		}
+	}
+	if _, err := New("bogus"); err == nil {
+		t.Error("New(bogus) must fail")
+	}
+}
+
+func TestDORXBeforeY(t *testing.T) {
+	a := DOR{}
+	at := mesh.Node(3, 3)
+	// Destination NE: X resolved first, so East.
+	got := a.Productive(mesh, at, mesh.Node(5, 1))
+	if len(got) != 1 || got[0] != flit.East {
+		t.Errorf("DOR NE-dest productive = %v, want [E]", got)
+	}
+	// Same column: Y only.
+	got = a.Productive(mesh, at, mesh.Node(3, 6))
+	if len(got) != 1 || got[0] != flit.South {
+		t.Errorf("DOR same-column productive = %v, want [S]", got)
+	}
+	// Arrived.
+	if got := a.Productive(mesh, at, at); got != nil {
+		t.Errorf("DOR arrived productive = %v, want nil", got)
+	}
+}
+
+func TestDORNotAdaptive(t *testing.T) {
+	if (DOR{}).Adaptive() {
+		t.Error("DOR must not be adaptive")
+	}
+	if !(WestFirst{}).Adaptive() {
+		t.Error("WF must be adaptive")
+	}
+}
+
+func TestWestFirstForcesWest(t *testing.T) {
+	a := WestFirst{}
+	at := mesh.Node(5, 5)
+	got := a.Productive(mesh, at, mesh.Node(2, 1))
+	if len(got) != 1 || got[0] != flit.West {
+		t.Errorf("WF westward dest productive = %v, want [W]", got)
+	}
+}
+
+func TestWestFirstAdaptiveSet(t *testing.T) {
+	a := WestFirst{}
+	at := mesh.Node(2, 2)
+	got := a.Productive(mesh, at, mesh.Node(5, 6))
+	if len(got) != 2 {
+		t.Fatalf("WF SE dest productive = %v, want two ports", got)
+	}
+	// dy=4 > dx=3 so South preferred first.
+	if got[0] != flit.South || got[1] != flit.East {
+		t.Errorf("WF preference order = %v, want [S E]", got)
+	}
+	// dx >= dy prefers East.
+	got = a.Productive(mesh, at, mesh.Node(7, 4))
+	if got[0] != flit.East || got[1] != flit.South {
+		t.Errorf("WF preference order = %v, want [E S]", got)
+	}
+}
+
+func TestWestFirstNeverTurnsToWestAfterEast(t *testing.T) {
+	a := WestFirst{}
+	// From any position where dst is east or aligned, West must not appear.
+	for at := 0; at < mesh.Nodes(); at++ {
+		for dst := 0; dst < mesh.Nodes(); dst++ {
+			ax, _ := mesh.XY(at)
+			dx, _ := mesh.XY(dst)
+			ports := a.Productive(mesh, at, dst)
+			for _, p := range ports {
+				if dx >= ax && p == flit.West {
+					t.Fatalf("WF offered West with dst not west (at=%d dst=%d)", at, dst)
+				}
+			}
+		}
+	}
+}
+
+// Property: following any productive port strictly decreases distance, and
+// repeatedly following the first preference reaches the destination in
+// exactly Distance(src,dst) hops — for both algorithms.
+func TestMinimalProgressProperty(t *testing.T) {
+	algos := []Algorithm{DOR{}, WestFirst{}}
+	f := func(srcRaw, dstRaw uint8, pick uint8) bool {
+		src, dst := int(srcRaw)%64, int(dstRaw)%64
+		for _, a := range algos {
+			at := src
+			steps := 0
+			for at != dst {
+				ports := a.Productive(mesh, at, dst)
+				if len(ports) == 0 {
+					return false
+				}
+				// Any member of the set must make progress.
+				for _, p := range ports {
+					nb := mesh.Neighbor(at, p)
+					if nb == -1 || mesh.Distance(nb, dst) != mesh.Distance(at, dst)-1 {
+						return false
+					}
+				}
+				at = mesh.Neighbor(at, ports[int(pick)%len(ports)])
+				steps++
+				if steps > 64 {
+					return false
+				}
+			}
+			if steps != mesh.Distance(src, dst) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRequest(t *testing.T) {
+	if p := Request(DOR{}, mesh, 5, 5); p != flit.Local {
+		t.Errorf("Request at destination = %s, want L", p)
+	}
+	if p := Request(DOR{}, mesh, mesh.Node(0, 0), mesh.Node(3, 3)); p != flit.East {
+		t.Errorf("Request = %s, want E", p)
+	}
+}
+
+func TestDeflectionOrder(t *testing.T) {
+	at := mesh.Node(3, 3) // interior: all 4 ports exist
+	order := DeflectionOrder(DOR{}, mesh, at, mesh.Node(5, 5))
+	if len(order) != 4 {
+		t.Fatalf("interior node deflection order has %d ports, want 4", len(order))
+	}
+	if order[0] != flit.East {
+		t.Errorf("productive port must come first, got %v", order)
+	}
+	seen := map[flit.Port]bool{}
+	for _, p := range order {
+		if seen[p] {
+			t.Fatalf("duplicate port in order %v", order)
+		}
+		seen[p] = true
+	}
+}
+
+func TestDeflectionOrderExcludesEdgePorts(t *testing.T) {
+	corner := mesh.Node(0, 0)
+	order := DeflectionOrder(DOR{}, mesh, corner, mesh.Node(5, 5))
+	if len(order) != 2 {
+		t.Fatalf("corner node deflection order = %v, want exactly E,S", order)
+	}
+	for _, p := range order {
+		if p == flit.North || p == flit.West {
+			t.Fatalf("edge-facing port %s offered at corner", p)
+		}
+	}
+}
+
+// Property: DeflectionOrder always returns each existing cardinal port
+// exactly once, productive ports first.
+func TestDeflectionOrderPermutationProperty(t *testing.T) {
+	f := func(atRaw, dstRaw uint8, wf bool) bool {
+		at, dst := int(atRaw)%64, int(dstRaw)%64
+		var a Algorithm = DOR{}
+		if wf {
+			a = WestFirst{}
+		}
+		order := DeflectionOrder(a, mesh, at, dst)
+		existing := 0
+		for p := flit.North; p <= flit.West; p++ {
+			if mesh.HasPort(at, p) {
+				existing++
+			}
+		}
+		if len(order) != existing {
+			return false
+		}
+		seen := map[flit.Port]bool{}
+		for _, p := range order {
+			if seen[p] || !mesh.HasPort(at, p) {
+				return false
+			}
+			seen[p] = true
+		}
+		// Productive prefix check.
+		prod := a.Productive(mesh, at, dst)
+		idx := 0
+		for _, p := range prod {
+			if !mesh.HasPort(at, p) {
+				continue
+			}
+			if order[idx] != p {
+				return false
+			}
+			idx++
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"fmt"
+
+	"dxbar/internal/buffer"
+	"dxbar/internal/energy"
+	"dxbar/internal/flit"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+)
+
+// Env is a router's complete view of the network: its input latches, output
+// latches, downstream credit counters, injection queue and the shared
+// meter/collector. The engine owns and wires Envs; router implementations
+// receive one at construction.
+type Env struct {
+	engine *Engine
+	// Node is this router's node index.
+	Node int
+	// In holds the flit latched on each cardinal input port this cycle
+	// (nil = none). The router must consume every entry during Step.
+	In [flit.NumLinkPorts]*flit.Flit
+
+	out [flit.NumPorts]*flit.Flit
+
+	// downCredits[p] tracks free buffer space at the neighbour reached
+	// through output port p (nil when bufferless or no link).
+	downCredits [flit.NumLinkPorts]*buffer.Credits
+	// upCredit[p] returns one credit to the neighbour that feeds input
+	// port p (wired by the engine; nil when bufferless or no link).
+	upCredit [flit.NumLinkPorts]func()
+
+	injection   []*flit.Flit
+	bufferDepth int
+	creditDelay int
+}
+
+func newEnv(e *Engine, node, bufferDepth, creditDelay int) *Env {
+	return &Env{engine: e, Node: node, bufferDepth: bufferDepth, creditDelay: creditDelay}
+}
+
+// createCredits instantiates this node's downstream credit counters (first
+// wiring pass — must run for every env before wireCredits).
+func (env *Env) createCredits() {
+	if env.bufferDepth <= 0 {
+		return
+	}
+	m := env.engine.mesh
+	for p := flit.North; p <= flit.West; p++ {
+		if m.HasPort(env.Node, p) {
+			env.downCredits[p] = buffer.NewCredits(env.bufferDepth, env.creditDelay)
+		}
+	}
+}
+
+// wireCredits connects the upstream credit-return closures (second wiring
+// pass — every env's counters exist by now).
+func (env *Env) wireCredits() {
+	if env.bufferDepth <= 0 {
+		return
+	}
+	m := env.engine.mesh
+	for p := flit.North; p <= flit.West; p++ {
+		nb := m.Neighbor(env.Node, p)
+		if nb == -1 {
+			continue
+		}
+		// A flit arriving on my input port p came through the neighbour's
+		// opposite output port; returning a credit must replenish *that*
+		// counter.
+		counter := env.engine.envs[nb].downCredits[p.Opposite()]
+		if counter != nil {
+			port := p
+			env.upCredit[port] = counter.Return
+		}
+	}
+}
+
+// Mesh returns the topology.
+func (env *Env) Mesh() *topology.Mesh { return env.engine.mesh }
+
+// Meter returns the shared energy meter.
+func (env *Env) Meter() *energy.Meter { return env.engine.meter }
+
+// Stats returns the shared statistics collector.
+func (env *Env) Stats() *stats.Collector { return env.engine.coll }
+
+// HasLink reports whether output port p leads to a neighbour (Local always
+// exists).
+func (env *Env) HasLink(p flit.Port) bool {
+	if p == flit.Local {
+		return true
+	}
+	return env.engine.mesh.HasPort(env.Node, p)
+}
+
+// CanSend reports whether the router may launch a flit through output port
+// p this cycle: the port must exist, be free, and (for credited designs)
+// have a downstream credit. Local ejection never needs credits.
+func (env *Env) CanSend(p flit.Port) bool {
+	if !env.HasLink(p) || env.out[p] != nil {
+		return false
+	}
+	if p == flit.Local {
+		return true
+	}
+	if c := env.downCredits[p]; c != nil {
+		return c.CanSend()
+	}
+	return true
+}
+
+// Send launches f through output port p (the flit's ST completes this
+// cycle; LT happens next cycle). It consumes a downstream credit on
+// credited links and computes the flit's look-ahead route for the next
+// router via the caller-provided route (already stored in f.Route).
+func (env *Env) Send(p flit.Port, f *flit.Flit) {
+	if !env.HasLink(p) {
+		panic(fmt.Sprintf("sim: node %d sending through missing port %s", env.Node, p))
+	}
+	if env.out[p] != nil {
+		panic(fmt.Sprintf("sim: node %d output %s already driven", env.Node, p))
+	}
+	if p != flit.Local {
+		if c := env.downCredits[p]; c != nil {
+			c.Consume()
+		}
+	}
+	env.out[p] = f
+}
+
+// OutputFree reports whether output latch p is still undriven this cycle.
+func (env *Env) OutputFree(p flit.Port) bool { return env.out[p] == nil }
+
+// ReturnCredit hands one credit back to the upstream neighbour feeding
+// input port p (call when a flit that arrived through p frees its buffer
+// slot, or immediately when it bypasses buffering entirely).
+func (env *Env) ReturnCredit(p flit.Port) {
+	if fn := env.upCredit[p]; fn != nil {
+		fn()
+	}
+}
+
+// DownstreamCredits exposes the credit counter for output port p (nil when
+// bufferless); routers use it for availability checks in tests.
+func (env *Env) DownstreamCredits(p flit.Port) *buffer.Credits {
+	if !p.IsCardinal() {
+		return nil
+	}
+	return env.downCredits[p]
+}
+
+// InjectionHead returns the oldest waiting injection flit (nil if none).
+func (env *Env) InjectionHead() *flit.Flit {
+	if len(env.injection) == 0 {
+		return nil
+	}
+	return env.injection[0]
+}
+
+// ConsumeInjection removes the injection-queue head; the router calls it
+// after successfully switching the head flit. The flit's network entry time
+// is stamped for statistics.
+func (env *Env) ConsumeInjection(cycle uint64) *flit.Flit {
+	if len(env.injection) == 0 {
+		panic("sim: ConsumeInjection on empty queue")
+	}
+	f := env.injection[0]
+	env.injection = env.injection[1:]
+	f.EnqueueCycle = cycle
+	return f
+}
+
+// ScheduleRetransmit asks the engine to re-enqueue f at its source after
+// delay cycles (see Engine.ScheduleRetransmit).
+func (env *Env) ScheduleRetransmit(f *flit.Flit, delay uint64) {
+	env.engine.ScheduleRetransmit(f, delay)
+}
+
+func (env *Env) pushBackInjection(f *flit.Flit) { env.injection = append(env.injection, f) }
+func (env *Env) pushFrontInjection(f *flit.Flit) {
+	env.injection = append([]*flit.Flit{f}, env.injection...)
+}
+func (env *Env) injectionLen() int { return len(env.injection) }
+
+func (env *Env) tickCredits() {
+	for _, c := range env.downCredits {
+		if c != nil {
+			c.Tick()
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Package sim is the cycle-accurate network simulation engine. It owns the
+// global clock, the inter-router links (with the paper's 2-stage ST→LT hop
+// timing), the per-node injection queues and reassembly buffers, credit
+// signalling, the energy meter and the statistics collector. Router designs
+// plug in through the Router interface and see the network exclusively
+// through their Env.
+//
+// # Timing model
+//
+// Each cycle has two phases. In the router phase every router consumes the
+// flits latched on its input ports and fills its output latches (its SA/ST
+// pipeline stage). In the link phase the engine advances every link
+// pipeline: a flit written to an output latch at cycle c spends cycle c+1 on
+// the link (LT) and is visible to the downstream router at cycle c+2 —
+// matching the paper's 2-stage per-hop pipeline for DXbar / Flit-Bless /
+// SCARAB (Fig. 2d). The 3-stage baseline pipeline adds one in-router
+// eligibility cycle (its RC stage) inside the router implementation.
+//
+// Routers never observe same-cycle state of other routers; credits return
+// through a delayed pipeline (buffer.Credits) that models the reverse wires.
+package sim
+
+import (
+	"fmt"
+
+	"dxbar/internal/energy"
+	"dxbar/internal/flit"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// Router is one switching node. Step must consume every flit present on the
+// Env's In latches (buffering, switching, deflecting or dropping it) and may
+// fill each Out latch with at most one flit.
+type Router interface {
+	Step(cycle uint64)
+}
+
+// Source generates packets. Generate is called once per node per cycle,
+// before the router phase; returned packets are enqueued at the node's
+// injection queue in order.
+type Source interface {
+	Generate(node int, cycle uint64) []*traffic.PacketSpec
+}
+
+// Sink observes completed packets (after reassembly). Closed-loop workloads
+// (the coherence substrate) react to deliveries; open-loop runs may pass nil.
+type Sink interface {
+	Deliver(p flit.Packet, cycle uint64)
+}
+
+// RouterFactory builds the router for one node around its Env.
+type RouterFactory func(env *Env) Router
+
+// Config assembles an Engine.
+type Config struct {
+	Mesh  *topology.Mesh
+	Meter *energy.Meter
+	Stats *stats.Collector
+	// Source may be nil (no traffic — useful in unit tests that inject
+	// directly).
+	Source Source
+	// Sink may be nil.
+	Sink Sink
+	// BufferDepth is the per-input buffer depth credited on every link; 0
+	// disables credit flow control (bufferless designs).
+	BufferDepth int
+	// CreditDelay is the credit-return latency in cycles (default 1).
+	CreditDelay int
+	// PreCycle, when non-nil, runs at the very start of every cycle
+	// (before retransmissions, generation and the router phase). Closed-
+	// loop workloads use it to advance their own state machines.
+	PreCycle func(cycle uint64)
+}
+
+// Engine drives one network.
+type Engine struct {
+	mesh    *topology.Mesh
+	meter   *energy.Meter
+	coll    *stats.Collector
+	source  Source
+	sink    Sink
+	routers []Router
+	envs    []*Env
+
+	// linkStage[n][p] holds the flit traversing the link out of node n's
+	// port p during the current cycle (the LT stage).
+	linkStage [][]*flit.Flit
+
+	reasm []*flit.Reassembler
+
+	// retransmit events: cycle -> flits to re-enqueue at their source.
+	events map[uint64][]*flit.Flit
+
+	preCycle func(cycle uint64)
+
+	cycle uint64
+}
+
+// New builds an engine and its per-node Envs, then instantiates routers via
+// the factory. The factory runs after all Envs exist so credit wiring is
+// complete.
+func New(cfg Config, factory RouterFactory) (*Engine, error) {
+	if cfg.Mesh == nil || cfg.Meter == nil || cfg.Stats == nil {
+		return nil, fmt.Errorf("sim: Mesh, Meter and Stats are required")
+	}
+	if factory == nil {
+		return nil, fmt.Errorf("sim: router factory is required")
+	}
+	if cfg.CreditDelay == 0 {
+		cfg.CreditDelay = 1
+	}
+	n := cfg.Mesh.Nodes()
+	e := &Engine{
+		mesh:      cfg.Mesh,
+		meter:     cfg.Meter,
+		coll:      cfg.Stats,
+		source:    cfg.Source,
+		sink:      cfg.Sink,
+		linkStage: make([][]*flit.Flit, n),
+		reasm:     make([]*flit.Reassembler, n),
+		events:    make(map[uint64][]*flit.Flit),
+		preCycle:  cfg.PreCycle,
+	}
+	e.envs = make([]*Env, n)
+	for i := 0; i < n; i++ {
+		e.linkStage[i] = make([]*flit.Flit, flit.NumLinkPorts)
+		e.reasm[i] = flit.NewReassembler()
+		e.envs[i] = newEnv(e, i, cfg.BufferDepth, cfg.CreditDelay)
+	}
+	// Two-pass credit wiring: every env's counters must exist before any
+	// return closure captures a neighbour's counter.
+	for i := 0; i < n; i++ {
+		e.envs[i].createCredits()
+	}
+	for i := 0; i < n; i++ {
+		e.envs[i].wireCredits()
+	}
+	e.routers = make([]Router, n)
+	for i := 0; i < n; i++ {
+		e.routers[i] = factory(e.envs[i])
+	}
+	return e, nil
+}
+
+// Cycle returns the current cycle number.
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// Env returns node i's environment (tests and the coherence substrate use
+// it to inspect queues).
+func (e *Engine) Env(i int) *Env { return e.envs[i] }
+
+// Router returns node i's router (for fault injection and inspection).
+func (e *Engine) Router(i int) Router { return e.routers[i] }
+
+// Mesh returns the topology.
+func (e *Engine) Mesh() *topology.Mesh { return e.mesh }
+
+// ScheduleRetransmit re-enqueues f at the front of its source's injection
+// queue after delay cycles (SCARAB NACK path, fault recovery). The flit's
+// route/hop state is reset at reinjection time.
+func (e *Engine) ScheduleRetransmit(f *flit.Flit, delay uint64) {
+	at := e.cycle + delay
+	if delay == 0 {
+		at = e.cycle + 1
+	}
+	e.events[at] = append(e.events[at], f)
+}
+
+// Step advances the network by one cycle.
+func (e *Engine) Step() {
+	c := e.cycle
+
+	if e.preCycle != nil {
+		e.preCycle(c)
+	}
+
+	// Deliver scheduled retransmissions to the front of source queues.
+	if evs, ok := e.events[c]; ok {
+		delete(e.events, c)
+		for _, f := range evs {
+			f.Retransmits++
+			e.envs[f.Src].pushFrontInjection(f)
+		}
+	}
+
+	// Generation.
+	if e.source != nil {
+		for nIdx := range e.envs {
+			for _, spec := range e.source.Generate(nIdx, c) {
+				fs := spec.Flits()
+				e.coll.GeneratedFlits(c, len(fs))
+				for _, f := range fs {
+					e.envs[nIdx].pushBackInjection(f)
+				}
+			}
+		}
+	}
+
+	// Router phase (SA/ST).
+	for i, r := range e.routers {
+		r.Step(c)
+		env := e.envs[i]
+		for p := 0; p < flit.NumLinkPorts; p++ {
+			if env.In[p] != nil {
+				panic(fmt.Sprintf("sim: router %d left input %s unconsumed at cycle %d: %v",
+					i, flit.Port(p), c, env.In[p]))
+			}
+		}
+	}
+
+	// Link phase: first land the flits that spent this cycle on the wire,
+	// then launch the freshly switched ones onto the wire.
+	for u := range e.envs {
+		for p := flit.North; p <= flit.West; p++ {
+			f := e.linkStage[u][p]
+			if f == nil {
+				continue
+			}
+			v := e.mesh.Neighbor(u, p)
+			q := p.Opposite()
+			if e.envs[v].In[q] != nil {
+				panic(fmt.Sprintf("sim: input latch collision at node %d port %s cycle %d", v, q, c))
+			}
+			e.envs[v].In[q] = f
+			e.linkStage[u][p] = nil
+		}
+	}
+	for u, env := range e.envs {
+		// Ejection.
+		if f := env.out[flit.Local]; f != nil {
+			env.out[flit.Local] = nil
+			e.eject(u, f, c)
+		}
+		for p := flit.North; p <= flit.West; p++ {
+			f := env.out[p]
+			if f == nil {
+				continue
+			}
+			env.out[p] = nil
+			f.Hops++
+			e.meter.LinkTraversal()
+			e.coll.LinkEvent(u, p, c)
+			e.linkStage[u][p] = f
+		}
+	}
+
+	// Credit pipelines.
+	for _, env := range e.envs {
+		env.tickCredits()
+	}
+
+	e.cycle++
+}
+
+func (e *Engine) eject(node int, f *flit.Flit, c uint64) {
+	if f.Dst != node {
+		panic(fmt.Sprintf("sim: flit %v ejected at wrong node %d", f, node))
+	}
+	e.coll.EjectedFlit(c)
+	if pkt, done := e.reasm[node].Accept(f, c); done {
+		e.coll.PacketDone(pkt)
+		if e.sink != nil {
+			e.sink.Deliver(pkt, c)
+		}
+	}
+}
+
+// Run advances the engine by n cycles.
+func (e *Engine) Run(n uint64) {
+	for i := uint64(0); i < n; i++ {
+		e.Step()
+	}
+}
+
+// RunUntil advances the engine until pred returns true (checked after every
+// cycle) or maxCycles elapse; it reports whether pred fired.
+func (e *Engine) RunUntil(pred func() bool, maxCycles uint64) bool {
+	for i := uint64(0); i < maxCycles; i++ {
+		e.Step()
+		if pred() {
+			return true
+		}
+	}
+	return false
+}
+
+// QueuedFlits returns the total number of flits waiting in injection queues
+// (drain checks in closed-loop runs).
+func (e *Engine) QueuedFlits() int {
+	total := 0
+	for _, env := range e.envs {
+		total += env.injectionLen()
+	}
+	return total
+}
+
+// SourceAdapter wraps a Bernoulli injector as a Source.
+type SourceAdapter struct{ B *traffic.Bernoulli }
+
+// Generate implements Source.
+func (s SourceAdapter) Generate(node int, cycle uint64) []*traffic.PacketSpec {
+	if spec := s.B.Generate(node, cycle); spec != nil {
+		return []*traffic.PacketSpec{spec}
+	}
+	return nil
+}

@@ -1,0 +1,153 @@
+// Package stats collects the performance metrics the paper reports:
+// accepted throughput (flits per node per cycle, as a fraction of the
+// 1 flit/node/cycle injection capacity), average and maximum packet latency,
+// and the microarchitectural event counters (deflections, retransmissions,
+// bufferings) that explain the energy results.
+//
+// Measurements follow the standard warmup/measurement-window methodology:
+// only packets *injected* inside the window count toward latency, and only
+// flits generated/ejected inside the window count toward offered/accepted
+// load.
+package stats
+
+import (
+	"dxbar/internal/flit"
+)
+
+// Collector accumulates metrics for one simulation run.
+type Collector struct {
+	nodes      int
+	start, end uint64 // measurement window [start, end)
+
+	generatedFlits uint64
+	ejectedFlits   uint64
+
+	packets      uint64
+	latencySum   uint64
+	latencyMax   uint64
+	hopSum       uint64
+	deflectSum   uint64
+	retransSum   uint64
+	bufferedSum  uint64 // buffering events observed via BufferingEvent
+	routedFlits  uint64 // flit-router traversals observed via RoutedEvent
+	droppedFlits uint64
+
+	// linkUse[n][p] counts window traversals of node n's output port p
+	// (nil unless EnableLinkUtilization was called).
+	linkUse [][]uint64
+}
+
+// NewCollector returns a collector for a network with the given node count
+// and measurement window [start, end).
+func NewCollector(nodes int, start, end uint64) *Collector {
+	if nodes <= 0 || end <= start {
+		panic("stats: invalid collector configuration")
+	}
+	return &Collector{nodes: nodes, start: start, end: end}
+}
+
+// InWindow reports whether a cycle falls inside the measurement window.
+func (c *Collector) InWindow(cycle uint64) bool {
+	return cycle >= c.start && cycle < c.end
+}
+
+// GeneratedFlits records n flits offered by sources at the given cycle.
+func (c *Collector) GeneratedFlits(cycle uint64, n int) {
+	if c.InWindow(cycle) {
+		c.generatedFlits += uint64(n)
+	}
+}
+
+// EjectedFlit records one flit delivered at the given cycle.
+func (c *Collector) EjectedFlit(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.ejectedFlits++
+	}
+}
+
+// PacketDone records a completed packet. Latency spans generation to
+// delivery of the last flit (source queueing included). Only packets
+// injected inside the window contribute.
+func (c *Collector) PacketDone(p flit.Packet) {
+	if !c.InWindow(p.InjectionCycle) {
+		return
+	}
+	lat := p.CompletionCycle - p.InjectionCycle
+	c.packets++
+	c.latencySum += lat
+	if lat > c.latencyMax {
+		c.latencyMax = lat
+	}
+	c.hopSum += uint64(p.Hops)
+	c.deflectSum += uint64(p.Deflections)
+	c.retransSum += uint64(p.Retransmits)
+}
+
+// BufferingEvent records one flit entering a buffer (any cycle — used for
+// the buffering-probability ablation, windowed by RoutedEvent pairing).
+func (c *Collector) BufferingEvent(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.bufferedSum++
+	}
+}
+
+// RoutedEvent records one flit traversing a router (switch traversal).
+func (c *Collector) RoutedEvent(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.routedFlits++
+	}
+}
+
+// DroppedFlit records one flit dropped (SCARAB, or an undetected-fault
+// casualty that will be recovered by retransmission).
+func (c *Collector) DroppedFlit(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.droppedFlits++
+	}
+}
+
+// Results summarizes a run.
+type Results struct {
+	// OfferedLoad and AcceptedLoad are flits per node per cycle.
+	OfferedLoad  float64
+	AcceptedLoad float64
+	// AvgLatency and MaxLatency are in cycles; AvgLatency is 0 when no
+	// packet completed.
+	AvgLatency float64
+	MaxLatency uint64
+	// Packets is the number of completed packets counted.
+	Packets uint64
+	// AvgHops is the mean per-packet total link traversals.
+	AvgHops float64
+	// DeflectionsPerPacket and RetransmitsPerPacket explain bufferless
+	// energy inflation.
+	DeflectionsPerPacket float64
+	RetransmitsPerPacket float64
+	// BufferingProbability is buffering events per switch traversal — the
+	// paper reports ~1/6 for DXbar past saturation.
+	BufferingProbability float64
+	// DroppedFlits counts drop events inside the window.
+	DroppedFlits uint64
+}
+
+// Results computes the summary over the measurement window.
+func (c *Collector) Results() Results {
+	window := float64(c.end - c.start)
+	r := Results{
+		OfferedLoad:  float64(c.generatedFlits) / (window * float64(c.nodes)),
+		AcceptedLoad: float64(c.ejectedFlits) / (window * float64(c.nodes)),
+		MaxLatency:   c.latencyMax,
+		Packets:      c.packets,
+		DroppedFlits: c.droppedFlits,
+	}
+	if c.packets > 0 {
+		r.AvgLatency = float64(c.latencySum) / float64(c.packets)
+		r.AvgHops = float64(c.hopSum) / float64(c.packets)
+		r.DeflectionsPerPacket = float64(c.deflectSum) / float64(c.packets)
+		r.RetransmitsPerPacket = float64(c.retransSum) / float64(c.packets)
+	}
+	if c.routedFlits > 0 {
+		r.BufferingProbability = float64(c.bufferedSum) / float64(c.routedFlits)
+	}
+	return r
+}

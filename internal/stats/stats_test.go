@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"dxbar/internal/flit"
+)
+
+func TestWindowFiltering(t *testing.T) {
+	c := NewCollector(64, 100, 200)
+	if c.InWindow(99) || !c.InWindow(100) || !c.InWindow(199) || c.InWindow(200) {
+		t.Error("window boundaries wrong")
+	}
+	c.GeneratedFlits(50, 10) // before window: ignored
+	c.GeneratedFlits(150, 5)
+	c.EjectedFlit(150)
+	c.EjectedFlit(250) // after window: ignored
+	r := c.Results()
+	if got := r.OfferedLoad; math.Abs(got-5.0/(100*64)) > 1e-12 {
+		t.Errorf("offered = %v", got)
+	}
+	if got := r.AcceptedLoad; math.Abs(got-1.0/(100*64)) > 1e-12 {
+		t.Errorf("accepted = %v", got)
+	}
+}
+
+func TestPacketLatency(t *testing.T) {
+	c := NewCollector(64, 0, 1000)
+	c.PacketDone(flit.Packet{InjectionCycle: 10, CompletionCycle: 30, Hops: 5})
+	c.PacketDone(flit.Packet{InjectionCycle: 20, CompletionCycle: 80, Hops: 7, Deflections: 2, Retransmits: 1})
+	r := c.Results()
+	if r.Packets != 2 {
+		t.Fatalf("packets = %d", r.Packets)
+	}
+	if r.AvgLatency != 40 {
+		t.Errorf("avg latency = %v, want 40", r.AvgLatency)
+	}
+	if r.MaxLatency != 60 {
+		t.Errorf("max latency = %v, want 60", r.MaxLatency)
+	}
+	if r.AvgHops != 6 || r.DeflectionsPerPacket != 1 || r.RetransmitsPerPacket != 0.5 {
+		t.Errorf("per-packet stats wrong: %+v", r)
+	}
+}
+
+func TestPacketOutsideWindowIgnored(t *testing.T) {
+	c := NewCollector(64, 100, 200)
+	c.PacketDone(flit.Packet{InjectionCycle: 50, CompletionCycle: 150})
+	c.PacketDone(flit.Packet{InjectionCycle: 250, CompletionCycle: 300})
+	if r := c.Results(); r.Packets != 0 || r.AvgLatency != 0 {
+		t.Errorf("out-of-window packets must be ignored: %+v", r)
+	}
+}
+
+func TestBufferingProbability(t *testing.T) {
+	c := NewCollector(64, 0, 100)
+	for i := 0; i < 12; i++ {
+		c.RoutedEvent(10)
+	}
+	c.BufferingEvent(10)
+	c.BufferingEvent(10)
+	r := c.Results()
+	if math.Abs(r.BufferingProbability-2.0/12.0) > 1e-12 {
+		t.Errorf("buffering probability = %v, want 1/6", r.BufferingProbability)
+	}
+}
+
+func TestDroppedFlits(t *testing.T) {
+	c := NewCollector(64, 0, 100)
+	c.DroppedFlit(5)
+	c.DroppedFlit(500) // outside window
+	if r := c.Results(); r.DroppedFlits != 1 {
+		t.Errorf("dropped = %d, want 1", r.DroppedFlits)
+	}
+}
+
+func TestEmptyCollectorSafe(t *testing.T) {
+	r := NewCollector(64, 0, 100).Results()
+	if r.AvgLatency != 0 || r.BufferingProbability != 0 || r.Packets != 0 {
+		t.Error("empty collector must produce zeros")
+	}
+}
+
+func TestNewCollectorValidation(t *testing.T) {
+	for _, bad := range [][3]uint64{{0, 0, 10}, {64, 10, 10}, {64, 20, 10}} {
+		func() {
+			defer func() { recover() }()
+			NewCollector(int(bad[0]), bad[1], bad[2])
+			t.Errorf("NewCollector(%v) must panic", bad)
+		}()
+	}
+}
+
+// Property: average latency is always between min and max of contributed
+// latencies, and AcceptedLoad <= OfferedLoad has no meaning here (retries),
+// but both are non-negative and finite.
+func TestResultsSanityProperty(t *testing.T) {
+	f := func(lats []uint16) bool {
+		c := NewCollector(4, 0, 1000)
+		var min, max uint64 = math.MaxUint64, 0
+		for _, l := range lats {
+			lat := uint64(l)
+			c.PacketDone(flit.Packet{InjectionCycle: 0, CompletionCycle: lat})
+			if lat < min {
+				min = lat
+			}
+			if lat > max {
+				max = lat
+			}
+		}
+		r := c.Results()
+		if len(lats) == 0 {
+			return r.AvgLatency == 0
+		}
+		return r.AvgLatency >= float64(min) && r.AvgLatency <= float64(max) && r.MaxLatency == max
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,96 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+
+	"dxbar/internal/flit"
+)
+
+// Link-utilization tracking (optional): the engine reports every link
+// traversal with its upstream node and output port; utilization is the
+// fraction of measurement-window cycles each link carried a flit. Router
+// designs differ visibly here — deflection spreads load onto non-minimal
+// links, hotspots glow around their home node — and the heatmap example
+// renders it.
+
+// EnableLinkUtilization switches on per-link counters for a mesh with the
+// given node count.
+func (c *Collector) EnableLinkUtilization(nodes int) {
+	c.linkUse = make([][]uint64, nodes)
+	for i := range c.linkUse {
+		c.linkUse[i] = make([]uint64, flit.NumLinkPorts)
+	}
+}
+
+// LinkEvent records one flit launched from node n through output port p.
+func (c *Collector) LinkEvent(n int, p flit.Port, cycle uint64) {
+	if c.linkUse == nil || !c.InWindow(cycle) {
+		return
+	}
+	c.linkUse[n][p]++
+}
+
+// LinkUtilization returns the per-link busy fraction over the measurement
+// window (nil when not enabled).
+func (c *Collector) LinkUtilization() [][]float64 {
+	if c.linkUse == nil {
+		return nil
+	}
+	window := float64(c.end - c.start)
+	out := make([][]float64, len(c.linkUse))
+	for n := range c.linkUse {
+		out[n] = make([]float64, flit.NumLinkPorts)
+		for p := range c.linkUse[n] {
+			out[n][p] = float64(c.linkUse[n][p]) / window
+		}
+	}
+	return out
+}
+
+// NodeUtilization returns each node's mean outgoing-link utilization.
+func (c *Collector) NodeUtilization() []float64 {
+	lu := c.LinkUtilization()
+	if lu == nil {
+		return nil
+	}
+	out := make([]float64, len(lu))
+	for n := range lu {
+		sum, cnt := 0.0, 0
+		for _, u := range lu[n] {
+			if u > 0 || true {
+				sum += u
+				cnt++
+			}
+		}
+		out[n] = sum / float64(cnt)
+	}
+	return out
+}
+
+// Heatmap renders the per-node utilization of a width×height mesh as an
+// ASCII grid, one shaded cell per node (space = idle … '█' = saturated).
+func Heatmap(util []float64, width, height int) string {
+	shades := []rune(" .:-=+*#%@█")
+	var max float64
+	for _, u := range util {
+		if u > max {
+			max = u
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "max link utilization: %.3f flits/cycle\n", max)
+	for y := 0; y < height; y++ {
+		for x := 0; x < width; x++ {
+			u := util[y*width+x]
+			idx := 0
+			if max > 0 {
+				idx = int(u / max * float64(len(shades)-1))
+			}
+			b.WriteRune(shades[idx])
+			b.WriteRune(shades[idx]) // double width for aspect ratio
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+
+	"dxbar/internal/flit"
+)
+
+func TestLinkUtilizationDisabledByDefault(t *testing.T) {
+	c := NewCollector(4, 0, 100)
+	c.LinkEvent(0, flit.East, 10) // must be a no-op
+	if c.LinkUtilization() != nil || c.NodeUtilization() != nil {
+		t.Error("utilization must be nil when not enabled")
+	}
+}
+
+func TestLinkUtilizationCountsWindowedEvents(t *testing.T) {
+	c := NewCollector(4, 10, 110)
+	c.EnableLinkUtilization(4)
+	c.LinkEvent(1, flit.East, 5)  // before window
+	c.LinkEvent(1, flit.East, 50) // counted
+	c.LinkEvent(1, flit.East, 51) // counted
+	c.LinkEvent(2, flit.South, 60)
+	c.LinkEvent(1, flit.East, 200) // after window
+	lu := c.LinkUtilization()
+	if got := lu[1][flit.East]; got != 0.02 {
+		t.Errorf("link (1,E) utilization = %v, want 0.02", got)
+	}
+	if got := lu[2][flit.South]; got != 0.01 {
+		t.Errorf("link (2,S) utilization = %v, want 0.01", got)
+	}
+	if lu[0][flit.North] != 0 {
+		t.Error("untouched link must be zero")
+	}
+}
+
+func TestNodeUtilizationAverages(t *testing.T) {
+	c := NewCollector(2, 0, 100)
+	c.EnableLinkUtilization(2)
+	for i := 0; i < 100; i++ {
+		c.LinkEvent(0, flit.East, uint64(i))
+	}
+	nu := c.NodeUtilization()
+	// One of four ports busy every cycle: mean 0.25.
+	if nu[0] != 0.25 {
+		t.Errorf("node 0 utilization = %v, want 0.25", nu[0])
+	}
+	if nu[1] != 0 {
+		t.Errorf("node 1 utilization = %v, want 0", nu[1])
+	}
+}
+
+func TestHeatmapShape(t *testing.T) {
+	util := make([]float64, 16)
+	util[5] = 1.0
+	util[10] = 0.5
+	hm := Heatmap(util, 4, 4)
+	lines := strings.Split(strings.TrimRight(hm, "\n"), "\n")
+	if len(lines) != 5 { // header + 4 rows
+		t.Fatalf("heatmap has %d lines, want 5", len(lines))
+	}
+	for _, l := range lines[1:] {
+		if len([]rune(l)) != 8 { // double-width cells
+			t.Errorf("row %q has wrong width", l)
+		}
+	}
+	if !strings.Contains(lines[0], "1.000") {
+		t.Errorf("header must report the max, got %q", lines[0])
+	}
+	// The saturated cell renders the darkest shade.
+	if !strings.ContainsRune(hm, '█') {
+		t.Error("saturated cell must use the darkest shade")
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	hm := Heatmap(make([]float64, 4), 2, 2)
+	if !strings.Contains(hm, "max link utilization: 0.000") {
+		t.Error("zero map must render without dividing by zero")
+	}
+}

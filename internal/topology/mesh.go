@@ -1,0 +1,135 @@
+// Package topology models the 2D mesh interconnect the paper evaluates on
+// (8×8 by default): node coordinates, port-level neighbour relations, and the
+// directed links the simulation engine instantiates latches for.
+package topology
+
+import (
+	"fmt"
+
+	"dxbar/internal/flit"
+)
+
+// Mesh is a k×k (or rectangular w×h) 2D mesh. Nodes are numbered row-major:
+// node = y*Width + x, with x growing East and y growing South. Edge nodes
+// simply lack the corresponding links (no wraparound; the Tornado and
+// Complement patterns are still well defined on node indices).
+type Mesh struct {
+	Width, Height int
+}
+
+// NewMesh returns a mesh of the given dimensions. Width and height must be
+// at least 2 (a 1-wide mesh has no X dimension to route in).
+func NewMesh(width, height int) (*Mesh, error) {
+	if width < 2 || height < 2 {
+		return nil, fmt.Errorf("topology: mesh must be at least 2x2, got %dx%d", width, height)
+	}
+	return &Mesh{Width: width, Height: height}, nil
+}
+
+// MustMesh is NewMesh for static configurations; it panics on invalid sizes.
+func MustMesh(width, height int) *Mesh {
+	m, err := NewMesh(width, height)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Nodes returns the number of routers in the mesh.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// XY returns the coordinates of node n.
+func (m *Mesh) XY(n int) (x, y int) { return n % m.Width, n / m.Width }
+
+// Node returns the node index at (x, y).
+func (m *Mesh) Node(x, y int) int { return y*m.Width + x }
+
+// Contains reports whether (x, y) is inside the mesh.
+func (m *Mesh) Contains(x, y int) bool {
+	return x >= 0 && x < m.Width && y >= 0 && y < m.Height
+}
+
+// Neighbor returns the node reached by leaving node n through port p, or
+// -1 if the port faces the mesh edge (or p is not a cardinal port).
+func (m *Mesh) Neighbor(n int, p flit.Port) int {
+	x, y := m.XY(n)
+	switch p {
+	case flit.North:
+		y--
+	case flit.South:
+		y++
+	case flit.East:
+		x++
+	case flit.West:
+		x--
+	default:
+		return -1
+	}
+	if !m.Contains(x, y) {
+		return -1
+	}
+	return m.Node(x, y)
+}
+
+// HasPort reports whether node n has a link on cardinal port p.
+func (m *Mesh) HasPort(n int, p flit.Port) bool { return m.Neighbor(n, p) != -1 }
+
+// Distance returns the minimal hop count between two nodes (Manhattan).
+func (m *Mesh) Distance(a, b int) int {
+	ax, ay := m.XY(a)
+	bx, by := m.XY(b)
+	return abs(ax-bx) + abs(ay-by)
+}
+
+// Link is a directed connection from one router's output port to the
+// neighbouring router's input port.
+type Link struct {
+	From     int       // upstream node
+	FromPort flit.Port // upstream output port
+	To       int       // downstream node
+	ToPort   flit.Port // downstream input port
+}
+
+// Links enumerates every directed link in the mesh in a deterministic order
+// (by upstream node, then by port).
+func (m *Mesh) Links() []Link {
+	var links []Link
+	for n := 0; n < m.Nodes(); n++ {
+		for p := flit.North; p <= flit.West; p++ {
+			if to := m.Neighbor(n, p); to != -1 {
+				links = append(links, Link{From: n, FromPort: p, To: to, ToPort: p.Opposite()})
+			}
+		}
+	}
+	return links
+}
+
+// AverageDistance returns the mean minimal hop count over all ordered
+// source/destination pairs with src != dst (the uniform-random expectation).
+func (m *Mesh) AverageDistance() float64 {
+	total, pairs := 0, 0
+	for a := 0; a < m.Nodes(); a++ {
+		for b := 0; b < m.Nodes(); b++ {
+			if a == b {
+				continue
+			}
+			total += m.Distance(a, b)
+			pairs++
+		}
+	}
+	return float64(total) / float64(pairs)
+}
+
+// BisectionLinks returns the number of unidirectional links crossing the
+// vertical bisection of the mesh (used to express capacity).
+func (m *Mesh) BisectionLinks() int {
+	// Links between column Width/2-1 and Width/2, both directions.
+	return 2 * m.Height
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,175 @@
+// Package trace records and replays network workloads. A trace captures
+// every packet a Source generates (cycle, endpoints, size, kind) in a
+// compact binary format, so expensive closed-loop workloads (the coherence
+// substrate) can be re-run open-loop against many router designs, and runs
+// can be archived and diffed for regression hunting.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/traffic"
+)
+
+// Record is one generated packet.
+type Record struct {
+	Cycle    uint64
+	Src, Dst int32
+	NumFlits uint16
+	Kind     flit.Kind
+}
+
+// Trace is a recorded workload for a specific mesh size.
+type Trace struct {
+	Width, Height int
+	Records       []Record
+}
+
+// magic identifies the trace file format; version gates decoding.
+const (
+	magic   = 0x44586274 // "DXbt"
+	version = 1
+)
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	hdr := []uint32{magic, version, uint32(t.Width), uint32(t.Height), uint32(len(t.Records))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return fmt.Errorf("trace: write header: %w", err)
+		}
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		if err := binary.Write(bw, binary.LittleEndian, r.Cycle); err != nil {
+			return fmt.Errorf("trace: write record: %w", err)
+		}
+		rest := []interface{}{r.Src, r.Dst, r.NumFlits, uint8(r.Kind), uint8(0)}
+		for _, v := range rest {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("trace: write record: %w", err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a trace written by Write.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var hdr [5]uint32
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("trace: read header: %w", err)
+		}
+	}
+	if hdr[0] != magic {
+		return nil, fmt.Errorf("trace: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != version {
+		return nil, fmt.Errorf("trace: unsupported version %d", hdr[1])
+	}
+	count := int(hdr[4])
+	// Never trust the header's record count for allocation: a corrupt or
+	// hostile file could claim billions of records. Grow incrementally and
+	// fail on short reads instead.
+	capHint := count
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	t := &Trace{Width: int(hdr[2]), Height: int(hdr[3]), Records: make([]Record, 0, capHint)}
+	for i := 0; i < count; i++ {
+		var rec Record
+		if err := binary.Read(br, binary.LittleEndian, &rec.Cycle); err != nil {
+			return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+		}
+		var kind, pad uint8
+		fields := []interface{}{&rec.Src, &rec.Dst, &rec.NumFlits, &kind, &pad}
+		for _, v := range fields {
+			if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+				return nil, fmt.Errorf("trace: read record %d: %w", i, err)
+			}
+		}
+		rec.Kind = flit.Kind(kind)
+		t.Records = append(t.Records, rec)
+	}
+	return t, nil
+}
+
+// Recorder wraps a Source and captures everything it generates. It
+// implements sim.Source.
+type Recorder struct {
+	Inner interface {
+		Generate(node int, cycle uint64) []*traffic.PacketSpec
+	}
+	Trace Trace
+}
+
+// Generate implements sim.Source.
+func (r *Recorder) Generate(node int, cycle uint64) []*traffic.PacketSpec {
+	specs := r.Inner.Generate(node, cycle)
+	for _, s := range specs {
+		r.Trace.Records = append(r.Trace.Records, Record{
+			Cycle:    s.Cycle,
+			Src:      int32(s.Src),
+			Dst:      int32(s.Dst),
+			NumFlits: s.NumFlits,
+			Kind:     s.Kind,
+		})
+	}
+	return specs
+}
+
+// Player replays a trace open-loop. It implements sim.Source. Records must
+// be grouped by cycle in nondecreasing order per source node, which is how
+// Recorder lays them down.
+type Player struct {
+	byNode map[int][]Record
+	pos    map[int]int
+	nextID uint64
+}
+
+// NewPlayer indexes a trace for replay.
+func NewPlayer(t *Trace) *Player {
+	p := &Player{byNode: make(map[int][]Record), pos: make(map[int]int), nextID: 1}
+	for _, r := range t.Records {
+		p.byNode[int(r.Src)] = append(p.byNode[int(r.Src)], r)
+	}
+	return p
+}
+
+// Generate implements sim.Source.
+func (p *Player) Generate(node int, cycle uint64) []*traffic.PacketSpec {
+	recs := p.byNode[node]
+	i := p.pos[node]
+	var out []*traffic.PacketSpec
+	for i < len(recs) && recs[i].Cycle <= cycle {
+		r := recs[i]
+		out = append(out, &traffic.PacketSpec{
+			ID:       p.nextID,
+			Src:      int(r.Src),
+			Dst:      int(r.Dst),
+			NumFlits: r.NumFlits,
+			Kind:     r.Kind,
+			Cycle:    cycle,
+		})
+		p.nextID++
+		i++
+	}
+	p.pos[node] = i
+	return out
+}
+
+// Remaining returns the number of unreplayed records.
+func (p *Player) Remaining() int {
+	total := 0
+	for node, recs := range p.byNode {
+		total += len(recs) - p.pos[node]
+	}
+	return total
+}

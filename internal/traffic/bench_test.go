@@ -1,0 +1,29 @@
+package traffic
+
+import (
+	"testing"
+
+	"dxbar/internal/topology"
+)
+
+func BenchmarkBernoulliGenerate(b *testing.B) {
+	m := topology.MustMesh(8, 8)
+	p, _ := New("UR", m)
+	g, _ := NewBernoulli(m, p, 0.5, 1, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Generate(i%64, uint64(i))
+	}
+}
+
+func BenchmarkPatternDest(b *testing.B) {
+	m := topology.MustMesh(8, 8)
+	for _, name := range []string{"BR", "MT", "TOR"} {
+		p, _ := New(name, m)
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				p.Dest(i%64, nil)
+			}
+		})
+	}
+}

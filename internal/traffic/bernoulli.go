@@ -1,0 +1,97 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/topology"
+)
+
+// PacketSpec describes one generated packet before its flits exist.
+type PacketSpec struct {
+	ID       uint64
+	Src, Dst int
+	NumFlits uint16
+	Kind     flit.Kind
+	Cycle    uint64
+}
+
+// Flits materializes the spec into its flits, all stamped with the packet's
+// injection cycle (the age every arbitration decision uses). Flit IDs are
+// derived from the packet ID so they are globally unique.
+func (p PacketSpec) Flits() []*flit.Flit {
+	fs := make([]*flit.Flit, p.NumFlits)
+	for i := range fs {
+		fs[i] = &flit.Flit{
+			ID:             p.ID*uint64(p.NumFlits) + uint64(i),
+			PacketID:       p.ID,
+			Seq:            uint16(i),
+			NumFlits:       p.NumFlits,
+			Src:            p.Src,
+			Dst:            p.Dst,
+			Kind:           p.Kind,
+			InjectionCycle: p.Cycle,
+		}
+	}
+	return fs
+}
+
+// Bernoulli is the open-loop injection process of §III.A: each node
+// independently generates a packet each cycle with probability chosen so the
+// offered load (flits per node per cycle) matches the configured fraction of
+// capacity (1 flit/node/cycle).
+type Bernoulli struct {
+	mesh    *topology.Mesh
+	pattern Pattern
+	prob    float64 // per-node per-cycle packet probability
+	nflits  uint16
+	rng     *rand.Rand
+	nextID  uint64
+}
+
+// NewBernoulli returns an injector offering `load` flits/node/cycle with
+// packets of flitsPerPacket flits each.
+func NewBernoulli(m *topology.Mesh, p Pattern, load float64, flitsPerPacket int, seed int64) (*Bernoulli, error) {
+	if load < 0 || load > 1 {
+		return nil, fmt.Errorf("traffic: load %v out of [0,1]", load)
+	}
+	if flitsPerPacket < 1 || flitsPerPacket > 64 {
+		return nil, fmt.Errorf("traffic: flits per packet %d out of [1,64]", flitsPerPacket)
+	}
+	return &Bernoulli{
+		mesh:    m,
+		pattern: p,
+		prob:    load / float64(flitsPerPacket),
+		nflits:  uint16(flitsPerPacket),
+		rng:     rand.New(rand.NewSource(seed)),
+		nextID:  1,
+	}, nil
+}
+
+// Generate rolls the Bernoulli trial for one node at one cycle and returns
+// the new packet spec, or nil. Packets whose pattern maps the node to itself
+// are skipped (deterministic permutations can be self-mapping, e.g. the
+// transpose diagonal).
+func (b *Bernoulli) Generate(node int, cycle uint64) *PacketSpec {
+	if b.rng.Float64() >= b.prob {
+		return nil
+	}
+	dst := b.pattern.Dest(node, b.rng)
+	if dst == node {
+		return nil
+	}
+	spec := &PacketSpec{
+		ID:       b.nextID,
+		Src:      node,
+		Dst:      dst,
+		NumFlits: b.nflits,
+		Kind:     flit.Data,
+		Cycle:    cycle,
+	}
+	b.nextID++
+	return spec
+}
+
+// Pattern returns the injector's traffic pattern.
+func (b *Bernoulli) Pattern() Pattern { return b.pattern }

@@ -1,0 +1,38 @@
+package traffic
+
+import (
+	"math/rand"
+	"testing"
+
+	"dxbar/internal/topology"
+)
+
+// FuzzPatternDest: every pattern must return an in-range destination for
+// every source on several mesh shapes, never panicking.
+func newTestRNG() *rand.Rand { return rand.New(rand.NewSource(1)) }
+
+func FuzzPatternDest(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0))
+	f.Add(uint8(3), uint8(63), uint8(1))
+	f.Fuzz(func(t *testing.T, patIdx, src, dims uint8) {
+		var m *topology.Mesh
+		switch dims % 3 {
+		case 0:
+			m = topology.MustMesh(8, 8)
+		case 1:
+			m = topology.MustMesh(4, 4)
+		default:
+			m = topology.MustMesh(8, 4) // bit patterns reject non-square too
+		}
+		name := PatternNames[int(patIdx)%len(PatternNames)]
+		p, err := New(name, m)
+		if err != nil {
+			return // legitimately unsupported (non-power-of-two)
+		}
+		s := int(src) % m.Nodes()
+		d := p.Dest(s, newTestRNG())
+		if d < 0 || d >= m.Nodes() {
+			t.Fatalf("pattern %s: dest %d out of range for src %d", name, d, s)
+		}
+	})
+}

@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"encoding/xml"
+	"strings"
+	"testing"
+)
+
+func lineChart() Chart {
+	return Chart{
+		Title: "Throughput, Uniform Random", XLabel: "offered load", YLabel: "accepted load",
+		Series: []Series{
+			{Label: "DXbar DOR", X: []float64{0.1, 0.2, 0.3}, Y: []float64{0.1, 0.2, 0.29}},
+			{Label: "Flit-Bless", X: []float64{0.1, 0.2, 0.3}, Y: []float64{0.1, 0.19, 0.26}},
+		},
+	}
+}
+
+func barChart() Chart {
+	return Chart{
+		Title: "Energy by pattern", XLabel: "pattern", YLabel: "nJ/packet",
+		Series: []Series{
+			{Label: "DXbar", X: []float64{0, 1, 2}, Y: []float64{0.3, 0.4, 0.25}, XNames: []string{"UR", "NUR", "TOR"}},
+			{Label: "Buffered 4", X: []float64{0, 1, 2}, Y: []float64{0.45, 0.5, 0.4}, XNames: []string{"UR", "NUR", "TOR"}},
+		},
+	}
+}
+
+// wellFormed checks the SVG parses as XML.
+func wellFormed(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("SVG is not well-formed XML: %v", err)
+		}
+	}
+}
+
+func TestLineSVGWellFormed(t *testing.T) {
+	svg := LineSVG(lineChart())
+	wellFormed(t, svg)
+	if !strings.Contains(svg, "<path") || !strings.Contains(svg, "<circle") {
+		t.Error("line chart must contain paths and markers")
+	}
+	// Legend is always present for >= 2 series, labels in ink not series color.
+	if !strings.Contains(svg, "DXbar DOR") || !strings.Contains(svg, "Flit-Bless") {
+		t.Error("legend labels missing")
+	}
+	if !strings.Contains(svg, textPrimary) {
+		t.Error("legend text must wear ink tokens")
+	}
+}
+
+func TestBarSVGWellFormed(t *testing.T) {
+	svg := BarSVG(barChart())
+	wellFormed(t, svg)
+	if !strings.Contains(svg, ">UR</text>") || !strings.Contains(svg, ">TOR</text>") {
+		t.Error("categorical tick labels missing")
+	}
+	// Bars are paths with rounded data-ends.
+	if strings.Count(svg, `q0 -`) < 6 {
+		t.Error("expected rounded bar tops")
+	}
+}
+
+func TestSeriesColorsFixedOrder(t *testing.T) {
+	// Slot order is the CVD-safety mechanism — assert it is stable.
+	want := []string{"#2a78d6", "#1baf7a", "#eda100", "#008300", "#4a3aa7", "#e34948", "#e87ba4", "#eb6834"}
+	if len(seriesColors) != len(want) {
+		t.Fatalf("palette has %d slots, want %d", len(seriesColors), len(want))
+	}
+	for i := range want {
+		if seriesColors[i] != want[i] {
+			t.Errorf("slot %d = %s, want %s (fixed order, never cycled)", i+1, seriesColors[i], want[i])
+		}
+	}
+	// First two series of a chart must use slots 1 and 2 in order.
+	svg := LineSVG(lineChart())
+	if strings.Index(svg, want[0]) == -1 || strings.Index(svg, want[1]) == -1 {
+		t.Error("series must take palette slots in fixed order")
+	}
+}
+
+func TestEscape(t *testing.T) {
+	c := lineChart()
+	c.Title = `a < b & "c"`
+	svg := LineSVG(c)
+	wellFormed(t, svg)
+	if strings.Contains(svg, `a < b`) {
+		t.Error("title must be XML-escaped")
+	}
+}
+
+func TestEmptyChartDoesNotPanic(t *testing.T) {
+	svg := LineSVG(Chart{Title: "empty"})
+	wellFormed(t, svg)
+	svg = BarSVG(Chart{Title: "empty"})
+	wellFormed(t, svg)
+}
+
+func TestBarFallsBackToLineWithoutNames(t *testing.T) {
+	c := lineChart() // no XNames
+	svg := BarSVG(c)
+	if !strings.Contains(svg, "<circle") {
+		t.Error("BarSVG without categorical names must fall back to a line chart")
+	}
+}

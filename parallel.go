@@ -1,0 +1,91 @@
+package dxbar
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RunMany executes a batch of independent simulations on a worker pool and
+// returns results in input order. workers <= 0 uses GOMAXPROCS. Each
+// simulation is single-threaded and deterministic, so batch-level
+// parallelism is the natural way to use many cores for sweeps; every figure
+// generator routes through RunMany.
+//
+// The first error aborts nothing — all runs complete — but only the first
+// error encountered (in input order) is returned alongside the results.
+func RunMany(configs []Config, workers int) ([]Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	results := make([]Result, len(configs))
+	errs := make([]error, len(configs))
+	if len(configs) == 0 {
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(configs[i])
+			}
+		}()
+	}
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// RunManySplash is RunMany for the closed-loop coherence workloads.
+func RunManySplash(configs []SplashConfig, workers int) ([]SplashResult, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(configs) {
+		workers = len(configs)
+	}
+	results := make([]SplashResult, len(configs))
+	errs := make([]error, len(configs))
+	if len(configs) == 0 {
+		return results, nil
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = RunSplash(configs[i])
+			}
+		}()
+	}
+	for i := range configs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

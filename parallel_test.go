@@ -1,0 +1,75 @@
+package dxbar
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunManyMatchesSequential(t *testing.T) {
+	configs := []Config{
+		{Design: DesignDXbar, Pattern: "UR", Load: 0.2, WarmupCycles: 300, MeasureCycles: 1000, Seed: 1},
+		{Design: DesignFlitBless, Pattern: "MT", Load: 0.3, WarmupCycles: 300, MeasureCycles: 1000, Seed: 2},
+		{Design: DesignBuffered4, Pattern: "TOR", Load: 0.25, WarmupCycles: 300, MeasureCycles: 1000, Seed: 3},
+		{Design: DesignUnified, Pattern: "CP", Load: 0.2, WarmupCycles: 300, MeasureCycles: 1000, Seed: 4},
+	}
+	par, err := RunMany(configs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range configs {
+		seq, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par[i], seq) {
+			t.Errorf("config %d: parallel result differs from sequential\npar: %+v\nseq: %+v", i, par[i], seq)
+		}
+	}
+}
+
+func TestRunManyEmpty(t *testing.T) {
+	res, err := RunMany(nil, 4)
+	if err != nil || len(res) != 0 {
+		t.Errorf("empty batch: %v, %v", res, err)
+	}
+}
+
+func TestRunManyPropagatesError(t *testing.T) {
+	configs := []Config{
+		{Design: DesignDXbar, Pattern: "UR", Load: 0.1, WarmupCycles: 100, MeasureCycles: 100},
+		{Design: "bogus", Load: 0.1},
+	}
+	if _, err := RunMany(configs, 2); err == nil {
+		t.Error("error in one config must surface")
+	}
+}
+
+func TestRunManyDefaultWorkers(t *testing.T) {
+	configs := []Config{
+		{Design: DesignDXbar, Pattern: "UR", Load: 0.1, WarmupCycles: 100, MeasureCycles: 200, Seed: 5},
+	}
+	res, err := RunMany(configs, 0)
+	if err != nil || res[0].Packets == 0 {
+		t.Errorf("default worker count failed: %v %v", res, err)
+	}
+}
+
+func TestRunManySplashMatchesSequential(t *testing.T) {
+	configs := []SplashConfig{
+		{Design: DesignDXbar, Benchmark: "Water", Seed: 1},
+		{Design: DesignFlitBless, Benchmark: "Water", Seed: 1},
+	}
+	par, err := RunManySplash(configs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range configs {
+		seq, err := RunSplash(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if par[i] != seq {
+			t.Errorf("splash config %d: parallel differs from sequential", i)
+		}
+	}
+}

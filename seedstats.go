@@ -1,0 +1,81 @@
+package dxbar
+
+import (
+	"fmt"
+	"math"
+)
+
+// SeedStats summarizes a metric across independent seeds: the simulation
+// methodology's answer to "is this difference real or noise?". The paper
+// reports single-run numbers; the harness exposes the seed variance so
+// every comparison in EXPERIMENTS.md can be checked against it.
+type SeedStats struct {
+	Mean, StdDev, Min, Max float64
+	N                      int
+}
+
+func newSeedStats(xs []float64) SeedStats {
+	s := SeedStats{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return SeedStats{}
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	s.Mean = sum / float64(s.N)
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// String renders "mean ± std [min, max]".
+func (s SeedStats) String() string {
+	return fmt.Sprintf("%.4f ± %.4f [%.4f, %.4f]", s.Mean, s.StdDev, s.Min, s.Max)
+}
+
+// SeedSweepResult aggregates the headline metrics of one configuration
+// across seeds.
+type SeedSweepResult struct {
+	Accepted SeedStats
+	Latency  SeedStats
+	EnergyNJ SeedStats
+}
+
+// RunSeeds runs the configuration across n seeds (cfg.Seed, cfg.Seed+1, …)
+// in parallel and aggregates the headline metrics.
+func RunSeeds(cfg Config, n int) (SeedSweepResult, error) {
+	if n <= 0 {
+		return SeedSweepResult{}, fmt.Errorf("dxbar: RunSeeds needs n > 0")
+	}
+	configs := make([]Config, n)
+	for i := range configs {
+		configs[i] = cfg
+		configs[i].Seed = cfg.Seed + int64(i)
+	}
+	results, err := RunMany(configs, 0)
+	if err != nil {
+		return SeedSweepResult{}, err
+	}
+	acc := make([]float64, n)
+	lat := make([]float64, n)
+	en := make([]float64, n)
+	for i, r := range results {
+		acc[i] = r.AcceptedLoad
+		lat[i] = r.AvgLatency
+		en[i] = r.AvgEnergyNJ
+	}
+	return SeedSweepResult{
+		Accepted: newSeedStats(acc),
+		Latency:  newSeedStats(lat),
+		EnergyNJ: newSeedStats(en),
+	}, nil
+}

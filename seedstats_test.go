@@ -1,0 +1,73 @@
+package dxbar
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestNewSeedStats(t *testing.T) {
+	s := newSeedStats([]float64{1, 2, 3, 4})
+	if s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.N != 4 {
+		t.Errorf("stats wrong: %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.StdDev-want) > 1e-12 {
+		t.Errorf("stddev = %v, want %v", s.StdDev, want)
+	}
+	if z := newSeedStats(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty stats wrong: %+v", z)
+	}
+	one := newSeedStats([]float64{7})
+	if one.StdDev != 0 || one.Mean != 7 {
+		t.Errorf("single-sample stats wrong: %+v", one)
+	}
+	if !strings.Contains(s.String(), "±") {
+		t.Error("String format wrong")
+	}
+}
+
+func TestRunSeeds(t *testing.T) {
+	res, err := RunSeeds(Config{Design: DesignDXbar, Pattern: "UR", Load: 0.3,
+		WarmupCycles: 300, MeasureCycles: 1200, Seed: 100}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted.N != 4 {
+		t.Fatalf("n = %d", res.Accepted.N)
+	}
+	// Below saturation, accepted tracks offered tightly across seeds.
+	if res.Accepted.Mean < 0.28 || res.Accepted.Mean > 0.32 {
+		t.Errorf("mean accepted = %v, want ~0.3", res.Accepted.Mean)
+	}
+	if res.Accepted.StdDev > 0.02 {
+		t.Errorf("seed variance suspiciously high: %v", res.Accepted.StdDev)
+	}
+	if res.Latency.Mean <= 0 || res.EnergyNJ.Mean <= 0 {
+		t.Error("aggregated metrics must be positive")
+	}
+	if _, err := RunSeeds(Config{Design: DesignDXbar, Load: 0.1}, 0); err == nil {
+		t.Error("n=0 must error")
+	}
+}
+
+// The headline DXbar-vs-Buffered8 gap must exceed seed noise: mean
+// difference greater than 3x the pooled standard deviation.
+func TestHeadlineGapExceedsSeedNoise(t *testing.T) {
+	cfg := Config{Pattern: "UR", Load: 0.45, WarmupCycles: 800, MeasureCycles: 3000, Seed: 7}
+	cfg.Design = DesignDXbar
+	dx, err := RunSeeds(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Design = DesignBuffered8
+	b8, err := RunSeeds(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gap := dx.Accepted.Mean - b8.Accepted.Mean
+	noise := math.Max(dx.Accepted.StdDev, b8.Accepted.StdDev)
+	if gap < 3*noise {
+		t.Errorf("DXbar-Buffered8 gap %.4f not clearly above seed noise %.4f", gap, noise)
+	}
+}

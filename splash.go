@@ -1,0 +1,120 @@
+package dxbar
+
+import (
+	"fmt"
+
+	"dxbar/internal/coherence"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+)
+
+// SplashConfig describes one closed-loop SPLASH-2 (substitute) run.
+type SplashConfig struct {
+	// Design and Routing as in Config.
+	Design  Design
+	Routing string
+	// Benchmark is one of the nine profile names (SplashBenchmarks).
+	Benchmark string
+	// Width and Height give the mesh dimensions (default 8×8).
+	Width, Height int
+	// Seed drives the workload's deterministic randomness.
+	Seed int64
+	// MaxCycles aborts a run that fails to complete (default 3,000,000).
+	MaxCycles uint64
+	// DetailedCaches switches from the calibrated profile hit rates to
+	// real set-associative L1/L2 caches (hit rates and writeback traffic
+	// emerge from the benchmark's working set).
+	DetailedCaches bool
+}
+
+// SplashResult summarizes one closed-loop run.
+type SplashResult struct {
+	// ExecutionCycles is the cycle at which the last processor finished
+	// its memory-operation budget — the Fig. 9 metric.
+	ExecutionCycles uint64
+	// AvgEnergyNJ is the average network energy per delivered packet —
+	// the Fig. 10 metric.
+	AvgEnergyNJ float64
+	// TotalEnergyNJ is the run's total network energy.
+	TotalEnergyNJ float64
+	// Packets is the number of protocol messages delivered.
+	Packets uint64
+	// AvgLatency is the mean packet network latency in cycles.
+	AvgLatency float64
+	// Design, Routing and Benchmark echo the configuration.
+	Design    Design
+	Routing   string
+	Benchmark string
+}
+
+// RunSplash executes one coherence-workload simulation to completion.
+func RunSplash(c SplashConfig) (SplashResult, error) {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Height == 0 {
+		c.Height = 8
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 3_000_000
+	}
+	if c.Routing == "" {
+		c.Routing = "DOR"
+	}
+	mesh, err := topology.NewMesh(c.Width, c.Height)
+	if err != nil {
+		return SplashResult{}, err
+	}
+	prof, ok := coherence.ProfileByName(c.Benchmark)
+	if !ok {
+		return SplashResult{}, fmt.Errorf("dxbar: unknown benchmark %q", c.Benchmark)
+	}
+	if c.DetailedCaches {
+		prof = prof.Detailed()
+	}
+	sys, err := coherence.NewSystem(mesh, prof, c.Seed)
+	if err != nil {
+		return SplashResult{}, err
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, c.MaxCycles)
+	net, err := NewNetwork(NetworkOptions{
+		Design:   c.Design,
+		Routing:  c.Routing,
+		Mesh:     mesh,
+		Source:   sys,
+		Sink:     sys,
+		Stats:    coll,
+		PreCycle: sys.PreCycle,
+	})
+	if err != nil {
+		return SplashResult{}, err
+	}
+	if !net.Engine.RunUntil(sys.Quiesced, c.MaxCycles) {
+		return SplashResult{}, fmt.Errorf("dxbar: benchmark %s on %s did not finish within %d cycles",
+			c.Benchmark, c.Design, c.MaxCycles)
+	}
+	r := coll.Results()
+	res := SplashResult{
+		ExecutionCycles: sys.FinishCycle(),
+		TotalEnergyNJ:   net.Meter.TotalPJ() / 1000.0,
+		Packets:         r.Packets,
+		AvgLatency:      r.AvgLatency,
+		Design:          c.Design,
+		Routing:         c.Routing,
+		Benchmark:       c.Benchmark,
+	}
+	if r.Packets > 0 {
+		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(r.Packets)
+	}
+	return res, nil
+}
+
+// SplashBenchmarks lists the nine benchmark names in the paper's order.
+func SplashBenchmarks() []string {
+	profs := coherence.Profiles()
+	names := make([]string, len(profs))
+	for i, p := range profs {
+		names[i] = p.Name
+	}
+	return names
+}
