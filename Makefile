@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench figures figures-full examples clean
+.PHONY: all build test race bench bench-smoke figures figures-full examples clean
 
 all: build test
 
@@ -11,6 +11,7 @@ build:
 	$(GO) vet ./...
 
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 
 race:
@@ -19,6 +20,11 @@ race:
 # Every paper table/figure plus the ablation and extension harnesses.
 bench:
 	$(GO) test -bench=. -benchmem
+
+# One quick pass of the per-design cycle-engine benchmarks; emits
+# bench/BENCH_<date>.json and compares against the newest earlier baseline.
+bench-smoke:
+	$(GO) run ./cmd/dxbar-bench -quick -out bench
 
 # Regenerate every figure as CSV + SVG + Markdown under results/.
 figures:

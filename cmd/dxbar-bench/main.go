@@ -1,0 +1,292 @@
+// Command dxbar-bench is the benchmark-regression harness for the
+// simulation engine. It measures the steady-state cost of sim.Engine.Step
+// for every router design on the uniform-random 8×8 mesh (the workload every
+// paper figure sweeps), emits a BENCH_<date>.json record, and compares it
+// against the previous record with a configurable tolerance.
+//
+// Metrics per design:
+//
+//   - ns/cycle: wall-clock nanoseconds per simulated network cycle
+//   - allocs/cycle and bytes/cycle: heap churn per cycle (0 after the
+//     engine warmup in the pooled engine)
+//   - flits/sec: delivered-flit throughput (simulation speed, not network
+//     throughput)
+//
+// Usage:
+//
+//	dxbar-bench                     # measure, write bench/BENCH_<date>.json,
+//	                                # compare against the latest earlier record
+//	dxbar-bench -quick              # 1-iteration smoke (CI)
+//	dxbar-bench -baseline f.json    # compare against a specific record
+//	dxbar-bench -tolerance 0.15     # allow 15% ns/cycle regression
+//
+// The exit status is 1 when any design regresses beyond the tolerance, so
+// the tool can gate CI.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"dxbar"
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// Schema is the JSON schema version of the bench record.
+const Schema = 1
+
+// DesignBench is one design's measured steady-state cost.
+type DesignBench struct {
+	NsPerCycle     float64 `json:"ns_per_cycle"`
+	AllocsPerCycle float64 `json:"allocs_per_cycle"`
+	BytesPerCycle  float64 `json:"bytes_per_cycle"`
+	FlitsPerSec    float64 `json:"flits_per_sec"`
+	Cycles         uint64  `json:"cycles"`
+}
+
+// BenchConfig echoes the measurement workload.
+type BenchConfig struct {
+	Width    int     `json:"width"`
+	Height   int     `json:"height"`
+	Pattern  string  `json:"pattern"`
+	Load     float64 `json:"load"`
+	Seed     int64   `json:"seed"`
+	Warmup   uint64  `json:"warmup_cycles"`
+	Cycles   uint64  `json:"measure_cycles"`
+	FlitsPkt int     `json:"flits_per_packet"`
+}
+
+// BenchFile is the on-disk record.
+type BenchFile struct {
+	Schema    int                    `json:"schema"`
+	Date      string                 `json:"date"`
+	Label     string                 `json:"label,omitempty"`
+	GoVersion string                 `json:"go"`
+	Config    BenchConfig            `json:"config"`
+	Designs   map[string]DesignBench `json:"designs"`
+}
+
+func main() {
+	var (
+		outDir    = flag.String("out", "bench", "directory for BENCH_<date>.json records")
+		label     = flag.String("label", "", "free-form label stored in the record")
+		suffix    = flag.String("suffix", "", "suffix appended to the record file name (BENCH_<date><suffix>.json)")
+		designsCS = flag.String("designs", "", "comma-separated designs (default: all)")
+		load      = flag.Float64("load", 0.3, "offered load (flits/node/cycle)")
+		pattern   = flag.String("pattern", "UR", "traffic pattern")
+		width     = flag.Int("width", 8, "mesh width")
+		height    = flag.Int("height", 8, "mesh height")
+		seed      = flag.Int64("seed", 42, "traffic seed")
+		warmup    = flag.Uint64("warmup", 2000, "warmup cycles before timing")
+		cycles    = flag.Uint64("cycles", 50000, "timed cycles per design")
+		quick     = flag.Bool("quick", false, "smoke mode: 2000 timed cycles")
+		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/cycle regression before failing")
+		baseline  = flag.String("baseline", "", "explicit baseline record to compare against (default: latest earlier record in -out)")
+		noWrite   = flag.Bool("no-write", false, "measure and compare without writing a record")
+	)
+	flag.Parse()
+
+	if *quick {
+		*cycles = 2000
+	}
+
+	designs := dxbar.AllDesigns
+	if *designsCS != "" {
+		designs = nil
+		for _, name := range strings.Split(*designsCS, ",") {
+			designs = append(designs, dxbar.Design(strings.TrimSpace(name)))
+		}
+	}
+
+	cfg := BenchConfig{
+		Width: *width, Height: *height, Pattern: *pattern, Load: *load,
+		Seed: *seed, Warmup: *warmup, Cycles: *cycles, FlitsPkt: 1,
+	}
+	rec := BenchFile{
+		Schema:    Schema,
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		Label:     *label,
+		GoVersion: runtime.Version(),
+		Config:    cfg,
+		Designs:   make(map[string]DesignBench, len(designs)),
+	}
+
+	fmt.Printf("dxbar-bench: %dx%d %s load=%.2f warmup=%d cycles=%d\n",
+		cfg.Width, cfg.Height, cfg.Pattern, cfg.Load, cfg.Warmup, cfg.Cycles)
+	for _, d := range designs {
+		db, err := measure(d, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		rec.Designs[string(d)] = db
+		fmt.Printf("%-10s %9.1f ns/cycle  %7.2f allocs/cycle  %9.0f B/cycle  %11.0f flits/s\n",
+			d, db.NsPerCycle, db.AllocsPerCycle, db.BytesPerCycle, db.FlitsPerSec)
+	}
+
+	name := "BENCH_" + time.Now().UTC().Format("2006-01-02") + *suffix + ".json"
+	path := filepath.Join(*outDir, name)
+
+	prev, prevPath, err := loadBaseline(*baseline, *outDir, name)
+	if err != nil {
+		fatal(err)
+	}
+
+	if !*noWrite {
+		if err := writeRecord(path, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", path)
+	}
+
+	if prev == nil {
+		fmt.Println("no earlier record found — nothing to compare against")
+		return
+	}
+	fmt.Printf("comparing against %s (%s)\n\n", prevPath, prev.Label)
+	if !compare(*prev, rec, *tolerance) {
+		os.Exit(1)
+	}
+}
+
+// measure builds one network, warms it into steady state and times the
+// engine stepping. Allocation counts come from runtime.MemStats deltas (the
+// tool is single-threaded, so Mallocs deltas are exact).
+func measure(d dxbar.Design, cfg BenchConfig) (DesignBench, error) {
+	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return DesignBench{}, err
+	}
+	pat, err := traffic.New(cfg.Pattern, mesh)
+	if err != nil {
+		return DesignBench{}, err
+	}
+	bern, err := traffic.NewBernoulli(mesh, pat, cfg.Load, cfg.FlitsPkt, cfg.Seed)
+	if err != nil {
+		return DesignBench{}, err
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, math.MaxUint64)
+	net, err := dxbar.NewNetwork(dxbar.NetworkOptions{
+		Design:  d,
+		Routing: "DOR",
+		Mesh:    mesh,
+		Source:  &sim.SourceAdapter{B: bern},
+		Stats:   coll,
+	})
+	if err != nil {
+		return DesignBench{}, err
+	}
+	eng := net.Engine
+	eng.Run(cfg.Warmup)
+
+	packets0 := coll.Results().Packets
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	t0 := time.Now()
+	eng.Run(cfg.Cycles)
+	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
+	packets := coll.Results().Packets - packets0
+
+	n := float64(cfg.Cycles)
+	return DesignBench{
+		NsPerCycle:     float64(elapsed.Nanoseconds()) / n,
+		AllocsPerCycle: float64(m1.Mallocs-m0.Mallocs) / n,
+		BytesPerCycle:  float64(m1.TotalAlloc-m0.TotalAlloc) / n,
+		FlitsPerSec:    float64(packets*uint64(cfg.FlitsPkt)) / elapsed.Seconds(),
+		Cycles:         cfg.Cycles,
+	}, nil
+}
+
+// loadBaseline resolves the record to compare against: an explicit path, or
+// the lexicographically-latest BENCH_*.json in dir other than the one about
+// to be written (file names embed the date, so name order is date order).
+func loadBaseline(explicit, dir, exclude string) (*BenchFile, string, error) {
+	path := explicit
+	if path == "" {
+		matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+		if err != nil {
+			return nil, "", err
+		}
+		sort.Strings(matches)
+		for i := len(matches) - 1; i >= 0; i-- {
+			if filepath.Base(matches[i]) != exclude {
+				path = matches[i]
+				break
+			}
+		}
+		if path == "" {
+			return nil, "", nil
+		}
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", err
+	}
+	var rec BenchFile
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, "", fmt.Errorf("dxbar-bench: parsing %s: %w", path, err)
+	}
+	return &rec, path, nil
+}
+
+func writeRecord(path string, rec BenchFile) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare prints a per-design delta table and reports whether everything is
+// within tolerance. ns/cycle may regress by the fractional tolerance;
+// allocs/cycle may not grow beyond tolerance (with a small absolute floor so
+// a 0→0.01 jitter does not fail).
+func compare(old, cur BenchFile, tol float64) bool {
+	names := make([]string, 0, len(cur.Designs))
+	for name := range cur.Designs {
+		if _, ok := old.Designs[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	ok := true
+	for _, name := range names {
+		o, c := old.Designs[name], cur.Designs[name]
+		nsDelta := (c.NsPerCycle - o.NsPerCycle) / o.NsPerCycle
+		status := "ok"
+		if c.NsPerCycle > o.NsPerCycle*(1+tol) {
+			status = "REGRESSION(ns)"
+			ok = false
+		}
+		if c.AllocsPerCycle > o.AllocsPerCycle*(1+tol)+0.05 {
+			status = "REGRESSION(allocs)"
+			ok = false
+		}
+		fmt.Printf("%-10s ns/cycle %9.1f -> %9.1f (%+6.1f%%)  allocs/cycle %7.2f -> %7.2f  %s\n",
+			name, o.NsPerCycle, c.NsPerCycle, nsDelta*100, o.AllocsPerCycle, c.AllocsPerCycle, status)
+	}
+	if len(names) == 0 {
+		fmt.Println("no overlapping designs to compare")
+	}
+	return ok
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxbar-bench:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"dxbar"
@@ -23,14 +25,41 @@ import (
 
 func main() {
 	var (
-		figFlag = flag.String("fig", "all", "figure to regenerate: 5 6 7 8 9 10 11 12 | table3 | all")
-		quality = flag.String("quality", "quick", "quick | full")
-		seed    = flag.Int64("seed", 42, "random seed")
-		outDir  = flag.String("out", "", "directory for file output (optional)")
-		svg     = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
-		md      = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
+		figFlag    = flag.String("fig", "all", "figure to regenerate: 5 6 7 8 9 10 11 12 | table3 | all")
+		quality    = flag.String("quality", "quick", "quick | full")
+		seed       = flag.Int64("seed", 42, "random seed")
+		outDir     = flag.String("out", "", "directory for file output (optional)")
+		svg        = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
+		md         = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+		}()
+	}
 
 	q := dxbar.Quick
 	if *quality == "full" {

@@ -34,7 +34,6 @@ import (
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
-	"dxbar/internal/traffic"
 )
 
 // Design selects a router microarchitecture.
@@ -275,9 +274,10 @@ type NetworkOptions struct {
 	PortOrderArbitration bool
 }
 
-// NewNetwork assembles a network of the given design around a custom
-// source/sink.
-func NewNetwork(o NetworkOptions) (*Network, error) {
+// prepare validates the options and resolves them into an engine config, a
+// router factory and a fresh meter — the pieces sim.New (and Engine.Reset,
+// for engine reuse) need.
+func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, error) {
 	if o.FairnessThreshold == 0 {
 		o.FairnessThreshold = core.FairnessThreshold
 	}
@@ -288,28 +288,28 @@ func NewNetwork(o NetworkOptions) (*Network, error) {
 		o.FaultPlan = faults.Empty()
 	}
 	if o.FaultPlan.Count() > 0 && o.Design != DesignDXbar && o.Design != DesignUnified {
-		return nil, fmt.Errorf("dxbar: fault injection is only supported for the dxbar/unified designs, not %q", o.Design)
+		return sim.Config{}, nil, nil, fmt.Errorf("dxbar: fault injection is only supported for the dxbar/unified designs, not %q", o.Design)
 	}
 	algo, err := routing.New(o.Routing)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, nil, nil, err
 	}
 	depth, err := bufferDepthFor(o.Design)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, nil, nil, err
 	}
 	if o.BufferDepth != 0 {
 		if o.Design != DesignDXbar {
-			return nil, fmt.Errorf("dxbar: BufferDepth override is only supported for the dxbar design")
+			return sim.Config{}, nil, nil, fmt.Errorf("dxbar: BufferDepth override is only supported for the dxbar design")
 		}
 		depth = o.BufferDepth
 	}
 	meter := meterFor(o.Design)
 	factory, err := factoryFor(o.Design, algo, o.FairnessThreshold, depth, o.PortOrderArbitration, o.FaultPlan)
 	if err != nil {
-		return nil, err
+		return sim.Config{}, nil, nil, err
 	}
-	eng, err := sim.New(sim.Config{
+	return sim.Config{
 		Mesh:        o.Mesh,
 		Meter:       meter,
 		Stats:       o.Stats,
@@ -318,7 +318,17 @@ func NewNetwork(o NetworkOptions) (*Network, error) {
 		BufferDepth: depth,
 		CreditDelay: o.CreditDelay,
 		PreCycle:    o.PreCycle,
-	}, factory)
+	}, factory, meter, nil
+}
+
+// NewNetwork assembles a network of the given design around a custom
+// source/sink.
+func NewNetwork(o NetworkOptions) (*Network, error) {
+	cfg, factory, meter, err := prepare(o)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := sim.New(cfg, factory)
 	if err != nil {
 		return nil, err
 	}
@@ -327,76 +337,5 @@ func NewNetwork(o NetworkOptions) (*Network, error) {
 
 // Run executes one open-loop synthetic-traffic simulation.
 func Run(c Config) (Result, error) {
-	cfg := c.withDefaults()
-	mesh, err := topology.NewMesh(cfg.Width, cfg.Height)
-	if err != nil {
-		return Result{}, err
-	}
-	pattern, err := traffic.New(cfg.Pattern, mesh)
-	if err != nil {
-		return Result{}, err
-	}
-	bern, err := traffic.NewBernoulli(mesh, pattern, cfg.Load, cfg.FlitsPerPacket, cfg.Seed)
-	if err != nil {
-		return Result{}, err
-	}
-	var plan *faults.Plan
-	if cfg.FaultFraction > 0 {
-		switch cfg.FaultGranularity {
-		case "", "crossbar":
-			plan, err = faults.NewPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
-		case "crosspoint":
-			plan, err = faults.NewCrosspointPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
-		default:
-			return Result{}, fmt.Errorf("dxbar: unknown fault granularity %q", cfg.FaultGranularity)
-		}
-		if err != nil {
-			return Result{}, err
-		}
-	}
-	coll := stats.NewCollector(mesh.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
-	if cfg.TrackUtilization {
-		coll.EnableLinkUtilization(mesh.Nodes())
-	}
-	net, err := NewNetwork(NetworkOptions{
-		Design:               cfg.Design,
-		Routing:              cfg.Routing,
-		Mesh:                 mesh,
-		Source:               sim.SourceAdapter{B: bern},
-		Stats:                coll,
-		FairnessThreshold:    cfg.FairnessThreshold,
-		FaultPlan:            plan,
-		BufferDepth:          cfg.BufferDepth,
-		CreditDelay:          cfg.CreditDelay,
-		PortOrderArbitration: cfg.PortOrderArbitration,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-
-	net.Engine.Run(cfg.WarmupCycles)
-	base := net.Meter.Snapshot()
-	net.Engine.Run(cfg.MeasureCycles)
-	window := net.Meter.Snapshot().Sub(base)
-
-	res := Result{
-		Results:         coll.Results(),
-		EventCounts:     window,
-		TotalEnergyNJ:   net.Meter.EnergyPJ(window) / 1000.0,
-		Design:          cfg.Design,
-		Routing:         cfg.Routing,
-		Pattern:         cfg.Pattern,
-		Load:            cfg.Load,
-		NodeUtilization: coll.NodeUtilization(),
-		Width:           cfg.Width,
-		Height:          cfg.Height,
-	}
-	if res.Packets > 0 {
-		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)
-	}
-	res.Power, err = net.Meter.Breakdown(string(cfg.Design), window, cfg.MeasureCycles, mesh.Nodes())
-	if err != nil {
-		return Result{}, err
-	}
-	return res, nil
+	return newRunner().run(c)
 }

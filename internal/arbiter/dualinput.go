@@ -48,6 +48,8 @@ type DualGrant [2]int
 type DualInput struct {
 	numPorts, numOut int
 	swaps            uint64
+	outWinner        []int       // per-Allocate scratch
+	grants           []DualGrant // per-Allocate scratch, aliased by the result
 }
 
 // NewDualInput returns an allocator for numPorts input ports and numOut
@@ -56,7 +58,12 @@ func NewDualInput(numPorts, numOut int) *DualInput {
 	if numPorts <= 0 || numPorts > 64 || numOut <= 0 || numOut > 64 {
 		panic("arbiter: invalid dual-input allocator radix")
 	}
-	return &DualInput{numPorts: numPorts, numOut: numOut}
+	return &DualInput{
+		numPorts:  numPorts,
+		numOut:    numOut,
+		outWinner: make([]int, numOut),
+		grants:    make([]DualGrant, numPorts),
+	}
 }
 
 // Swaps returns the cumulative number of conflict-free swaps performed.
@@ -67,6 +74,9 @@ func (d *DualInput) Swaps() uint64 { return d.swaps }
 // fairness counter of §II.A.2 drives this). Each output is granted to at
 // most one (port, sub-input); each port receives at most two grants, one
 // per sub-input, on distinct outputs.
+//
+// The returned slice is the allocator's own scratch: it is valid until the
+// next Allocate call (routers consume it within the same cycle).
 func (d *DualInput) Allocate(reqs []DualRequest, preferBuffered bool) []DualGrant {
 	if len(reqs) != d.numPorts {
 		panic("arbiter: request slice has wrong port count")
@@ -79,7 +89,7 @@ func (d *DualInput) Allocate(reqs []DualRequest, preferBuffered bool) []DualGran
 	// Stage 1: per-output arbitration over OR-ed port-level requests.
 	// Priority: preferred-class requesters beat the other class; within a
 	// class, lower age wins; ties break on port index.
-	outWinner := make([]int, d.numOut)
+	outWinner := d.outWinner
 	for o := range outWinner {
 		outWinner[o] = -1
 	}
@@ -108,7 +118,7 @@ func (d *DualInput) Allocate(reqs []DualRequest, preferBuffered bool) []DualGran
 	}
 
 	// Stage 2: per-port serial V:1 arbitration.
-	grants := make([]DualGrant, d.numPorts)
+	grants := d.grants
 	for p := range grants {
 		grants[p] = DualGrant{-1, -1}
 	}

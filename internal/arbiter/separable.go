@@ -10,15 +10,19 @@ type Separable struct {
 	numIn, numOut int
 	outArb        []*RoundRobin // per output, over inputs
 	inArb         []*RoundRobin // per input, over outputs
+	outWinner     []int         // per-Allocate scratch
+	grant         []int         // per-Allocate scratch, aliased by the result
 }
 
 // NewSeparable returns a separable allocator of the given radix.
 func NewSeparable(numIn, numOut int) *Separable {
 	s := &Separable{
-		numIn:  numIn,
-		numOut: numOut,
-		outArb: make([]*RoundRobin, numOut),
-		inArb:  make([]*RoundRobin, numIn),
+		numIn:     numIn,
+		numOut:    numOut,
+		outArb:    make([]*RoundRobin, numOut),
+		inArb:     make([]*RoundRobin, numIn),
+		outWinner: make([]int, numOut),
+		grant:     make([]int, numIn),
 	}
 	for o := range s.outArb {
 		s.outArb[o] = NewRoundRobin(numIn)
@@ -34,12 +38,15 @@ func NewSeparable(numIn, numOut int) *Separable {
 // input i, or -1. Each output is granted to at most one input and each input
 // receives at most one output. Arbiter pointers advance only for
 // granted input/output pairs so unsuccessful requesters keep their priority.
+//
+// The returned slice is the allocator's own scratch: it is valid until the
+// next Allocate call (routers consume it within the same cycle).
 func (s *Separable) Allocate(req [][]bool) []int {
 	if len(req) != s.numIn {
 		panic("arbiter: request matrix has wrong input count")
 	}
 	// Stage 1: output arbitration.
-	outWinner := make([]int, s.numOut) // input granted each output, or -1
+	outWinner := s.outWinner // input granted each output, or -1
 	for o := 0; o < s.numOut; o++ {
 		var mask uint64
 		for i := 0; i < s.numIn; i++ {
@@ -50,7 +57,7 @@ func (s *Separable) Allocate(req [][]bool) []int {
 		outWinner[o] = s.outArb[o].Peek(mask)
 	}
 	// Stage 2: input arbitration among granted outputs.
-	grant := make([]int, s.numIn)
+	grant := s.grant
 	for i := range grant {
 		grant[i] = -1
 	}

@@ -132,3 +132,12 @@ func (c *Credits) pending() int {
 // Outstanding returns credits consumed but not yet returned or in flight —
 // i.e. flits currently occupying downstream resources.
 func (c *Credits) Outstanding() int { return c.max - c.available - c.pending() }
+
+// Reset restores the counter to its initial full-capacity state, clearing
+// the return pipeline (engine reuse between runs).
+func (c *Credits) Reset() {
+	c.available = c.max
+	for i := range c.inflight {
+		c.inflight[i] = 0
+	}
+}

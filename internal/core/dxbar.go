@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"sort"
 
 	"dxbar/internal/buffer"
 	"dxbar/internal/crossbar"
@@ -50,6 +49,17 @@ type DXbar struct {
 	// portOrder switches arbitration from age-based to static port order
 	// (an ablation of the paper's age-based priority, §II.A).
 	portOrder bool
+
+	// Per-Step scratch, reused across cycles.
+	incoming []inFlit
+	waiters  []waiter
+}
+
+// inFlit pairs an arriving flit with the input port it was latched on (the
+// old per-cycle map[*flit.Flit]flit.Port, flattened onto the hot path).
+type inFlit struct {
+	f    *flit.Flit
+	port flit.Port
 }
 
 // secondaryInjIn is the secondary-crossbar input index of the PE injection
@@ -80,6 +90,8 @@ func NewDXbarDepth(env *sim.Env, algo routing.Algorithm, threshold, depth int, f
 		secondary: crossbar.NewXBar(flit.NumPorts, flit.NumPorts),
 		fair:      newFairness(threshold),
 		detector:  fault,
+		incoming:  make([]inFlit, 0, flit.NumLinkPorts),
+		waiters:   make([]waiter, 0, flit.NumPorts),
 	}
 	if d.detector == nil {
 		d.detector = faults.NewDetector(faults.Fault{}, faults.DefaultDetectionDelay, false)
@@ -122,17 +134,15 @@ func (d *DXbar) Step(cycle uint64) {
 	detected := d.detector.Detected(cycle)
 
 	// Gather incoming flits (age order) and waiting flits.
-	incoming := make([]*flit.Flit, 0, flit.NumLinkPorts)
-	inPort := make(map[*flit.Flit]flit.Port, flit.NumLinkPorts)
+	incoming := d.incoming[:0]
 	for p := flit.North; p <= flit.West; p++ {
 		if f := env.In[p]; f != nil {
 			env.In[p] = nil
-			incoming = append(incoming, f)
-			inPort[f] = p
+			incoming = append(incoming, inFlit{f: f, port: p})
 		}
 	}
 	if !d.portOrder {
-		sort.Slice(incoming, func(i, j int) bool { return incoming[i].Older(incoming[j]) })
+		sortInFlits(incoming)
 	}
 
 	waiters := d.collectWaiters()
@@ -147,24 +157,24 @@ func (d *DXbar) Step(cycle uint64) {
 		// router through the secondary crossbar. Only flits already
 		// buffered at the start of the cycle compete (a buffer cannot be
 		// written and read in the same cycle).
-		for _, f := range incoming {
-			d.bufferFlit(f, inPort[f], cycle)
+		for _, in := range incoming {
+			d.bufferFlit(in.f, in.port, cycle)
 		}
 		waiterWon = d.allocateWaiters(waiters, detected, cycle)
 	case detected && d.secondary.Dead():
 		// Degraded mode B: the secondary fabric is out; the 2×2 steering
 		// crossbars give the buffers (and, on idle rows, the injection
 		// port) access to the primary crossbar. One flit per input row.
-		primaryWon, waiterWon = d.allocateDegradedPrimary(incoming, inPort, flip, cycle)
+		primaryWon, waiterWon = d.allocateDegradedPrimary(incoming, flip, cycle)
 	default:
 		// Healthy (or not-yet-detected) operation.
 		// The pre-collected waiter list is used in both orders: a flit
 		// buffered this cycle must not be read back out in the same cycle.
 		if flip {
 			waiterWon = d.allocateWaiters(waiters, detected, cycle)
-			primaryWon = d.allocateIncoming(incoming, inPort, cycle)
+			primaryWon = d.allocateIncoming(incoming, cycle)
 		} else {
-			primaryWon = d.allocateIncoming(incoming, inPort, cycle)
+			primaryWon = d.allocateIncoming(incoming, cycle)
 			waiterWon = d.allocateWaiters(waiters, detected, cycle)
 		}
 	}
@@ -172,9 +182,37 @@ func (d *DXbar) Step(cycle uint64) {
 	d.fair.observe(waitersExist, primaryWon, waiterWon)
 }
 
-// collectWaiters lists the current buffer heads and the injection head.
+// sortInFlits sorts arrivals oldest-first (insertion sort over at most four
+// entries; Older is a total order, so the result matches any sort).
+func sortInFlits(ins []inFlit) {
+	for i := 1; i < len(ins); i++ {
+		e := ins[i]
+		j := i - 1
+		for j >= 0 && e.f.Older(ins[j].f) {
+			ins[j+1] = ins[j]
+			j--
+		}
+		ins[j+1] = e
+	}
+}
+
+// sortWaiters sorts waiters oldest-first (same argument as sortInFlits).
+func sortWaiters(ws []waiter) {
+	for i := 1; i < len(ws); i++ {
+		e := ws[i]
+		j := i - 1
+		for j >= 0 && e.f.Older(ws[j].f) {
+			ws[j+1] = ws[j]
+			j--
+		}
+		ws[j+1] = e
+	}
+}
+
+// collectWaiters lists the current buffer heads and the injection head into
+// the router's reusable scratch.
 func (d *DXbar) collectWaiters() []waiter {
-	ws := make([]waiter, 0, flit.NumPorts)
+	ws := d.waiters[:0]
 	for p := flit.North; p <= flit.West; p++ {
 		if h := d.buffers[p].Head(); h != nil {
 			ws = append(ws, waiter{f: h, port: p})
@@ -184,7 +222,7 @@ func (d *DXbar) collectWaiters() []waiter {
 		ws = append(ws, waiter{f: f, port: flit.Local})
 	}
 	if !d.portOrder {
-		sort.Slice(ws, func(i, j int) bool { return ws[i].f.Older(ws[j].f) })
+		sortWaiters(ws)
 	}
 	return ws
 }
@@ -193,10 +231,10 @@ func (d *DXbar) collectWaiters() []waiter {
 // flit, oldest first, attempts its look-ahead output port; winners traverse
 // the primary crossbar and return their credit immediately, losers are
 // demuxed into their input buffer. Returns whether any incoming flit won.
-func (d *DXbar) allocateIncoming(incoming []*flit.Flit, inPort map[*flit.Flit]flit.Port, cycle uint64) bool {
+func (d *DXbar) allocateIncoming(incoming []inFlit, cycle uint64) bool {
 	won := false
-	for _, f := range incoming {
-		p := inPort[f]
+	for _, in := range incoming {
+		f, p := in.f, in.port
 		out := d.requestPort(f)
 		if out != flit.Invalid && d.env.CanSend(out) {
 			if err := d.primary.Connect(int(p), int(out)); err == nil {
@@ -237,7 +275,9 @@ func (d *DXbar) requestPort(f *flit.Flit) flit.Port {
 func (d *DXbar) allocateWaiters(ws []waiter, detected bool, cycle uint64) bool {
 	won := false
 	for _, w := range ws {
-		for _, out := range d.waiterPorts(w.f) {
+		ports := d.waiterPorts(w.f)
+		for k := 0; k < ports.Len(); k++ {
+			out := ports.At(k)
 			if !d.env.CanSend(out) {
 				continue
 			}
@@ -271,15 +311,15 @@ func (d *DXbar) allocateWaiters(ws []waiter, detected bool, cycle uint64) bool {
 // productive set (adaptive re-direction under WF). Adaptive choices are
 // congestion-aware: the port with more downstream credits comes first, so a
 // re-directed flit heads for the less-loaded progressive direction.
-func (d *DXbar) waiterPorts(f *flit.Flit) []flit.Port {
+func (d *DXbar) waiterPorts(f *flit.Flit) routing.PortList {
 	if f.Dst == d.env.Node {
-		return []flit.Port{flit.Local}
+		return routing.Ports(flit.Local)
 	}
 	ports := d.algo.Productive(d.env.Mesh(), d.env.Node, f.Dst)
-	if len(ports) == 2 && d.algo.Adaptive() {
-		a, b := d.env.DownstreamCredits(ports[0]), d.env.DownstreamCredits(ports[1])
+	if ports.Len() == 2 && d.algo.Adaptive() {
+		a, b := d.env.DownstreamCredits(ports.At(0)), d.env.DownstreamCredits(ports.At(1))
 		if a != nil && b != nil && b.Available() > a.Available() {
-			return []flit.Port{ports[1], ports[0]}
+			return routing.Ports(ports.At(1), ports.At(0))
 		}
 	}
 	return ports
@@ -303,14 +343,14 @@ func (d *DXbar) dispatchWaiter(w waiter, out flit.Port, cycle uint64) {
 // no flit arrived (or when the fairness flip prefers waiters) — contends
 // for the primary crossbar; incoming flits that are not the row candidate
 // are buffered. The injection port may use an idle row.
-func (d *DXbar) allocateDegradedPrimary(incoming []*flit.Flit, inPort map[*flit.Flit]flit.Port, flip bool, cycle uint64) (primaryWon, waiterWon bool) {
+func (d *DXbar) allocateDegradedPrimary(incoming []inFlit, flip bool, cycle uint64) (primaryWon, waiterWon bool) {
 	type rowCand struct {
 		f        *flit.Flit
 		isWaiter bool
 	}
 	var rows [flit.NumLinkPorts]rowCand
-	for _, f := range incoming {
-		rows[inPort[f]] = rowCand{f: f}
+	for _, in := range incoming {
+		rows[in.port] = rowCand{f: in.f}
 	}
 	for p := flit.North; p <= flit.West; p++ {
 		h := d.buffers[p].Head()
@@ -326,20 +366,28 @@ func (d *DXbar) allocateDegradedPrimary(incoming []*flit.Flit, inPort map[*flit.
 			rows[p] = rowCand{f: h, isWaiter: true}
 		}
 	}
-	// Age-ordered allocation over the row candidates.
-	order := make([]flit.Port, 0, flit.NumLinkPorts)
+	// Age-ordered allocation over the row candidates (insertion sort over a
+	// fixed-size array; Older is a total order).
+	var order [flit.NumLinkPorts]flit.Port
+	n := 0
 	for p := flit.North; p <= flit.West; p++ {
 		if rows[p].f != nil {
-			order = append(order, p)
+			i := n
+			for i > 0 && rows[p].f.Older(rows[order[i-1]].f) {
+				order[i] = order[i-1]
+				i--
+			}
+			order[i] = p
+			n++
 		}
 	}
-	sort.Slice(order, func(i, j int) bool { return rows[order[i]].f.Older(rows[order[j]].f) })
 	usedRow := [flit.NumLinkPorts]bool{}
-	for _, p := range order {
+	for _, p := range order[:n] {
 		cand := rows[p]
 		ports := d.waiterPorts(cand.f)
 		done := false
-		for _, out := range ports {
+		for k := 0; k < ports.Len(); k++ {
+			out := ports.At(k)
 			if !d.env.CanSend(out) {
 				continue
 			}
@@ -372,7 +420,9 @@ func (d *DXbar) allocateDegradedPrimary(incoming []*flit.Flit, inPort map[*flit.
 				continue
 			}
 			injected := false
-			for _, out := range d.waiterPorts(f) {
+			ports := d.waiterPorts(f)
+			for k := 0; k < ports.Len(); k++ {
+				out := ports.At(k)
 				if !d.env.CanSend(out) {
 					continue
 				}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"errors"
-	"sort"
 
 	"dxbar/internal/arbiter"
 	"dxbar/internal/buffer"
@@ -35,6 +34,10 @@ type Unified struct {
 
 	fair     *fairness
 	detector *faults.Detector
+
+	// Per-Step scratch, reused across cycles.
+	waiters []waiter
+	reqs    []arbiter.DualRequest
 }
 
 // NewUnified builds a unified dual-input crossbar router. The engine must
@@ -47,6 +50,8 @@ func NewUnified(env *sim.Env, algo routing.Algorithm, threshold int, fault *faul
 		alloc:    arbiter.NewDualInput(flit.NumPorts, flit.NumPorts),
 		fair:     newFairness(threshold),
 		detector: fault,
+		waiters:  make([]waiter, 0, flit.NumPorts),
+		reqs:     make([]arbiter.DualRequest, flit.NumPorts),
 	}
 	if u.detector == nil {
 		u.detector = faults.NewDetector(faults.Fault{}, faults.DefaultDetectionDelay, false)
@@ -72,11 +77,11 @@ func (u *Unified) Step(cycle uint64) {
 	}
 
 	// Gather incoming flits and waiting flits.
-	var inFlit [flit.NumLinkPorts]*flit.Flit
+	var arrived [flit.NumLinkPorts]*flit.Flit
 	for p := flit.North; p <= flit.West; p++ {
 		if f := env.In[p]; f != nil {
 			env.In[p] = nil
-			inFlit[p] = f
+			arrived[p] = f
 		}
 	}
 	waiters := u.collectWaiters()
@@ -86,11 +91,15 @@ func (u *Unified) Step(cycle uint64) {
 	// Build the dual-input request vectors. Sub-input 0 (bufferless, low
 	// entry) carries the incoming flit's single look-ahead request;
 	// sub-input 1 (buffered, high entry) carries the buffer head's (or, on
-	// port index 4, the injection flit's) full productive set.
-	reqs := make([]arbiter.DualRequest, flit.NumPorts)
+	// port index 4, the injection flit's) full productive set. The request
+	// slice is the router's reusable scratch.
+	reqs := u.reqs
+	for i := range reqs {
+		reqs[i] = arbiter.DualRequest{}
+	}
 	var waiterAt [flit.NumPorts]*waiter
 	for p := flit.North; p <= flit.West; p++ {
-		if f := inFlit[p]; f != nil {
+		if f := arrived[p]; f != nil {
 			out := u.requestPort(f)
 			if out != flit.Invalid && env.CanSend(out) {
 				reqs[p].Want[arbiter.SubBufferless] = 1 << uint(out)
@@ -105,8 +114,9 @@ func (u *Unified) Step(cycle uint64) {
 			idx = secondaryInjIn
 		}
 		var mask uint64
-		for _, out := range u.waiterPorts(w.f) {
-			if env.CanSend(out) {
+		ports := u.waiterPorts(w.f)
+		for k := 0; k < ports.Len(); k++ {
+			if out := ports.At(k); env.CanSend(out) {
 				mask |= 1 << uint(out)
 			}
 		}
@@ -130,11 +140,11 @@ func (u *Unified) Step(cycle uint64) {
 			entIncoming, entBuffered = crossbar.EntryHigh, crossbar.EntryLow
 		}
 		if gIncoming != -1 && p < flit.NumLinkPorts {
-			f := inFlit[p]
+			f := arrived[p]
 			if err := u.xbar.Connect(p, entIncoming, gIncoming); err == nil {
 				env.ReturnCredit(flit.Port(p))
 				u.sendVia(flit.Port(gIncoming), f, cycle)
-				inFlit[p] = nil
+				arrived[p] = nil
 				primaryWon = true
 			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
 				panic(err)
@@ -154,7 +164,7 @@ func (u *Unified) Step(cycle uint64) {
 	// Losing (or fault-blocked) incoming flits are demuxed into their
 	// buffers, exactly as in the dual-crossbar design.
 	for p := flit.North; p <= flit.West; p++ {
-		if f := inFlit[p]; f != nil {
+		if f := arrived[p]; f != nil {
 			u.bufferFlit(f, p, cycle)
 		}
 	}
@@ -163,7 +173,7 @@ func (u *Unified) Step(cycle uint64) {
 }
 
 func (u *Unified) collectWaiters() []waiter {
-	ws := make([]waiter, 0, flit.NumPorts)
+	ws := u.waiters[:0]
 	for p := flit.North; p <= flit.West; p++ {
 		if h := u.buffers[p].Head(); h != nil {
 			ws = append(ws, waiter{f: h, port: p})
@@ -172,7 +182,7 @@ func (u *Unified) collectWaiters() []waiter {
 	if f := u.env.InjectionHead(); f != nil {
 		ws = append(ws, waiter{f: f, port: flit.Local})
 	}
-	sort.Slice(ws, func(i, j int) bool { return ws[i].f.Older(ws[j].f) })
+	sortWaiters(ws)
 	return ws
 }
 
@@ -186,9 +196,9 @@ func (u *Unified) requestPort(f *flit.Flit) flit.Port {
 	return routing.Request(u.algo, u.env.Mesh(), u.env.Node, f.Dst)
 }
 
-func (u *Unified) waiterPorts(f *flit.Flit) []flit.Port {
+func (u *Unified) waiterPorts(f *flit.Flit) routing.PortList {
 	if f.Dst == u.env.Node {
-		return []flit.Port{flit.Local}
+		return routing.Ports(flit.Local)
 	}
 	return u.algo.Productive(u.env.Mesh(), u.env.Node, f.Dst)
 }

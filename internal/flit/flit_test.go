@@ -165,19 +165,23 @@ func TestReassemblerDuplicateIgnored(t *testing.T) {
 
 func TestReassemblerInterleavedPackets(t *testing.T) {
 	r := NewReassembler()
+	completed := 0
 	for seq := uint16(0); seq < 4; seq++ {
 		for pid := uint64(1); pid <= 3; pid++ {
 			_, done := r.Accept(&Flit{ID: pid*100 + uint64(seq), PacketID: pid, Seq: seq, NumFlits: 4}, uint64(seq))
 			if done != (seq == 3) {
 				t.Fatalf("pkt %d seq %d: done=%v", pid, seq, done)
 			}
+			if done {
+				completed++
+			}
 		}
 	}
-	if got := len(r.Drain()); got != 3 {
-		t.Errorf("Drain returned %d packets, want 3", got)
+	if completed != 3 {
+		t.Errorf("completed %d packets, want 3", completed)
 	}
-	if got := len(r.Drain()); got != 0 {
-		t.Errorf("second Drain returned %d packets, want 0", got)
+	if r.Pending() != 0 {
+		t.Errorf("pending after completion = %d, want 0", r.Pending())
 	}
 }
 

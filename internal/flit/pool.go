@@ -1,0 +1,72 @@
+package flit
+
+// Pool is a per-engine free list of Flit objects. The simulation engine is
+// single-threaded, so a plain LIFO free list beats sync.Pool here: no
+// locking, no per-P caches that drain under GC pressure, and deterministic
+// reuse order (the same seed replays the same pointer lifetimes, which keeps
+// runs bit-for-bit reproducible).
+//
+// Ownership rule: a flit has exactly one owner at any cycle — an input
+// latch, an output latch, a link stage, a buffer slot, an injection queue or
+// the retransmit wheel. The owner that removes a flit from the network for
+// good (the engine, at ejection) must Put it back. Producers overwrite every
+// field when they acquire a flit (see traffic.PacketSpec.AppendFlits); the
+// pool never zeroes.
+type Pool struct {
+	free        []*Flit
+	outstanding int
+}
+
+// NewPool returns an empty pool.
+func NewPool() *Pool { return &Pool{} }
+
+// Get returns a flit for reuse, allocating only when the free list is
+// empty. The caller must overwrite every field — stale state from the
+// flit's previous life is preserved otherwise.
+func (p *Pool) Get() *Flit {
+	p.outstanding++
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		return f
+	}
+	return new(Flit)
+}
+
+// Put returns a flit whose network life has ended. The caller must drop its
+// reference: a flit that is Put twice, or used after Put, corrupts the free
+// list.
+func (p *Pool) Put(f *Flit) {
+	p.outstanding--
+	p.free = append(p.free, f)
+}
+
+// Outstanding returns Gets minus Puts — the number of live flits the pool
+// has handed out. After a network drains completely this must equal zero;
+// the leak regression test asserts exactly that.
+func (p *Pool) Outstanding() int { return p.outstanding }
+
+// FreeLen returns the free-list length (diagnostics).
+func (p *Pool) FreeLen() int { return len(p.free) }
+
+// DropOutstanding abandons the pool's claim on every outstanding flit
+// without recycling them. Engine.Reset uses it: flits still held by
+// discarded routers become ordinary garbage, while the free list is kept
+// for the next run.
+func (p *Pool) DropOutstanding() { p.outstanding = 0 }
+
+// SortByAge sorts fs oldest-first (see Older). Insertion sort: every call
+// site sorts at most NumPorts flits, so this beats sort.Slice while staying
+// allocation-free, and Older's total order makes the result identical to
+// any comparison sort.
+func SortByAge(fs []*Flit) {
+	for i := 1; i < len(fs); i++ {
+		f := fs[i]
+		j := i - 1
+		for j >= 0 && f.Older(fs[j]) {
+			fs[j+1] = fs[j]
+			j--
+		}
+		fs[j+1] = f
+	}
+}

@@ -6,11 +6,13 @@ package flit
 // completed when all NumFlits flits have arrived.
 //
 // A Reassembler belongs to a single node and is not safe for concurrent use
-// (the simulator is single-threaded per network).
+// (the simulator is single-threaded per network). Assembly entries are
+// recycled on a free list so steady-state reassembly does not allocate, and
+// single-flit packets (the paper's synthetic configuration) bypass the
+// pending table entirely.
 type Reassembler struct {
 	pending map[uint64]*assembly
-	// Completed packets since the last Drain call, in completion order.
-	done []Packet
+	freeAsm []*assembly
 }
 
 // Packet is a fully reassembled packet as seen by the destination.
@@ -44,16 +46,32 @@ func NewReassembler() *Reassembler {
 // flits (same PacketID/Seq — possible only if a design retransmits without
 // deduplication) are ignored.
 func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
+	if f.NumFlits == 1 {
+		// Single-flit fast path: no pending entry ever exists.
+		return Packet{
+			PacketID:        f.PacketID,
+			Src:             f.Src,
+			Dst:             f.Dst,
+			Kind:            f.Kind,
+			NumFlits:        1,
+			InjectionCycle:  f.InjectionCycle,
+			CompletionCycle: cycle,
+			Hops:            f.Hops,
+			Deflections:     f.Deflections,
+			Retransmits:     f.Retransmits,
+		}, true
+	}
 	a, ok := r.pending[f.PacketID]
 	if !ok {
-		a = &assembly{pkt: Packet{
+		a = r.newAssembly()
+		a.pkt = Packet{
 			PacketID:       f.PacketID,
 			Src:            f.Src,
 			Dst:            f.Dst,
 			Kind:           f.Kind,
 			NumFlits:       int(f.NumFlits),
 			InjectionCycle: f.InjectionCycle,
-		}}
+		}
 		r.pending[f.PacketID] = a
 	}
 	bit := uint64(1) << (f.Seq % 64)
@@ -68,8 +86,9 @@ func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
 	if a.count == int(f.NumFlits) {
 		a.pkt.CompletionCycle = cycle
 		delete(r.pending, f.PacketID)
-		r.done = append(r.done, a.pkt)
-		return a.pkt, true
+		pkt := a.pkt
+		r.recycle(a)
+		return pkt, true
 	}
 	return Packet{}, false
 }
@@ -77,9 +96,22 @@ func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
 // Pending returns the number of partially assembled packets.
 func (r *Reassembler) Pending() int { return len(r.pending) }
 
-// Drain returns and clears the list of packets completed since the last call.
-func (r *Reassembler) Drain() []Packet {
-	d := r.done
-	r.done = nil
-	return d
+// Reset discards all partial assemblies (Engine.Reset between sweep points).
+func (r *Reassembler) Reset() {
+	for id, a := range r.pending {
+		delete(r.pending, id)
+		r.recycle(a)
+	}
 }
+
+func (r *Reassembler) newAssembly() *assembly {
+	if n := len(r.freeAsm); n > 0 {
+		a := r.freeAsm[n-1]
+		r.freeAsm = r.freeAsm[:n-1]
+		*a = assembly{}
+		return a
+	}
+	return &assembly{}
+}
+
+func (r *Reassembler) recycle(a *assembly) { r.freeAsm = append(r.freeAsm, a) }

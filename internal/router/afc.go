@@ -1,8 +1,6 @@
 package router
 
 import (
-	"sort"
-
 	"dxbar/internal/arbiter"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -38,6 +36,10 @@ type AFC struct {
 
 	fifos [flit.NumLinkPorts]*entryQueue
 	alloc *arbiter.Separable
+
+	// Per-Step scratch, reused across cycles.
+	arrivals []*flit.Flit
+	req      [][]bool
 }
 
 // AFC controller states.
@@ -139,10 +141,15 @@ func (c *AFCController) tick(cycle uint64) {
 // credit loop never throttles deflection).
 func NewAFC(env *sim.Env, algo routing.Algorithm, ctrl *AFCController) *AFC {
 	a := &AFC{
-		env:   env,
-		algo:  algo,
-		ctrl:  ctrl,
-		alloc: arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+		env:      env,
+		algo:     algo,
+		ctrl:     ctrl,
+		alloc:    arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+		arrivals: make([]*flit.Flit, 0, flit.NumPorts),
+		req:      make([][]bool, flit.NumPorts),
+	}
+	for i := range a.req {
+		a.req[i] = make([]bool, flit.NumPorts)
 	}
 	for p := range a.fifos {
 		a.fifos[p] = &entryQueue{}
@@ -180,7 +187,7 @@ func (a *AFC) stepBufferless(cycle uint64) {
 	mesh := env.Mesh()
 	node := env.Node
 
-	arrivals := make([]*flit.Flit, 0, flit.NumPorts)
+	arrivals := a.arrivals[:0]
 	links := 0
 	for p := flit.North; p <= flit.West; p++ {
 		if mesh.HasPort(node, p) {
@@ -201,7 +208,7 @@ func (a *AFC) stepBufferless(cycle uint64) {
 		}
 	}
 
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Older(arrivals[j]) })
+	flit.SortByAge(arrivals)
 	for _, f := range arrivals {
 		out := a.deflectionAssign(f)
 		if out == flit.Invalid {
@@ -228,9 +235,10 @@ func (a *AFC) deflectionAssign(f *flit.Flit) flit.Port {
 	}
 	order := routing.DeflectionOrder(a.algo, env.Mesh(), env.Node, f.Dst)
 	prod := a.algo.Productive(env.Mesh(), env.Node, f.Dst)
-	for i, p := range order {
+	for i := 0; i < order.Len(); i++ {
+		p := order.At(i)
 		if env.OutputFree(p) {
-			if f.Dst == env.Node || i >= len(prod) {
+			if f.Dst == env.Node || i >= prod.Len() {
 				f.Deflections++
 				a.ctrl.windowDeflections++
 			}
@@ -256,17 +264,27 @@ func (a *AFC) stepBuffered(cycle uint64) {
 		env.Stats().BufferingEvent(cycle)
 	}
 
-	req := make([][]bool, flit.NumPorts)
+	req := a.req
 	for i := range req {
-		req[i] = make([]bool, flit.NumPorts)
+		for o := range req[i] {
+			req[i][o] = false
+		}
 	}
 	heads := [flit.NumPorts]*flit.Flit{}
 
-	desired := func(f *flit.Flit) []flit.Port {
+	desired := func(f *flit.Flit) routing.PortList {
 		if f.Dst == env.Node {
-			return []flit.Port{flit.Local}
+			return routing.Ports(flit.Local)
 		}
 		return a.algo.Productive(env.Mesh(), env.Node, f.Dst)
+	}
+	request := func(i int, f *flit.Flit) {
+		ports := desired(f)
+		for k := 0; k < ports.Len(); k++ {
+			if out := ports.At(k); env.CanSend(out) {
+				req[i][out] = true
+			}
+		}
 	}
 	for p := flit.North; p <= flit.West; p++ {
 		h := a.fifos[p].head()
@@ -274,20 +292,12 @@ func (a *AFC) stepBuffered(cycle uint64) {
 			continue
 		}
 		heads[p] = h.f
-		for _, out := range desired(h.f) {
-			if env.CanSend(out) {
-				req[p][out] = true
-			}
-		}
+		request(int(p), h.f)
 	}
 	if a.ctrl.InjectionAllowed() {
 		if f := env.InjectionHead(); f != nil {
 			heads[flit.Local] = f
-			for _, out := range desired(f) {
-				if env.CanSend(out) {
-					req[flit.Local][out] = true
-				}
-			}
+			request(int(flit.Local), f)
 		}
 	}
 

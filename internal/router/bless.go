@@ -15,8 +15,6 @@
 package router
 
 import (
-	"sort"
-
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -30,11 +28,13 @@ import (
 type Bless struct {
 	env  *sim.Env
 	algo routing.Algorithm
+
+	arrivals []*flit.Flit // per-Step scratch, reused across cycles
 }
 
 // NewBless builds a Flit-Bless router for the Env's node.
 func NewBless(env *sim.Env, algo routing.Algorithm) *Bless {
-	return &Bless{env: env, algo: algo}
+	return &Bless{env: env, algo: algo, arrivals: make([]*flit.Flit, 0, flit.NumPorts)}
 }
 
 // Step implements sim.Router.
@@ -44,7 +44,7 @@ func (b *Bless) Step(cycle uint64) {
 	node := env.Node
 
 	// Gather and consume arrivals.
-	arrivals := make([]*flit.Flit, 0, flit.NumPorts)
+	arrivals := b.arrivals[:0]
 	links := 0
 	for p := flit.North; p <= flit.West; p++ {
 		if mesh.HasPort(node, p) {
@@ -67,7 +67,7 @@ func (b *Bless) Step(cycle uint64) {
 	}
 
 	// Oldest-first arbitration over all candidates.
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Older(arrivals[j]) })
+	flit.SortByAge(arrivals)
 
 	for _, f := range arrivals {
 		assigned := b.assign(f)
@@ -94,11 +94,12 @@ func (b *Bless) assign(f *flit.Flit) flit.Port {
 	}
 	order := routing.DeflectionOrder(b.algo, mesh, node, f.Dst)
 	prod := b.algo.Productive(mesh, node, f.Dst)
-	for i, p := range order {
+	for i := 0; i < order.Len(); i++ {
+		p := order.At(i)
 		if env.OutputFree(p) {
 			// Ports beyond the productive prefix are deflections; a flit
 			// that has arrived but lost ejection is also deflected.
-			if f.Dst == node || i >= len(prod) {
+			if f.Dst == node || i >= prod.Len() {
 				f.Deflections++
 			}
 			return p

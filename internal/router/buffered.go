@@ -14,23 +14,35 @@ type bufEntry struct {
 	ready uint64
 }
 
-// entryQueue is a small FIFO of bufEntry (the baseline needs the eligibility
-// timestamp, which buffer.FIFO deliberately does not carry).
+// entryQueue is a small fixed-capacity ring FIFO of bufEntry (the baseline
+// needs the eligibility timestamp, which buffer.FIFO deliberately does not
+// carry). Capacity is fifoDepth: credit flow control guarantees a FIFO never
+// holds more, so the ring allocates nothing after construction.
 type entryQueue struct {
-	entries []bufEntry
+	entries [fifoDepth]bufEntry
+	headIdx int
+	count   int
 }
 
-func (q *entryQueue) push(e bufEntry) { q.entries = append(q.entries, e) }
-func (q *entryQueue) len() int        { return len(q.entries) }
+func (q *entryQueue) push(e bufEntry) {
+	if q.count == fifoDepth {
+		panic("router: entryQueue overflow (credit violation)")
+	}
+	q.entries[(q.headIdx+q.count)%fifoDepth] = e
+	q.count++
+}
+func (q *entryQueue) len() int { return q.count }
 func (q *entryQueue) head() *bufEntry {
-	if len(q.entries) == 0 {
+	if q.count == 0 {
 		return nil
 	}
-	return &q.entries[0]
+	return &q.entries[q.headIdx]
 }
 func (q *entryQueue) pop() bufEntry {
-	e := q.entries[0]
-	q.entries = q.entries[1:]
+	e := q.entries[q.headIdx]
+	q.entries[q.headIdx] = bufEntry{}
+	q.headIdx = (q.headIdx + 1) % fifoDepth
+	q.count--
 	return e
 }
 
@@ -54,6 +66,17 @@ type Buffered struct {
 	// other FIFO only when the preferred one is full).
 	nextFIFO [flit.NumLinkPorts]int
 	alloc    *arbiter.Separable
+
+	// Per-Step allocator scratch, cleared and reused every cycle.
+	req  [][]bool
+	cand [flit.NumPorts][flit.NumPorts]candidate
+}
+
+// candidate is the flit (and its source queue; nil = injection port) behind
+// one request-matrix entry.
+type candidate struct {
+	q *entryQueue
+	f *flit.Flit
 }
 
 // NewBuffered builds a Buffered 4 (split=false) or Buffered 8 (split=true)
@@ -65,6 +88,10 @@ func NewBuffered(env *sim.Env, algo routing.Algorithm, split bool) *Buffered {
 		algo:  algo,
 		split: split,
 		alloc: arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+		req:   make([][]bool, flit.NumPorts),
+	}
+	for i := range b.req {
+		b.req[i] = make([]bool, flit.NumPorts)
 	}
 	for p := range b.fifos {
 		if split {
@@ -101,52 +128,33 @@ func (b *Buffered) Step(cycle uint64) {
 	}
 
 	// Build the request matrix: inputs 0..3 are the link FIFOs, input 4 is
-	// the PE injection port.
-	req := make([][]bool, flit.NumPorts)
-	for i := range req {
-		req[i] = make([]bool, flit.NumPorts)
-	}
-	// cand[i][o] is the candidate flit queue index behind request (i, o).
-	type candidate struct {
-		q *entryQueue
-		f *flit.Flit
-	}
-	cand := make([][]candidate, flit.NumPorts)
-	for i := range cand {
-		cand[i] = make([]candidate, flit.NumPorts)
-	}
-
-	requestPorts := func(i int, q *entryQueue, f *flit.Flit) {
-		for _, p := range b.desiredPorts(f) {
-			if !b.env.CanSend(p) {
-				continue
-			}
-			o := int(p)
-			if !req[i][o] || (cand[i][o].f != nil && f.Older(cand[i][o].f)) {
-				req[i][o] = true
-				cand[i][o] = candidate{q: q, f: f}
-			}
+	// the PE injection port. The matrix and candidate table live on the
+	// router and are cleared in place each cycle.
+	for i := range b.req {
+		for o := range b.req[i] {
+			b.req[i][o] = false
+			b.cand[i][o] = candidate{}
 		}
 	}
 
 	for p := flit.North; p <= flit.West; p++ {
 		for _, q := range b.fifos[p] {
 			if h := q.head(); h != nil && h.ready <= cycle {
-				requestPorts(int(p), q, h.f)
+				b.requestPorts(int(p), q, h.f)
 			}
 		}
 	}
 	if f := env.InjectionHead(); f != nil {
-		requestPorts(int(flit.Local), nil, f)
+		b.requestPorts(int(flit.Local), nil, f)
 	}
 
 	// Switch allocation and traversal.
-	grants := b.alloc.Allocate(req)
+	grants := b.alloc.Allocate(b.req)
 	for i, o := range grants {
 		if o == -1 {
 			continue
 		}
-		c := cand[i][o]
+		c := b.cand[i][o]
 		outPort := flit.Port(o)
 		if c.q != nil {
 			e := c.q.pop()
@@ -176,12 +184,29 @@ func (b *Buffered) pickQueue(p flit.Port) *entryQueue {
 	return nil
 }
 
+// requestPorts registers input i's candidate flit f (from queue q; q == nil
+// for the injection port) against every sendable desired output.
+func (b *Buffered) requestPorts(i int, q *entryQueue, f *flit.Flit) {
+	ports := b.desiredPorts(f)
+	for k := 0; k < ports.Len(); k++ {
+		p := ports.At(k)
+		if !b.env.CanSend(p) {
+			continue
+		}
+		o := int(p)
+		if !b.req[i][o] || (b.cand[i][o].f != nil && f.Older(b.cand[i][o].f)) {
+			b.req[i][o] = true
+			b.cand[i][o] = candidate{q: q, f: f}
+		}
+	}
+}
+
 // desiredPorts returns the output ports the flit may request here: Local
 // when arrived, otherwise the algorithm's productive set (all of it for the
 // adaptive WF, the single DOR port otherwise).
-func (b *Buffered) desiredPorts(f *flit.Flit) []flit.Port {
+func (b *Buffered) desiredPorts(f *flit.Flit) routing.PortList {
 	if f.Dst == b.env.Node {
-		return []flit.Port{flit.Local}
+		return routing.Ports(flit.Local)
 	}
 	return b.algo.Productive(b.env.Mesh(), b.env.Node, f.Dst)
 }

@@ -1,9 +1,8 @@
 package router
 
 import (
-	"sort"
-
 	"dxbar/internal/flit"
+	"dxbar/internal/routing"
 	"dxbar/internal/sim"
 )
 
@@ -14,18 +13,20 @@ import (
 // also drop (the losing flit cannot wait).
 type Scarab struct {
 	env *sim.Env
+
+	arrivals []*flit.Flit // per-Step scratch, reused across cycles
 }
 
 // NewScarab builds a SCARAB router. SCARAB's routing is minimal adaptive
 // without turn restrictions (bufferless networks cannot deadlock), so no
 // routing.Algorithm parameter exists.
 func NewScarab(env *sim.Env) *Scarab {
-	return &Scarab{env: env}
+	return &Scarab{env: env, arrivals: make([]*flit.Flit, 0, flit.NumPorts)}
 }
 
 // minimalPorts returns the (up to two) minimal directions toward dst,
 // larger-offset dimension first — SCARAB's fully adaptive minimal set.
-func minimalPorts(env *sim.Env, at, dst int) []flit.Port {
+func minimalPorts(env *sim.Env, at, dst int) routing.PortList {
 	m := env.Mesh()
 	ax, ay := m.XY(at)
 	dx, dy := m.XY(dst)
@@ -41,20 +42,20 @@ func minimalPorts(env *sim.Env, at, dst int) []flit.Port {
 		yPort = flit.North
 	}
 	xd, yd := abs(dx-ax), abs(dy-ay)
-	ports := make([]flit.Port, 0, 2)
+	var ports routing.PortList
 	if xd >= yd {
 		if xPort != flit.Invalid {
-			ports = append(ports, xPort)
+			ports.Add(xPort)
 		}
 		if yPort != flit.Invalid {
-			ports = append(ports, yPort)
+			ports.Add(yPort)
 		}
 	} else {
 		if yPort != flit.Invalid {
-			ports = append(ports, yPort)
+			ports.Add(yPort)
 		}
 		if xPort != flit.Invalid {
-			ports = append(ports, xPort)
+			ports.Add(xPort)
 		}
 	}
 	return ports
@@ -66,7 +67,7 @@ func (s *Scarab) Step(cycle uint64) {
 	mesh := env.Mesh()
 	node := env.Node
 
-	arrivals := make([]*flit.Flit, 0, flit.NumPorts)
+	arrivals := s.arrivals[:0]
 	links := 0
 	for p := flit.North; p <= flit.West; p++ {
 		if mesh.HasPort(node, p) {
@@ -77,7 +78,7 @@ func (s *Scarab) Step(cycle uint64) {
 			arrivals = append(arrivals, f)
 		}
 	}
-	sort.Slice(arrivals, func(i, j int) bool { return arrivals[i].Older(arrivals[j]) })
+	flit.SortByAge(arrivals)
 
 	for _, f := range arrivals {
 		if f.Dst == node {
@@ -117,8 +118,9 @@ func (s *Scarab) Step(cycle uint64) {
 }
 
 func (s *Scarab) freeProductive(f *flit.Flit) flit.Port {
-	for _, p := range minimalPorts(s.env, s.env.Node, f.Dst) {
-		if s.env.OutputFree(p) {
+	ports := minimalPorts(s.env, s.env.Node, f.Dst)
+	for i := 0; i < ports.Len(); i++ {
+		if p := ports.At(i); s.env.OutputFree(p) {
 			return p
 		}
 	}
@@ -132,10 +134,10 @@ func (s *Scarab) send(p flit.Port, f *flit.Flit, cycle uint64) {
 	if p != flit.Local {
 		next := env.Mesh().Neighbor(env.Node, p)
 		ports := minimalPorts(env, next, f.Dst)
-		if len(ports) == 0 {
+		if ports.Len() == 0 {
 			f.Route = flit.Local
 		} else {
-			f.Route = ports[0]
+			f.Route = ports.At(0)
 		}
 	}
 	env.Send(p, f)

@@ -16,6 +16,49 @@ import (
 	"dxbar/internal/flit"
 )
 
+// PortList is a fixed-capacity ordered set of cardinal ports returned by
+// routing queries. It is a value type so the per-flit-per-cycle routing
+// calls on the simulator's hot path allocate nothing.
+type PortList struct {
+	ports [flit.NumLinkPorts]flit.Port
+	n     int
+}
+
+// Ports builds a PortList from the given ports in order.
+func Ports(ps ...flit.Port) PortList {
+	var l PortList
+	for _, p := range ps {
+		l.Add(p)
+	}
+	return l
+}
+
+// Add appends a port (panics past NumLinkPorts entries).
+func (l *PortList) Add(p flit.Port) {
+	l.ports[l.n] = p
+	l.n++
+}
+
+// Len returns the number of ports in the list.
+func (l PortList) Len() int { return l.n }
+
+// At returns the i-th port in preference order.
+func (l PortList) At(i int) flit.Port { return l.ports[i] }
+
+// Contains reports whether p is in the list.
+func (l PortList) Contains(p flit.Port) bool {
+	for i := 0; i < l.n; i++ {
+		if l.ports[i] == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Slice returns the ports as a slice backed by the list's array (valid while
+// l is alive; useful in tests).
+func (l *PortList) Slice() []flit.Port { return l.ports[:l.n] }
+
 // Algorithm selects output ports for flits.
 type Algorithm interface {
 	// Name returns the short name used in reports ("DOR", "WF").
@@ -24,7 +67,7 @@ type Algorithm interface {
 	// flit closer to dst *and* are permitted by the algorithm's turn rules,
 	// in preference order (most preferred first). An empty set means the
 	// flit has arrived (at == dst) and must use the Local port.
-	Productive(m Mesh, at, dst int) []flit.Port
+	Productive(m Mesh, at, dst int) PortList
 	// Adaptive reports whether the algorithm permits choosing among multiple
 	// productive ports (WF) or mandates a single one (DOR).
 	Adaptive() bool
@@ -59,20 +102,20 @@ func (DOR) Name() string { return "DOR" }
 func (DOR) Adaptive() bool { return false }
 
 // Productive implements Algorithm. For DOR the set has at most one element.
-func (DOR) Productive(m Mesh, at, dst int) []flit.Port {
+func (DOR) Productive(m Mesh, at, dst int) PortList {
 	ax, ay := m.XY(at)
 	dx, dy := m.XY(dst)
 	switch {
 	case dx < ax:
-		return []flit.Port{flit.West}
+		return Ports(flit.West)
 	case dx > ax:
-		return []flit.Port{flit.East}
+		return Ports(flit.East)
 	case dy < ay:
-		return []flit.Port{flit.North}
+		return Ports(flit.North)
 	case dy > ay:
-		return []flit.Port{flit.South}
+		return Ports(flit.South)
 	}
-	return nil
+	return PortList{}
 }
 
 // WestFirst is the west-first minimal adaptive turn model.
@@ -89,13 +132,13 @@ func (WestFirst) Adaptive() bool { return true }
 // {East, North, South} is legal. The preference order puts the dimension
 // with the larger remaining offset first, which spreads load without
 // violating minimality.
-func (WestFirst) Productive(m Mesh, at, dst int) []flit.Port {
+func (WestFirst) Productive(m Mesh, at, dst int) PortList {
 	ax, ay := m.XY(at)
 	dx, dy := m.XY(dst)
 	if dx < ax {
-		return []flit.Port{flit.West}
+		return Ports(flit.West)
 	}
-	var ports []flit.Port
+	var ports PortList
 	xd, yd := dx-ax, abs(dy-ay)
 	var yPort flit.Port = flit.Invalid
 	if dy < ay {
@@ -105,17 +148,17 @@ func (WestFirst) Productive(m Mesh, at, dst int) []flit.Port {
 	}
 	if xd >= yd {
 		if xd > 0 {
-			ports = append(ports, flit.East)
+			ports.Add(flit.East)
 		}
 		if yPort != flit.Invalid {
-			ports = append(ports, yPort)
+			ports.Add(yPort)
 		}
 	} else {
 		if yPort != flit.Invalid {
-			ports = append(ports, yPort)
+			ports.Add(yPort)
 		}
 		if xd > 0 {
-			ports = append(ports, flit.East)
+			ports.Add(flit.East)
 		}
 	}
 	return ports
@@ -125,10 +168,10 @@ func (WestFirst) Productive(m Mesh, at, dst int) []flit.Port {
 // `at`: the single preferred output port. Flits that have arrived get Local.
 func Request(a Algorithm, m Mesh, at, dst int) flit.Port {
 	ports := a.Productive(m, at, dst)
-	if len(ports) == 0 {
+	if ports.Len() == 0 {
 		return flit.Local
 	}
-	return ports[0]
+	return ports.At(0)
 }
 
 // DeflectionOrder ranks all four cardinal ports of node `at` for a flit bound
@@ -136,25 +179,17 @@ func Request(a Algorithm, m Mesh, at, dst int) flit.Port {
 // remaining existing ports in fixed N,E,S,W order. Deflection routers use it
 // to pick the least-bad port when the productive ones are taken. Ports that
 // face the mesh edge are excluded entirely.
-func DeflectionOrder(a Algorithm, m Mesh, at, dst int) []flit.Port {
+func DeflectionOrder(a Algorithm, m Mesh, at, dst int) PortList {
 	prod := a.Productive(m, at, dst)
-	order := make([]flit.Port, 0, flit.NumLinkPorts)
-	inProd := func(p flit.Port) bool {
-		for _, q := range prod {
-			if q == p {
-				return true
-			}
-		}
-		return false
-	}
-	for _, p := range prod {
-		if m.HasPort(at, p) {
-			order = append(order, p)
+	var order PortList
+	for i := 0; i < prod.Len(); i++ {
+		if p := prod.At(i); m.HasPort(at, p) {
+			order.Add(p)
 		}
 	}
 	for p := flit.North; p <= flit.West; p++ {
-		if !inProd(p) && m.HasPort(at, p) {
-			order = append(order, p)
+		if !prod.Contains(p) && m.HasPort(at, p) {
+			order.Add(p)
 		}
 	}
 	return order

@@ -33,17 +33,17 @@ func TestDORXBeforeY(t *testing.T) {
 	at := mesh.Node(3, 3)
 	// Destination NE: X resolved first, so East.
 	got := a.Productive(mesh, at, mesh.Node(5, 1))
-	if len(got) != 1 || got[0] != flit.East {
-		t.Errorf("DOR NE-dest productive = %v, want [E]", got)
+	if got.Len() != 1 || got.At(0) != flit.East {
+		t.Errorf("DOR NE-dest productive = %v, want [E]", got.Slice())
 	}
 	// Same column: Y only.
 	got = a.Productive(mesh, at, mesh.Node(3, 6))
-	if len(got) != 1 || got[0] != flit.South {
-		t.Errorf("DOR same-column productive = %v, want [S]", got)
+	if got.Len() != 1 || got.At(0) != flit.South {
+		t.Errorf("DOR same-column productive = %v, want [S]", got.Slice())
 	}
 	// Arrived.
-	if got := a.Productive(mesh, at, at); got != nil {
-		t.Errorf("DOR arrived productive = %v, want nil", got)
+	if got := a.Productive(mesh, at, at); got.Len() != 0 {
+		t.Errorf("DOR arrived productive = %v, want empty", got.Slice())
 	}
 }
 
@@ -60,8 +60,8 @@ func TestWestFirstForcesWest(t *testing.T) {
 	a := WestFirst{}
 	at := mesh.Node(5, 5)
 	got := a.Productive(mesh, at, mesh.Node(2, 1))
-	if len(got) != 1 || got[0] != flit.West {
-		t.Errorf("WF westward dest productive = %v, want [W]", got)
+	if got.Len() != 1 || got.At(0) != flit.West {
+		t.Errorf("WF westward dest productive = %v, want [W]", got.Slice())
 	}
 }
 
@@ -69,17 +69,17 @@ func TestWestFirstAdaptiveSet(t *testing.T) {
 	a := WestFirst{}
 	at := mesh.Node(2, 2)
 	got := a.Productive(mesh, at, mesh.Node(5, 6))
-	if len(got) != 2 {
-		t.Fatalf("WF SE dest productive = %v, want two ports", got)
+	if got.Len() != 2 {
+		t.Fatalf("WF SE dest productive = %v, want two ports", got.Slice())
 	}
 	// dy=4 > dx=3 so South preferred first.
-	if got[0] != flit.South || got[1] != flit.East {
-		t.Errorf("WF preference order = %v, want [S E]", got)
+	if got.At(0) != flit.South || got.At(1) != flit.East {
+		t.Errorf("WF preference order = %v, want [S E]", got.Slice())
 	}
 	// dx >= dy prefers East.
 	got = a.Productive(mesh, at, mesh.Node(7, 4))
-	if got[0] != flit.East || got[1] != flit.South {
-		t.Errorf("WF preference order = %v, want [E S]", got)
+	if got.At(0) != flit.East || got.At(1) != flit.South {
+		t.Errorf("WF preference order = %v, want [E S]", got.Slice())
 	}
 }
 
@@ -91,7 +91,7 @@ func TestWestFirstNeverTurnsToWestAfterEast(t *testing.T) {
 			ax, _ := mesh.XY(at)
 			dx, _ := mesh.XY(dst)
 			ports := a.Productive(mesh, at, dst)
-			for _, p := range ports {
+			for _, p := range ports.Slice() {
 				if dx >= ax && p == flit.West {
 					t.Fatalf("WF offered West with dst not west (at=%d dst=%d)", at, dst)
 				}
@@ -112,17 +112,17 @@ func TestMinimalProgressProperty(t *testing.T) {
 			steps := 0
 			for at != dst {
 				ports := a.Productive(mesh, at, dst)
-				if len(ports) == 0 {
+				if ports.Len() == 0 {
 					return false
 				}
 				// Any member of the set must make progress.
-				for _, p := range ports {
+				for _, p := range ports.Slice() {
 					nb := mesh.Neighbor(at, p)
 					if nb == -1 || mesh.Distance(nb, dst) != mesh.Distance(at, dst)-1 {
 						return false
 					}
 				}
-				at = mesh.Neighbor(at, ports[int(pick)%len(ports)])
+				at = mesh.Neighbor(at, ports.At(int(pick)%ports.Len()))
 				steps++
 				if steps > 64 {
 					return false
@@ -151,16 +151,16 @@ func TestRequest(t *testing.T) {
 func TestDeflectionOrder(t *testing.T) {
 	at := mesh.Node(3, 3) // interior: all 4 ports exist
 	order := DeflectionOrder(DOR{}, mesh, at, mesh.Node(5, 5))
-	if len(order) != 4 {
-		t.Fatalf("interior node deflection order has %d ports, want 4", len(order))
+	if order.Len() != 4 {
+		t.Fatalf("interior node deflection order has %d ports, want 4", order.Len())
 	}
-	if order[0] != flit.East {
-		t.Errorf("productive port must come first, got %v", order)
+	if order.At(0) != flit.East {
+		t.Errorf("productive port must come first, got %v", order.Slice())
 	}
 	seen := map[flit.Port]bool{}
-	for _, p := range order {
+	for _, p := range order.Slice() {
 		if seen[p] {
-			t.Fatalf("duplicate port in order %v", order)
+			t.Fatalf("duplicate port in order %v", order.Slice())
 		}
 		seen[p] = true
 	}
@@ -169,10 +169,10 @@ func TestDeflectionOrder(t *testing.T) {
 func TestDeflectionOrderExcludesEdgePorts(t *testing.T) {
 	corner := mesh.Node(0, 0)
 	order := DeflectionOrder(DOR{}, mesh, corner, mesh.Node(5, 5))
-	if len(order) != 2 {
-		t.Fatalf("corner node deflection order = %v, want exactly E,S", order)
+	if order.Len() != 2 {
+		t.Fatalf("corner node deflection order = %v, want exactly E,S", order.Slice())
 	}
-	for _, p := range order {
+	for _, p := range order.Slice() {
 		if p == flit.North || p == flit.West {
 			t.Fatalf("edge-facing port %s offered at corner", p)
 		}
@@ -195,11 +195,11 @@ func TestDeflectionOrderPermutationProperty(t *testing.T) {
 				existing++
 			}
 		}
-		if len(order) != existing {
+		if order.Len() != existing {
 			return false
 		}
 		seen := map[flit.Port]bool{}
-		for _, p := range order {
+		for _, p := range order.Slice() {
 			if seen[p] || !mesh.HasPort(at, p) {
 				return false
 			}
@@ -208,11 +208,11 @@ func TestDeflectionOrderPermutationProperty(t *testing.T) {
 		// Productive prefix check.
 		prod := a.Productive(mesh, at, dst)
 		idx := 0
-		for _, p := range prod {
+		for _, p := range prod.Slice() {
 			if !mesh.HasPort(at, p) {
 				continue
 			}
-			if order[idx] != p {
+			if order.At(idx) != p {
 				return false
 			}
 			idx++

@@ -1,0 +1,72 @@
+package sim
+
+import "dxbar/internal/flit"
+
+// flitDeque is a growable ring deque backing the per-node injection queue.
+// Generation pushes at the back, retransmissions push at the front, routers
+// pop the front — all allocation-free once the ring has grown to the queue's
+// high-water mark (the old slice-based queue reallocated on every front
+// push).
+type flitDeque struct {
+	buf  []*flit.Flit
+	head int
+	n    int
+}
+
+func (q *flitDeque) len() int { return q.n }
+
+// front returns the oldest element without removing it (nil when empty).
+func (q *flitDeque) front() *flit.Flit {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+func (q *flitDeque) pushBack(f *flit.Flit) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = f
+	q.n++
+}
+
+func (q *flitDeque) pushFront(f *flit.Flit) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = f
+	q.n++
+}
+
+func (q *flitDeque) popFront() *flit.Flit {
+	f := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return f
+}
+
+// clear empties the deque, dropping references so flits can be collected or
+// repooled (Engine.Reset).
+func (q *flitDeque) clear() {
+	for i := range q.buf {
+		q.buf[i] = nil
+	}
+	q.head, q.n = 0, 0
+}
+
+// grow doubles the ring (capacity stays a power of two for mask indexing).
+func (q *flitDeque) grow() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	next := make([]*flit.Flit, size)
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = next
+	q.head = 0
+}

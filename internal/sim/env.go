@@ -31,7 +31,7 @@ type Env struct {
 	// port p (wired by the engine; nil when bufferless or no link).
 	upCredit [flit.NumLinkPorts]func()
 
-	injection   []*flit.Flit
+	injection   flitDeque
 	bufferDepth int
 	creditDelay int
 }
@@ -153,21 +153,17 @@ func (env *Env) DownstreamCredits(p flit.Port) *buffer.Credits {
 
 // InjectionHead returns the oldest waiting injection flit (nil if none).
 func (env *Env) InjectionHead() *flit.Flit {
-	if len(env.injection) == 0 {
-		return nil
-	}
-	return env.injection[0]
+	return env.injection.front()
 }
 
 // ConsumeInjection removes the injection-queue head; the router calls it
 // after successfully switching the head flit. The flit's network entry time
 // is stamped for statistics.
 func (env *Env) ConsumeInjection(cycle uint64) *flit.Flit {
-	if len(env.injection) == 0 {
+	if env.injection.len() == 0 {
 		panic("sim: ConsumeInjection on empty queue")
 	}
-	f := env.injection[0]
-	env.injection = env.injection[1:]
+	f := env.injection.popFront()
 	f.EnqueueCycle = cycle
 	return f
 }
@@ -178,16 +174,32 @@ func (env *Env) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 	env.engine.ScheduleRetransmit(f, delay)
 }
 
-func (env *Env) pushBackInjection(f *flit.Flit) { env.injection = append(env.injection, f) }
-func (env *Env) pushFrontInjection(f *flit.Flit) {
-	env.injection = append([]*flit.Flit{f}, env.injection...)
-}
-func (env *Env) injectionLen() int { return len(env.injection) }
+func (env *Env) pushBackInjection(f *flit.Flit)  { env.injection.pushBack(f) }
+func (env *Env) pushFrontInjection(f *flit.Flit) { env.injection.pushFront(f) }
+func (env *Env) injectionLen() int               { return env.injection.len() }
 
 func (env *Env) tickCredits() {
 	for _, c := range env.downCredits {
 		if c != nil {
 			c.Tick()
+		}
+	}
+}
+
+// reset clears all per-run state: latches, the injection queue and the
+// credit counters (Engine.Reset). The credit wiring itself is topology-bound
+// and survives.
+func (env *Env) reset() {
+	for p := range env.In {
+		env.In[p] = nil
+	}
+	for p := range env.out {
+		env.out[p] = nil
+	}
+	env.injection.clear()
+	for _, c := range env.downCredits {
+		if c != nil {
+			c.Reset()
 		}
 	}
 }

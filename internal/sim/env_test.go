@@ -120,11 +120,37 @@ func TestScheduleRetransmitZeroDelay(t *testing.T) {
 	}
 }
 
+// TestScheduleRetransmitDelays pins down delivery timing for delay 1 and a
+// general delay n: a flit scheduled at cycle c with delay d reappears at the
+// head of its source queue at the start of cycle c+d, not a cycle earlier.
+// The 100-cycle case also forces the event wheel to grow past its initial
+// capacity mid-run.
+func TestScheduleRetransmitDelays(t *testing.T) {
+	for _, delay := range []uint64{1, 5, 100} {
+		eng := envFixture(t, 4)
+		f := &flit.Flit{ID: 2, Src: 5, Dst: 9}
+		eng.ScheduleRetransmit(f, delay)
+		for c := uint64(0); c < delay; c++ {
+			if eng.Env(5).InjectionHead() == f {
+				t.Fatalf("delay %d: flit visible at cycle %d, too early", delay, c)
+			}
+			eng.Step()
+		}
+		eng.Step() // the cycle that starts at eng.Cycle() == delay delivers it
+		if eng.Env(5).InjectionHead() != f {
+			t.Errorf("delay %d: flit not re-enqueued at cycle %d", delay, delay)
+		}
+		if f.Retransmits != 1 {
+			t.Errorf("delay %d: retransmit counter = %d, want 1", delay, f.Retransmits)
+		}
+	}
+}
+
 func TestSourceAdapter(t *testing.T) {
 	mesh := topology.MustMesh(4, 4)
 	pat, _ := traffic.New("NB", mesh)
 	bern, _ := traffic.NewBernoulli(mesh, pat, 1.0, 1, 1)
-	src := SourceAdapter{B: bern}
+	src := &SourceAdapter{B: bern}
 	got := 0
 	for n := 0; n < 16; n++ {
 		got += len(src.Generate(n, 0))

@@ -90,10 +90,20 @@ type Engine struct {
 
 	reasm []*flit.Reassembler
 
-	// retransmit events: cycle -> flits to re-enqueue at their source.
-	events map[uint64][]*flit.Flit
+	// wheel holds scheduled retransmissions: flits parked until the cycle
+	// they re-enter their source's injection queue.
+	wheel eventWheel
+
+	// pool recycles ejected flits back to the generation path.
+	pool *flit.Pool
+
+	// genScratch is the per-cycle staging slice for freshly generated flits.
+	genScratch []*flit.Flit
 
 	preCycle func(cycle uint64)
+
+	bufferDepth int
+	creditDelay int
 
 	cycle uint64
 }
@@ -120,8 +130,11 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		sink:      cfg.Sink,
 		linkStage: make([][]*flit.Flit, n),
 		reasm:     make([]*flit.Reassembler, n),
-		events:    make(map[uint64][]*flit.Flit),
-		preCycle:  cfg.PreCycle,
+		wheel:       newEventWheel(64),
+		pool:        flit.NewPool(),
+		preCycle:    cfg.PreCycle,
+		bufferDepth: cfg.BufferDepth,
+		creditDelay: cfg.CreditDelay,
 	}
 	e.envs = make([]*Env, n)
 	for i := 0; i < n; i++ {
@@ -157,15 +170,24 @@ func (e *Engine) Router(i int) Router { return e.routers[i] }
 // Mesh returns the topology.
 func (e *Engine) Mesh() *topology.Mesh { return e.mesh }
 
+// Pool returns the engine's flit free list (leak tests assert that a drained
+// network has zero outstanding flits).
+func (e *Engine) Pool() *flit.Pool { return e.pool }
+
 // ScheduleRetransmit re-enqueues f at the front of its source's injection
 // queue after delay cycles (SCARAB NACK path, fault recovery). The flit's
 // route/hop state is reset at reinjection time.
+//
+// The minimum effective delay is 1 cycle: retransmissions are delivered at
+// the start of a cycle, before the router phase, so a delay of 0 would mean
+// re-enqueueing into a cycle whose injection already happened. Delay 0 is
+// therefore clamped to 1 — the flit reappears at the head of its source
+// queue on the next cycle.
 func (e *Engine) ScheduleRetransmit(f *flit.Flit, delay uint64) {
-	at := e.cycle + delay
 	if delay == 0 {
-		at = e.cycle + 1
+		delay = 1
 	}
-	e.events[at] = append(e.events[at], f)
+	e.wheel.schedule(e.cycle, e.cycle+delay, f)
 }
 
 // Step advances the network by one cycle.
@@ -177,23 +199,22 @@ func (e *Engine) Step() {
 	}
 
 	// Deliver scheduled retransmissions to the front of source queues.
-	if evs, ok := e.events[c]; ok {
-		delete(e.events, c)
-		for _, f := range evs {
-			f.Retransmits++
-			e.envs[f.Src].pushFrontInjection(f)
-		}
+	for _, f := range e.wheel.take(c) {
+		f.Retransmits++
+		e.envs[f.Src].pushFrontInjection(f)
 	}
 
-	// Generation.
+	// Generation. Flits come out of the pool; the staging slice is reused
+	// across cycles so the steady-state path never allocates.
 	if e.source != nil {
 		for nIdx := range e.envs {
 			for _, spec := range e.source.Generate(nIdx, c) {
-				fs := spec.Flits()
+				fs := spec.AppendFlits(e.genScratch[:0], e.pool)
 				e.coll.GeneratedFlits(c, len(fs))
 				for _, f := range fs {
 					e.envs[nIdx].pushBackInjection(f)
 				}
+				e.genScratch = fs[:0]
 			}
 		}
 	}
@@ -259,12 +280,62 @@ func (e *Engine) eject(node int, f *flit.Flit, c uint64) {
 		panic(fmt.Sprintf("sim: flit %v ejected at wrong node %d", f, node))
 	}
 	e.coll.EjectedFlit(c)
-	if pkt, done := e.reasm[node].Accept(f, c); done {
+	pkt, done := e.reasm[node].Accept(f, c)
+	// Ejection ends the flit's network life: reassembly has folded its
+	// counters into the packet, so the flit returns to the pool here.
+	e.pool.Put(f)
+	if done {
 		e.coll.PacketDone(pkt)
 		if e.sink != nil {
 			e.sink.Deliver(pkt, c)
 		}
 	}
+}
+
+// Reset rewires the engine for a fresh run without reallocating its bulk
+// structures (Envs, link stages, credit pipelines, the event wheel, the
+// reassemblers and the flit free list all survive). The new config must use
+// the same Mesh, BufferDepth and CreditDelay as the original — those shaped
+// the credit wiring at construction time — and routers are rebuilt from
+// scratch via the factory, since router-internal state (buffers, pipeline
+// registers, mode controllers) is design-specific.
+//
+// Flits still held by the discarded routers are abandoned to the garbage
+// collector; the pool's outstanding count restarts at zero.
+func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
+	if cfg.Mesh != e.mesh {
+		return fmt.Errorf("sim: Reset requires the same Mesh the engine was built with")
+	}
+	if cfg.Meter == nil || cfg.Stats == nil {
+		return fmt.Errorf("sim: Meter and Stats are required")
+	}
+	if factory == nil {
+		return fmt.Errorf("sim: router factory is required")
+	}
+	if cfg.CreditDelay == 0 {
+		cfg.CreditDelay = 1
+	}
+	if cfg.BufferDepth != e.bufferDepth || cfg.CreditDelay != e.creditDelay {
+		return fmt.Errorf("sim: Reset requires BufferDepth=%d CreditDelay=%d (got %d, %d)",
+			e.bufferDepth, e.creditDelay, cfg.BufferDepth, cfg.CreditDelay)
+	}
+	e.meter = cfg.Meter
+	e.coll = cfg.Stats
+	e.source = cfg.Source
+	e.sink = cfg.Sink
+	e.preCycle = cfg.PreCycle
+	e.cycle = 0
+	e.wheel.reset()
+	e.pool.DropOutstanding()
+	for i := range e.envs {
+		e.envs[i].reset()
+		e.reasm[i].Reset()
+		for p := range e.linkStage[i] {
+			e.linkStage[i][p] = nil
+		}
+		e.routers[i] = factory(e.envs[i])
+	}
+	return nil
 }
 
 // Run advances the engine by n cycles.
@@ -296,13 +367,19 @@ func (e *Engine) QueuedFlits() int {
 	return total
 }
 
-// SourceAdapter wraps a Bernoulli injector as a Source.
-type SourceAdapter struct{ B *traffic.Bernoulli }
+// SourceAdapter wraps a Bernoulli injector as a Source. It must be used by
+// pointer: the returned slice aliases internal scratch that the next
+// Generate call reuses (the engine consumes it within the same cycle).
+type SourceAdapter struct {
+	B       *traffic.Bernoulli
+	scratch [1]*traffic.PacketSpec
+}
 
 // Generate implements Source.
-func (s SourceAdapter) Generate(node int, cycle uint64) []*traffic.PacketSpec {
+func (s *SourceAdapter) Generate(node int, cycle uint64) []*traffic.PacketSpec {
 	if spec := s.B.Generate(node, cycle); spec != nil {
-		return []*traffic.PacketSpec{spec}
+		s.scratch[0] = spec
+		return s.scratch[:]
 	}
 	return nil
 }

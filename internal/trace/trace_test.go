@@ -100,7 +100,7 @@ func TestRecorderCaptures(t *testing.T) {
 	mesh := topology.MustMesh(8, 8)
 	pat, _ := traffic.New("UR", mesh)
 	bern, _ := traffic.NewBernoulli(mesh, pat, 0.5, 1, 1)
-	rec := &Recorder{Inner: sim.SourceAdapter{B: bern}}
+	rec := &Recorder{Inner: &sim.SourceAdapter{B: bern}}
 	got := 0
 	for c := uint64(0); c < 100; c++ {
 		for n := 0; n < 64; n++ {
@@ -157,7 +157,7 @@ func TestRecordReplayEquivalence(t *testing.T) {
 	mesh := topology.MustMesh(8, 8)
 	pat, _ := traffic.New("MT", mesh)
 	bern, _ := traffic.NewBernoulli(mesh, pat, 0.3, 1, 9)
-	rec := &Recorder{Inner: sim.SourceAdapter{B: bern}, Trace: Trace{Width: 8, Height: 8}}
+	rec := &Recorder{Inner: &sim.SourceAdapter{B: bern}, Trace: Trace{Width: 8, Height: 8}}
 	type key struct {
 		c        uint64
 		src, dst int

@@ -23,18 +23,36 @@ type PacketSpec struct {
 func (p PacketSpec) Flits() []*flit.Flit {
 	fs := make([]*flit.Flit, p.NumFlits)
 	for i := range fs {
-		fs[i] = &flit.Flit{
-			ID:             p.ID*uint64(p.NumFlits) + uint64(i),
-			PacketID:       p.ID,
-			Seq:            uint16(i),
-			NumFlits:       p.NumFlits,
-			Src:            p.Src,
-			Dst:            p.Dst,
-			Kind:           p.Kind,
-			InjectionCycle: p.Cycle,
-		}
+		fs[i] = new(flit.Flit)
+		p.fill(fs[i], uint16(i))
 	}
 	return fs
+}
+
+// AppendFlits materializes the spec's flits out of the pool and appends them
+// to dst — the allocation-free path the engine uses on every cycle. Every
+// flit field is overwritten, so pooled flits carry no state from their
+// previous life.
+func (p PacketSpec) AppendFlits(dst []*flit.Flit, pool *flit.Pool) []*flit.Flit {
+	for i := uint16(0); i < p.NumFlits; i++ {
+		f := pool.Get()
+		p.fill(f, i)
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+func (p PacketSpec) fill(f *flit.Flit, seq uint16) {
+	*f = flit.Flit{
+		ID:             p.ID*uint64(p.NumFlits) + uint64(seq),
+		PacketID:       p.ID,
+		Seq:            seq,
+		NumFlits:       p.NumFlits,
+		Src:            p.Src,
+		Dst:            p.Dst,
+		Kind:           p.Kind,
+		InjectionCycle: p.Cycle,
+	}
 }
 
 // Bernoulli is the open-loop injection process of §III.A: each node
@@ -48,6 +66,7 @@ type Bernoulli struct {
 	nflits  uint16
 	rng     *rand.Rand
 	nextID  uint64
+	spec    PacketSpec // reused across Generate calls (see Generate)
 }
 
 // NewBernoulli returns an injector offering `load` flits/node/cycle with
@@ -73,6 +92,10 @@ func NewBernoulli(m *topology.Mesh, p Pattern, load float64, flitsPerPacket int,
 // the new packet spec, or nil. Packets whose pattern maps the node to itself
 // are skipped (deterministic permutations can be self-mapping, e.g. the
 // transpose diagonal).
+//
+// The returned spec is reused by the next Generate call: materialize (or
+// copy) it before calling Generate again. The engine consumes each spec in
+// the same cycle, so the injection hot path stays allocation-free.
 func (b *Bernoulli) Generate(node int, cycle uint64) *PacketSpec {
 	if b.rng.Float64() >= b.prob {
 		return nil
@@ -81,7 +104,7 @@ func (b *Bernoulli) Generate(node int, cycle uint64) *PacketSpec {
 	if dst == node {
 		return nil
 	}
-	spec := &PacketSpec{
+	b.spec = PacketSpec{
 		ID:       b.nextID,
 		Src:      node,
 		Dst:      dst,
@@ -90,7 +113,7 @@ func (b *Bernoulli) Generate(node int, cycle uint64) *PacketSpec {
 		Cycle:    cycle,
 	}
 	b.nextID++
-	return spec
+	return &b.spec
 }
 
 // Pattern returns the injector's traffic pattern.

@@ -1,6 +1,7 @@
 package dxbar
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 )
@@ -11,8 +12,16 @@ import (
 // parallelism is the natural way to use many cores for sweeps; every figure
 // generator routes through RunMany.
 //
-// The first error aborts nothing — all runs complete — but only the first
-// error encountered (in input order) is returned alongside the results.
+// Each worker goroutine owns one runner, so engines (and their flit pools,
+// latches and router scratch) are recycled across the jobs it processes —
+// the per-run allocation cost is paid once per worker, not once per config.
+// Reuse does not change results: a recycled engine is bit-identical to a
+// fresh one for the same config and seed.
+//
+// An error in one config aborts nothing — every run completes. Failed
+// configs leave a zero-valued Result at their index, and all errors are
+// combined with errors.Join (nil when every run succeeded); use
+// errors.Is/As to inspect individual causes.
 func RunMany(configs []Config, workers int) ([]Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -32,8 +41,9 @@ func RunMany(configs []Config, workers int) ([]Result, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			r := newRunner()
 			for i := range jobs {
-				results[i], errs[i] = Run(configs[i])
+				results[i], errs[i] = r.run(configs[i])
 			}
 		}()
 	}
@@ -43,15 +53,12 @@ func RunMany(configs []Config, workers int) ([]Result, error) {
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }
 
-// RunManySplash is RunMany for the closed-loop coherence workloads.
+// RunManySplash is RunMany for the closed-loop coherence workloads: worker
+// goroutines with per-worker engine reuse, zero-valued results for failed
+// configs, and an errors.Join-combined error.
 func RunManySplash(configs []SplashConfig, workers int) ([]SplashResult, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -71,8 +78,9 @@ func RunManySplash(configs []SplashConfig, workers int) ([]SplashResult, error) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			r := newRunner()
 			for i := range jobs {
-				results[i], errs[i] = RunSplash(configs[i])
+				results[i], errs[i] = r.runSplash(configs[i])
 			}
 		}()
 	}
@@ -82,10 +90,5 @@ func RunManySplash(configs []SplashConfig, workers int) ([]SplashResult, error) 
 	close(jobs)
 	wg.Wait()
 
-	for _, err := range errs {
-		if err != nil {
-			return results, err
-		}
-	}
-	return results, nil
+	return results, errors.Join(errs...)
 }

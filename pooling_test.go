@@ -1,0 +1,117 @@
+package dxbar
+
+import (
+	"testing"
+
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// steadyNetwork builds an 8×8 network of the given design driven by
+// uniform-random Bernoulli traffic, for allocation and leak tests.
+func steadyNetwork(t *testing.T, design Design, load float64) *Network {
+	t.Helper()
+	mesh := topology.MustMesh(8, 8)
+	pat, err := traffic.New("UR", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bern, err := traffic.NewBernoulli(mesh, pat, load, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, 1<<40)
+	net, err := NewNetwork(NetworkOptions{
+		Design: design,
+		Mesh:   mesh,
+		Source: &sim.SourceAdapter{B: bern},
+		Stats:  coll,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestStepZeroAllocSteadyState is the tentpole's regression guard: after
+// warmup (flit pool populated, event wheel and router scratch at their
+// steady sizes) the cycle loop must not allocate at all, for every design.
+func TestStepZeroAllocSteadyState(t *testing.T) {
+	// Loads are below each design's saturation point: past saturation the
+	// source queues (and with them the flit pool) grow without bound, which
+	// is real work, not a pooling regression.
+	load := map[Design]float64{DesignFlitBless: 0.12, DesignSCARAB: 0.10}
+	for _, d := range AllDesigns {
+		t.Run(string(d), func(t *testing.T) {
+			l, ok := load[d]
+			if !ok {
+				l = 0.3
+			}
+			net := steadyNetwork(t, d, l)
+			net.Engine.Run(3000)
+			avg := testing.AllocsPerRun(5, func() { net.Engine.Run(200) })
+			if avg != 0 {
+				t.Errorf("%s: %.2f allocations per 200-cycle run in steady state, want 0", d, avg)
+			}
+		})
+	}
+}
+
+// stoppingSource gates a source off after a fixed cycle so the network can
+// drain completely.
+type stoppingSource struct {
+	inner sim.Source
+	stop  uint64
+}
+
+func (s *stoppingSource) Generate(node int, cycle uint64) []*traffic.PacketSpec {
+	if cycle >= s.stop {
+		return nil
+	}
+	return s.inner.Generate(node, cycle)
+}
+
+// TestPoolNoLeakAfterDrain checks the pooling ownership discipline: every
+// flit acquired from the pool is released exactly once (at ejection), so a
+// drained network has zero outstanding flits — across the buffered,
+// deflecting and drop/retransmit designs, with multi-flit packets to
+// exercise reassembly.
+func TestPoolNoLeakAfterDrain(t *testing.T) {
+	for _, d := range []Design{DesignDXbar, DesignUnified, DesignFlitBless, DesignSCARAB, DesignBuffered4} {
+		t.Run(string(d), func(t *testing.T) {
+			mesh := topology.MustMesh(4, 4)
+			pat, err := traffic.New("UR", mesh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bern, err := traffic.NewBernoulli(mesh, pat, 0.4, 2, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			coll := stats.NewCollector(mesh.Nodes(), 0, 1<<40)
+			net, err := NewNetwork(NetworkOptions{
+				Design: d,
+				Mesh:   mesh,
+				Source: &stoppingSource{inner: &sim.SourceAdapter{B: bern}, stop: 500},
+				Stats:  coll,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := net.Engine
+			eng.Run(500)
+			drained := eng.RunUntil(func() bool {
+				return eng.QueuedFlits() == 0 && eng.Pool().Outstanding() == 0
+			}, 20_000)
+			if !drained {
+				t.Fatalf("%s: network did not drain; %d flits outstanding, %d queued",
+					d, eng.Pool().Outstanding(), eng.QueuedFlits())
+			}
+			if got := eng.Pool().Outstanding(); got != 0 {
+				t.Errorf("%s: %d flits leaked from the pool", d, got)
+			}
+		})
+	}
+}

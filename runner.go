@@ -1,0 +1,229 @@
+package dxbar
+
+import (
+	"fmt"
+
+	"dxbar/internal/coherence"
+	"dxbar/internal/faults"
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// engineKey identifies the engines a runner may transparently reuse: an
+// engine can only be Reset into a config with the same mesh and the same
+// structural parameters (buffer depth, credit delay).
+type engineKey struct {
+	width, height int
+	bufferDepth   int
+	creditDelay   int
+}
+
+// runner executes simulations while recycling meshes and engines across
+// runs. Reusing an engine skips re-allocating every latch, buffer and
+// scratch slice of the network (sim.Engine.Reset), which is what makes
+// batch sweeps (RunMany, RunManySplash) cheap: each worker goroutine owns
+// one runner and amortizes the network build over all its jobs.
+//
+// A runner is NOT safe for concurrent use; give each goroutine its own.
+type runner struct {
+	meshes  map[[2]int]*topology.Mesh
+	engines map[engineKey]*sim.Engine
+}
+
+func newRunner() *runner {
+	return &runner{
+		meshes:  make(map[[2]int]*topology.Mesh),
+		engines: make(map[engineKey]*sim.Engine),
+	}
+}
+
+// mesh returns the cached mesh for the given dimensions, building it on
+// first use. Engine reuse depends on mesh identity (sim.Engine.Reset
+// requires the same *topology.Mesh), so all runs of one runner at the same
+// dimensions share one mesh.
+func (r *runner) mesh(w, h int) (*topology.Mesh, error) {
+	key := [2]int{w, h}
+	if m, ok := r.meshes[key]; ok {
+		return m, nil
+	}
+	m, err := topology.NewMesh(w, h)
+	if err != nil {
+		return nil, err
+	}
+	r.meshes[key] = m
+	return m, nil
+}
+
+// network builds (or recycles) a Network for the options. On a cache hit
+// the engine is Reset in place — same mesh, fresh routers, fresh state —
+// which preserves run-to-run determinism: a reset engine produces
+// bit-identical results to a freshly built one.
+func (r *runner) network(o NetworkOptions) (*Network, error) {
+	cfg, factory, meter, err := prepare(o)
+	if err != nil {
+		return nil, err
+	}
+	key := engineKey{
+		width:       o.Mesh.Width,
+		height:      o.Mesh.Height,
+		bufferDepth: cfg.BufferDepth,
+		creditDelay: cfg.CreditDelay,
+	}
+	if key.creditDelay == 0 {
+		key.creditDelay = 1
+	}
+	if eng, ok := r.engines[key]; ok {
+		if err := eng.Reset(cfg, factory); err == nil {
+			return &Network{Engine: eng, Meter: meter, Stats: o.Stats}, nil
+		}
+		// Incompatible (e.g. a different mesh pointer slipped in): fall
+		// through and rebuild.
+		delete(r.engines, key)
+	}
+	eng, err := sim.New(cfg, factory)
+	if err != nil {
+		return nil, err
+	}
+	r.engines[key] = eng
+	return &Network{Engine: eng, Meter: meter, Stats: o.Stats}, nil
+}
+
+// run is the open-loop synthetic-traffic simulation behind the public Run.
+func (r *runner) run(c Config) (Result, error) {
+	cfg := c.withDefaults()
+	mesh, err := r.mesh(cfg.Width, cfg.Height)
+	if err != nil {
+		return Result{}, err
+	}
+	pattern, err := traffic.New(cfg.Pattern, mesh)
+	if err != nil {
+		return Result{}, err
+	}
+	bern, err := traffic.NewBernoulli(mesh, pattern, cfg.Load, cfg.FlitsPerPacket, cfg.Seed)
+	if err != nil {
+		return Result{}, err
+	}
+	var plan *faults.Plan
+	if cfg.FaultFraction > 0 {
+		switch cfg.FaultGranularity {
+		case "", "crossbar":
+			plan, err = faults.NewPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
+		case "crosspoint":
+			plan, err = faults.NewCrosspointPlan(mesh.Nodes(), cfg.FaultFraction, cfg.FaultCycle, cfg.Seed)
+		default:
+			return Result{}, fmt.Errorf("dxbar: unknown fault granularity %q", cfg.FaultGranularity)
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	coll := stats.NewCollector(mesh.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
+	if cfg.TrackUtilization {
+		coll.EnableLinkUtilization(mesh.Nodes())
+	}
+	net, err := r.network(NetworkOptions{
+		Design:               cfg.Design,
+		Routing:              cfg.Routing,
+		Mesh:                 mesh,
+		Source:               &sim.SourceAdapter{B: bern},
+		Stats:                coll,
+		FairnessThreshold:    cfg.FairnessThreshold,
+		FaultPlan:            plan,
+		BufferDepth:          cfg.BufferDepth,
+		CreditDelay:          cfg.CreditDelay,
+		PortOrderArbitration: cfg.PortOrderArbitration,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	net.Engine.Run(cfg.WarmupCycles)
+	base := net.Meter.Snapshot()
+	net.Engine.Run(cfg.MeasureCycles)
+	window := net.Meter.Snapshot().Sub(base)
+
+	res := Result{
+		Results:         coll.Results(),
+		EventCounts:     window,
+		TotalEnergyNJ:   net.Meter.EnergyPJ(window) / 1000.0,
+		Design:          cfg.Design,
+		Routing:         cfg.Routing,
+		Pattern:         cfg.Pattern,
+		Load:            cfg.Load,
+		NodeUtilization: coll.NodeUtilization(),
+		Width:           cfg.Width,
+		Height:          cfg.Height,
+	}
+	if res.Packets > 0 {
+		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)
+	}
+	res.Power, err = net.Meter.Breakdown(string(cfg.Design), window, cfg.MeasureCycles, mesh.Nodes())
+	if err != nil {
+		return Result{}, err
+	}
+	return res, nil
+}
+
+// runSplash is the closed-loop coherence simulation behind RunSplash.
+func (r *runner) runSplash(c SplashConfig) (SplashResult, error) {
+	if c.Width == 0 {
+		c.Width = 8
+	}
+	if c.Height == 0 {
+		c.Height = 8
+	}
+	if c.MaxCycles == 0 {
+		c.MaxCycles = 3_000_000
+	}
+	if c.Routing == "" {
+		c.Routing = "DOR"
+	}
+	mesh, err := r.mesh(c.Width, c.Height)
+	if err != nil {
+		return SplashResult{}, err
+	}
+	prof, ok := coherence.ProfileByName(c.Benchmark)
+	if !ok {
+		return SplashResult{}, fmt.Errorf("dxbar: unknown benchmark %q", c.Benchmark)
+	}
+	if c.DetailedCaches {
+		prof = prof.Detailed()
+	}
+	sys, err := coherence.NewSystem(mesh, prof, c.Seed)
+	if err != nil {
+		return SplashResult{}, err
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, c.MaxCycles)
+	net, err := r.network(NetworkOptions{
+		Design:   c.Design,
+		Routing:  c.Routing,
+		Mesh:     mesh,
+		Source:   sys,
+		Sink:     sys,
+		Stats:    coll,
+		PreCycle: sys.PreCycle,
+	})
+	if err != nil {
+		return SplashResult{}, err
+	}
+	if !net.Engine.RunUntil(sys.Quiesced, c.MaxCycles) {
+		return SplashResult{}, fmt.Errorf("dxbar: benchmark %s on %s did not finish within %d cycles",
+			c.Benchmark, c.Design, c.MaxCycles)
+	}
+	res := SplashResult{
+		ExecutionCycles: sys.FinishCycle(),
+		TotalEnergyNJ:   net.Meter.TotalPJ() / 1000.0,
+		Design:          c.Design,
+		Routing:         c.Routing,
+		Benchmark:       c.Benchmark,
+	}
+	sr := coll.Results()
+	res.Packets = sr.Packets
+	res.AvgLatency = sr.AvgLatency
+	if sr.Packets > 0 {
+		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(sr.Packets)
+	}
+	return res, nil
+}

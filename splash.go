@@ -1,11 +1,7 @@
 package dxbar
 
 import (
-	"fmt"
-
 	"dxbar/internal/coherence"
-	"dxbar/internal/stats"
-	"dxbar/internal/topology"
 )
 
 // SplashConfig describes one closed-loop SPLASH-2 (substitute) run.
@@ -49,64 +45,7 @@ type SplashResult struct {
 
 // RunSplash executes one coherence-workload simulation to completion.
 func RunSplash(c SplashConfig) (SplashResult, error) {
-	if c.Width == 0 {
-		c.Width = 8
-	}
-	if c.Height == 0 {
-		c.Height = 8
-	}
-	if c.MaxCycles == 0 {
-		c.MaxCycles = 3_000_000
-	}
-	if c.Routing == "" {
-		c.Routing = "DOR"
-	}
-	mesh, err := topology.NewMesh(c.Width, c.Height)
-	if err != nil {
-		return SplashResult{}, err
-	}
-	prof, ok := coherence.ProfileByName(c.Benchmark)
-	if !ok {
-		return SplashResult{}, fmt.Errorf("dxbar: unknown benchmark %q", c.Benchmark)
-	}
-	if c.DetailedCaches {
-		prof = prof.Detailed()
-	}
-	sys, err := coherence.NewSystem(mesh, prof, c.Seed)
-	if err != nil {
-		return SplashResult{}, err
-	}
-	coll := stats.NewCollector(mesh.Nodes(), 0, c.MaxCycles)
-	net, err := NewNetwork(NetworkOptions{
-		Design:   c.Design,
-		Routing:  c.Routing,
-		Mesh:     mesh,
-		Source:   sys,
-		Sink:     sys,
-		Stats:    coll,
-		PreCycle: sys.PreCycle,
-	})
-	if err != nil {
-		return SplashResult{}, err
-	}
-	if !net.Engine.RunUntil(sys.Quiesced, c.MaxCycles) {
-		return SplashResult{}, fmt.Errorf("dxbar: benchmark %s on %s did not finish within %d cycles",
-			c.Benchmark, c.Design, c.MaxCycles)
-	}
-	r := coll.Results()
-	res := SplashResult{
-		ExecutionCycles: sys.FinishCycle(),
-		TotalEnergyNJ:   net.Meter.TotalPJ() / 1000.0,
-		Packets:         r.Packets,
-		AvgLatency:      r.AvgLatency,
-		Design:          c.Design,
-		Routing:         c.Routing,
-		Benchmark:       c.Benchmark,
-	}
-	if r.Packets > 0 {
-		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(r.Packets)
-	}
-	return res, nil
+	return newRunner().runSplash(c)
 }
 
 // SplashBenchmarks lists the nine benchmark names in the paper's order.
