@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench bench-smoke figures figures-full examples clean
+.PHONY: all build test test-race race bench bench-smoke figures figures-full examples clean
 
 all: build test
 
@@ -10,9 +10,15 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test:
+test: test-race
 	$(GO) vet ./...
 	$(GO) test ./...
+
+# Race-detector pass over the packages plus a small RunMany batch (the
+# parallel runner is the only concurrency in the tree).
+test-race:
+	$(GO) test -race ./internal/...
+	$(GO) test -race -run 'TestRunMany' .
 
 race:
 	$(GO) test -race ./...
@@ -34,7 +40,7 @@ figures-full:
 	$(GO) run ./cmd/dxbar-sweep -fig all -quality full -out results -svg -md
 
 examples:
-	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing; do \
+	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing latencytail; do \
 		echo "=== $$e ==="; $(GO) run ./examples/$$e || exit 1; \
 	done
 

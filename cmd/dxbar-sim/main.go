@@ -5,31 +5,37 @@
 //
 //	dxbar-sim -design dxbar -routing WF -pattern NUR -load 0.4
 //	dxbar-sim -design dxbar -load 0.3 -faults 0.5   # Fig. 11/12 style run
+//	dxbar-sim -load 0.45 -sample-interval 200 -out results/ -svg
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"dxbar"
+	"dxbar/internal/report"
 )
 
 func main() {
 	var (
-		design  = flag.String("design", "dxbar", "router design: dxbar | unified | flitbless | scarab | buffered4 | buffered8")
-		routing = flag.String("routing", "DOR", "routing algorithm: DOR | WF")
-		pattern = flag.String("pattern", "UR", "traffic pattern: UR NUR BR BF CP MT PS NB TOR")
-		load    = flag.Float64("load", 0.3, "offered load in flits/node/cycle (fraction of capacity)")
-		width   = flag.Int("width", 8, "mesh width")
-		height  = flag.Int("height", 8, "mesh height")
-		warmup  = flag.Uint64("warmup", 2000, "warmup cycles")
-		measure = flag.Uint64("measure", 8000, "measurement cycles")
-		seed    = flag.Int64("seed", 42, "random seed")
-		flits   = flag.Int("flits", 1, "flits per packet")
-		faults  = flag.Float64("faults", 0, "fraction of routers with one failed crossbar (dxbar/unified only)")
-		gran    = flag.String("fault-granularity", "crossbar", "crossbar | crosspoint")
-		heatmap = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap")
+		design   = flag.String("design", "dxbar", "router design: dxbar | unified | flitbless | scarab | buffered4 | buffered8")
+		routing  = flag.String("routing", "DOR", "routing algorithm: DOR | WF")
+		pattern  = flag.String("pattern", "UR", "traffic pattern: UR NUR BR BF CP MT PS NB TOR")
+		load     = flag.Float64("load", 0.3, "offered load in flits/node/cycle (fraction of capacity)")
+		width    = flag.Int("width", 8, "mesh width")
+		height   = flag.Int("height", 8, "mesh height")
+		warmup   = flag.Uint64("warmup", 2000, "warmup cycles")
+		measure  = flag.Uint64("measure", 8000, "measurement cycles")
+		seed     = flag.Int64("seed", 42, "random seed")
+		flits    = flag.Int("flits", 1, "flits per packet")
+		faults   = flag.Float64("faults", 0, "fraction of routers with one failed crossbar (dxbar/unified only)")
+		gran     = flag.String("fault-granularity", "crossbar", "crossbar | crosspoint")
+		heatmap  = flag.Bool("heatmap", false, "print an ASCII link-utilization heatmap")
+		interval = flag.Uint64("sample-interval", 0, "time-series sampling interval in cycles (0 disables)")
+		outDir   = flag.String("out", "", "directory for NDJSON/CSV export of the latency histogram and time series")
+		svg      = flag.Bool("svg", false, "also write a latency-CDF and time-series SVG to -out")
 	)
 	flag.Parse()
 
@@ -52,6 +58,7 @@ func main() {
 			return ""
 		}(),
 		TrackUtilization: *heatmap,
+		SampleInterval:   *interval,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
@@ -64,6 +71,14 @@ func main() {
 	fmt.Printf("accepted load   %.4f flits/node/cycle\n", res.AcceptedLoad)
 	fmt.Printf("packets         %d\n", res.Packets)
 	fmt.Printf("avg latency     %.2f cycles (max %d)\n", res.AvgLatency, res.MaxLatency)
+	fmt.Printf("latency tail    p50 %d / p90 %d / p99 %d cycles\n", res.P50Latency, res.P90Latency, res.P99Latency)
+	label := fmt.Sprintf("%s %s", res.Design, res.Routing)
+	row := dxbar.LatencyRowFor(label, res)
+	if row.Truncated() {
+		fmt.Printf("in flight       %d packets — latency tail truncated (saturated run)\n", res.InFlightPackets)
+	} else {
+		fmt.Printf("in flight       %d packets\n", res.InFlightPackets)
+	}
 	fmt.Printf("avg hops        %.2f\n", res.AvgHops)
 	fmt.Printf("avg energy      %.4f nJ/packet (total %.2f nJ)\n", res.AvgEnergyNJ, res.TotalEnergyNJ)
 	fmt.Printf("deflections     %.3f /packet\n", res.DeflectionsPerPacket)
@@ -75,4 +90,52 @@ func main() {
 		fmt.Println()
 		fmt.Print(dxbar.Heatmap(res))
 	}
+	if *outDir != "" {
+		export(*outDir, label, res, *svg)
+	}
+}
+
+// export writes the structured observability files: the latency histogram
+// and (when sampling was enabled) the time series, each as NDJSON and CSV,
+// plus the SVG renderings with -svg.
+func export(dir, label string, res dxbar.Result, svg bool) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal(err)
+	}
+	hists := []report.HistogramRecord{dxbar.HistogramRecordFor(label, res)}
+	writeFile(dir, "latency.ndjson", func(f *os.File) error { return dxbar.WriteHistogramsNDJSON(f, hists) })
+	writeFile(dir, "latency.csv", func(f *os.File) error { return dxbar.WriteHistogramsCSV(f, hists) })
+	if res.SampleInterval > 0 {
+		series := []report.TimeSeriesRecord{dxbar.TimeSeriesRecordFor(label, res)}
+		writeFile(dir, "timeseries.ndjson", func(f *os.File) error { return dxbar.WriteTimeSeriesNDJSON(f, series) })
+		writeFile(dir, "timeseries.csv", func(f *os.File) error { return dxbar.WriteTimeSeriesCSV(f, series) })
+	}
+	if svg {
+		writeFile(dir, "latency_cdf.svg", func(f *os.File) error {
+			_, err := f.WriteString(dxbar.LatencyCDFSVG("Latency CDF, "+label, []string{label}, []dxbar.Result{res}))
+			return err
+		})
+		if res.SampleInterval > 0 {
+			writeFile(dir, "timeseries.svg", func(f *os.File) error {
+				_, err := f.WriteString(dxbar.TimeSeriesSVG("Run time series, "+label, res))
+				return err
+			})
+		}
+	}
+}
+
+func writeFile(dir, name string, fill func(*os.File) error) {
+	f, err := os.Create(filepath.Join(dir, name))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if err := fill(f); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
+	os.Exit(1)
 }

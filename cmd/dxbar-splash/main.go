@@ -56,8 +56,8 @@ func main() {
 		designs = []dxbar.Design{dxbar.Design(*design)}
 	}
 
-	fmt.Printf("%-10s %-10s %-4s %10s %10s %10s %12s\n",
-		"benchmark", "design", "alg", "exec (cyc)", "packets", "lat (cyc)", "nJ/packet")
+	fmt.Printf("%-10s %-10s %-4s %10s %10s %10s %8s %8s %12s\n",
+		"benchmark", "design", "alg", "exec (cyc)", "packets", "lat (cyc)", "p50", "p99", "nJ/packet")
 	for _, b := range benches {
 		for _, d := range designs {
 			res, err := dxbar.RunSplash(dxbar.SplashConfig{
@@ -68,8 +68,9 @@ func main() {
 				fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
 				os.Exit(1)
 			}
-			fmt.Printf("%-10s %-10s %-4s %10d %10d %10.1f %12.4f\n",
-				b, d, res.Routing, res.ExecutionCycles, res.Packets, res.AvgLatency, res.AvgEnergyNJ)
+			fmt.Printf("%-10s %-10s %-4s %10d %10d %10.1f %8d %8d %12.4f\n",
+				b, d, res.Routing, res.ExecutionCycles, res.Packets, res.AvgLatency,
+				res.P50Latency, res.P99Latency, res.AvgEnergyNJ)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 // Example:
 //
 //	dxbar-sweep -fig 5 -quality full -out results/ -svg -md
+//	dxbar-sweep -fig 5 -hist -out results/   # + per-point latency histograms
 //	dxbar-sweep -fig all -quality quick
 //	dxbar-sweep -fig table3
 package main
@@ -31,6 +32,7 @@ func main() {
 		outDir     = flag.String("out", "", "directory for file output (optional)")
 		svg        = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
 		md         = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
+		hist       = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -80,8 +82,26 @@ func main() {
 	if want("table3") || *figFlag == "all" {
 		emitTable3(*outDir, *md)
 	}
+	// With -hist, figs 5 and 6 derive from ONE shared load sweep whose full
+	// per-point Results also feed the latency table and histogram export.
+	done := map[string]bool{}
+	if *hist && (want("5") || want("6")) {
+		pts, err := dxbar.LoadSweep("UR", q, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		if want("5") {
+			emitFigure(dxbar.Figure5From(pts), *outDir, *svg, *md)
+			done["5"] = true
+		}
+		if want("6") {
+			emitFigure(dxbar.Figure6From(pts), *outDir, *svg, *md)
+			done["6"] = true
+		}
+		emitLatency(pts, *outDir)
+	}
 	for _, id := range order {
-		if !want(id) {
+		if !want(id) || done[id] {
 			continue
 		}
 		fig, err := figs[id](q, *seed)
@@ -90,6 +110,25 @@ func main() {
 		}
 		emitFigure(fig, *outDir, *svg, *md)
 	}
+}
+
+// emitLatency prints the per-point latency comparison table (flagging
+// truncated runs) and writes the per-point histograms to -out as
+// fig5_latency.ndjson and fig5_latency.csv.
+func emitLatency(pts []dxbar.SweepPoint, outDir string) {
+	var rows []report.LatencyRow
+	var hists []report.HistogramRecord
+	for _, p := range pts {
+		rows = append(rows, dxbar.LatencyRowFor(p.Label, p.Result))
+		hists = append(hists, dxbar.HistogramRecordFor(p.Label, p.Result))
+	}
+	fmt.Print(dxbar.LatencyTableText("Per-point latency distribution, Uniform Random", rows))
+	fmt.Println()
+	if outDir == "" {
+		return
+	}
+	writeFile(outDir, "fig5_latency.ndjson", func(f *os.File) error { return dxbar.WriteHistogramsNDJSON(f, hists) })
+	writeFile(outDir, "fig5_latency.csv", func(f *os.File) error { return dxbar.WriteHistogramsCSV(f, hists) })
 }
 
 func fatal(err error) {

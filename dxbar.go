@@ -106,6 +106,11 @@ type Config struct {
 	// TrackUtilization enables per-link utilization counters (see
 	// Result.NodeUtilization and Heatmap).
 	TrackUtilization bool
+	// SampleInterval enables time-series sampling: every SampleInterval
+	// cycles (warmup included) the engine snapshots injected/ejected flit
+	// deltas, in-flight flit count, injection-queue backlog and buffer
+	// occupancy into Result.TimeSeries. 0 disables sampling.
+	SampleInterval uint64
 	// CreditDelay overrides the credit-return signalling latency in cycles
 	// (default 1; ablation of the round-trip the fairness threshold must
 	// cover, §II.A.2).
@@ -136,8 +141,14 @@ type Result struct {
 	// dynamic-only AvgEnergyNJ (see internal/energy/static.go).
 	Power energy.PowerBreakdown
 	// NodeUtilization is each node's mean outgoing-link utilization over
-	// the window (nil unless Config.TrackUtilization).
+	// the window (nil unless Config.TrackUtilization), averaged over the
+	// links each node actually has.
 	NodeUtilization []float64
+	// TimeSeries holds the periodic snapshots taken every SampleInterval
+	// cycles (nil unless Config.SampleInterval > 0), in chronological
+	// order; SampleInterval echoes the configuration.
+	TimeSeries     []stats.Sample
+	SampleInterval uint64
 	// Width and Height echo the mesh size (for Heatmap rendering).
 	Width, Height int
 }

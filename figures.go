@@ -67,63 +67,93 @@ var figureDesigns = []struct {
 	{"DXbar WF", DesignDXbar, "WF"},
 }
 
-// loadSweepAll runs every figure design over the load axis in parallel and
-// returns per-design (accepted, energy) series.
-func loadSweepAll(pattern string, q Quality, seed int64) (acc, en map[string][]float64, err error) {
+// SweepPoint is one (design, load) cell of a load sweep, carrying the full
+// Result so figures, latency tables and histogram exports can all be derived
+// from a single sweep instead of re-running it per consumer.
+type SweepPoint struct {
+	Label  string
+	Load   float64
+	Result Result
+}
+
+// LoadSweep runs every figure design over the quality's load axis in
+// parallel under the given synthetic pattern. Points come back design-major
+// in the paper's legend order, loads ascending within each design.
+func LoadSweep(pattern string, q Quality, seed int64) ([]SweepPoint, error) {
 	var configs []Config
+	var pts []SweepPoint
 	for _, fd := range figureDesigns {
 		for _, l := range q.Loads {
 			configs = append(configs, Config{
 				Design: fd.Design, Routing: fd.Routing, Pattern: pattern, Load: l,
 				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
 			})
+			pts = append(pts, SweepPoint{Label: fd.Label, Load: l})
 		}
 	}
 	results, err := RunMany(configs, 0)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	acc = make(map[string][]float64, len(figureDesigns))
-	en = make(map[string][]float64, len(figureDesigns))
-	i := 0
-	for _, fd := range figureDesigns {
-		for range q.Loads {
-			acc[fd.Label] = append(acc[fd.Label], results[i].AcceptedLoad)
-			en[fd.Label] = append(en[fd.Label], results[i].AvgEnergyNJ)
-			i++
+	for i := range pts {
+		pts[i].Result = results[i]
+	}
+	return pts, nil
+}
+
+// sweepSeries groups sweep points into per-design series of y(point).
+func sweepSeries(pts []SweepPoint, y func(SweepPoint) float64) []Series {
+	var order []string
+	byLabel := map[string]*Series{}
+	for _, p := range pts {
+		s, ok := byLabel[p.Label]
+		if !ok {
+			order = append(order, p.Label)
+			s = &Series{Label: p.Label}
+			byLabel[p.Label] = s
 		}
+		s.X = append(s.X, p.Load)
+		s.Y = append(s.Y, y(p))
 	}
-	return acc, en, nil
+	series := make([]Series, len(order))
+	for i, l := range order {
+		series[i] = *byLabel[l]
+	}
+	return series
+}
+
+// Figure5From builds Fig. 5 (accepted vs offered load) from LoadSweep points.
+func Figure5From(pts []SweepPoint) Figure {
+	return Figure{ID: "fig5", Title: "Throughput, Uniform Random",
+		XLabel: "offered load (fraction of capacity)", YLabel: "accepted load",
+		Series: sweepSeries(pts, func(p SweepPoint) float64 { return p.Result.AcceptedLoad })}
+}
+
+// Figure6From builds Fig. 6 (energy vs offered load) from LoadSweep points.
+func Figure6From(pts []SweepPoint) Figure {
+	return Figure{ID: "fig6", Title: "Energy, Uniform Random",
+		XLabel: "offered load (fraction of capacity)", YLabel: "average energy (nJ/packet)",
+		Series: sweepSeries(pts, func(p SweepPoint) float64 { return p.Result.AvgEnergyNJ })}
 }
 
 // Figure5 regenerates "Throughput of Uniform Random traffic pattern":
 // accepted vs offered load for the six designs.
 func Figure5(q Quality, seed int64) (Figure, error) {
-	fig := Figure{ID: "fig5", Title: "Throughput, Uniform Random",
-		XLabel: "offered load (fraction of capacity)", YLabel: "accepted load"}
-	acc, _, err := loadSweepAll("UR", q, seed)
+	pts, err := LoadSweep("UR", q, seed)
 	if err != nil {
 		return Figure{}, err
 	}
-	for _, fd := range figureDesigns {
-		fig.Series = append(fig.Series, Series{Label: fd.Label, X: q.Loads, Y: acc[fd.Label]})
-	}
-	return fig, nil
+	return Figure5From(pts), nil
 }
 
 // Figure6 regenerates "Power of Uniform Random traffic pattern": average
 // energy per packet vs offered load.
 func Figure6(q Quality, seed int64) (Figure, error) {
-	fig := Figure{ID: "fig6", Title: "Energy, Uniform Random",
-		XLabel: "offered load (fraction of capacity)", YLabel: "average energy (nJ/packet)"}
-	_, en, err := loadSweepAll("UR", q, seed)
+	pts, err := LoadSweep("UR", q, seed)
 	if err != nil {
 		return Figure{}, err
 	}
-	for _, fd := range figureDesigns {
-		fig.Series = append(fig.Series, Series{Label: fd.Label, X: q.Loads, Y: en[fd.Label]})
-	}
-	return fig, nil
+	return Figure6From(pts), nil
 }
 
 // patternAxis is the paper's synthetic-pattern axis for Figs. 7/8.

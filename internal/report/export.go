@@ -1,0 +1,216 @@
+package report
+
+// This file is the structured observability export: latency histograms and
+// time-series snapshots as NDJSON (one JSON object per line, streamable into
+// jq-style tooling) and long-format CSV (spreadsheet/plotting friendly),
+// plus the per-design latency comparison table. Like the rest of the
+// package, the types here mirror the facade's shapes without importing the
+// simulator.
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// HistogramBucket is one non-empty latency bin.
+type HistogramBucket struct {
+	Low   uint64 `json:"low"`
+	High  uint64 `json:"high"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramRecord is one run's latency distribution with its summary
+// percentiles and truncation indicator.
+type HistogramRecord struct {
+	// Series labels the run (design name, "DXbar WF", ...).
+	Series string `json:"series"`
+	// Load is the offered load the run was driven at (0 when not a load
+	// sweep point).
+	Load     float64           `json:"load"`
+	Packets  uint64            `json:"packets"`
+	InFlight uint64            `json:"in_flight"`
+	P50      uint64            `json:"p50"`
+	P90      uint64            `json:"p90"`
+	P99      uint64            `json:"p99"`
+	Max      uint64            `json:"max"`
+	Buckets  []HistogramBucket `json:"buckets"`
+}
+
+// WriteHistogramsNDJSON writes one JSON object per record.
+func WriteHistogramsNDJSON(w io.Writer, recs []HistogramRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteHistogramsCSV writes long-format CSV: one row per bucket, with the
+// run's summary columns repeated (series,load,packets,in_flight,p50,p90,
+// p99,max,bucket_low,bucket_high,count).
+func WriteHistogramsCSV(w io.Writer, recs []HistogramRecord) error {
+	cw := csv.NewWriter(w)
+	head := []string{"series", "load", "packets", "in_flight", "p50", "p90", "p99", "max",
+		"bucket_low", "bucket_high", "count"}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		for _, b := range r.Buckets {
+			rec := []string{
+				r.Series,
+				strconv.FormatFloat(r.Load, 'f', 3, 64),
+				strconv.FormatUint(r.Packets, 10),
+				strconv.FormatUint(r.InFlight, 10),
+				strconv.FormatUint(r.P50, 10),
+				strconv.FormatUint(r.P90, 10),
+				strconv.FormatUint(r.P99, 10),
+				strconv.FormatUint(r.Max, 10),
+				strconv.FormatUint(b.Low, 10),
+				strconv.FormatUint(b.High, 10),
+				strconv.FormatUint(b.Count, 10),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TimeSample is one periodic snapshot row.
+type TimeSample struct {
+	Cycle         uint64 `json:"cycle"`
+	InjectedFlits uint64 `json:"injected_flits"`
+	EjectedFlits  uint64 `json:"ejected_flits"`
+	InFlightFlits int    `json:"in_flight_flits"`
+	QueuedFlits   int    `json:"queued_flits"`
+	BufferedFlits int    `json:"buffered_flits"`
+}
+
+// TimeSeriesRecord is one run's sampled time series.
+type TimeSeriesRecord struct {
+	Series   string       `json:"series"`
+	Interval uint64       `json:"interval"`
+	Samples  []TimeSample `json:"samples"`
+}
+
+// timeSampleLine is the flattened NDJSON shape: one line per sample.
+type timeSampleLine struct {
+	Series   string `json:"series"`
+	Interval uint64 `json:"interval"`
+	TimeSample
+}
+
+// WriteTimeSeriesNDJSON writes one JSON object per sample (flattened with
+// the series label so each line is self-describing).
+func WriteTimeSeriesNDJSON(w io.Writer, recs []TimeSeriesRecord) error {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		for _, s := range r.Samples {
+			if err := enc.Encode(timeSampleLine{Series: r.Series, Interval: r.Interval, TimeSample: s}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// WriteTimeSeriesCSV writes long-format CSV: series,cycle,injected_flits,
+// ejected_flits,in_flight_flits,queued_flits,buffered_flits.
+func WriteTimeSeriesCSV(w io.Writer, recs []TimeSeriesRecord) error {
+	cw := csv.NewWriter(w)
+	head := []string{"series", "cycle", "injected_flits", "ejected_flits",
+		"in_flight_flits", "queued_flits", "buffered_flits"}
+	if err := cw.Write(head); err != nil {
+		return err
+	}
+	for _, r := range recs {
+		for _, s := range r.Samples {
+			rec := []string{
+				r.Series,
+				strconv.FormatUint(s.Cycle, 10),
+				strconv.FormatUint(s.InjectedFlits, 10),
+				strconv.FormatUint(s.EjectedFlits, 10),
+				strconv.Itoa(s.InFlightFlits),
+				strconv.Itoa(s.QueuedFlits),
+				strconv.Itoa(s.BufferedFlits),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LatencyRow is one per-design latency comparison row (a slice of the
+// load/latency space at one operating point).
+type LatencyRow struct {
+	Label      string
+	Load       float64
+	Packets    uint64
+	AvgLatency float64
+	P50        uint64
+	P90        uint64
+	P99        uint64
+	Max        uint64
+	InFlight   uint64
+}
+
+// InFlightWarnFraction is the in-flight-to-completed ratio above which a
+// run's latency figures are flagged as truncated.
+const InFlightWarnFraction = 0.01
+
+// Truncated reports whether the row's in-flight count is non-negligible:
+// the slowest packets never completed, so the latency columns understate
+// the true distribution.
+func (r LatencyRow) Truncated() bool {
+	if r.InFlight == 0 {
+		return false
+	}
+	if r.Packets == 0 {
+		return true
+	}
+	return float64(r.InFlight) >= InFlightWarnFraction*float64(r.Packets)
+}
+
+// LatencyTable formats latency rows as a Table, marking truncated rows with
+// a trailing "†" on their in-flight cell. Render it with any WriteTable*.
+func LatencyTable(title string, rows []LatencyRow) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"series", "load", "packets", "avg", "p50", "p90", "p99", "max", "in-flight"},
+	}
+	flagged := false
+	for _, r := range rows {
+		inflight := strconv.FormatUint(r.InFlight, 10)
+		if r.Truncated() {
+			inflight += " †"
+			flagged = true
+		}
+		t.Rows = append(t.Rows, []string{
+			r.Label,
+			strconv.FormatFloat(r.Load, 'f', 2, 64),
+			strconv.FormatUint(r.Packets, 10),
+			strconv.FormatFloat(r.AvgLatency, 'f', 1, 64),
+			strconv.FormatUint(r.P50, 10),
+			strconv.FormatUint(r.P90, 10),
+			strconv.FormatUint(r.P99, 10),
+			strconv.FormatUint(r.Max, 10),
+			inflight,
+		})
+	}
+	if flagged {
+		t.Title += fmt.Sprintf(" († ≥%.0f%% of packets still in flight at run end — latency tail truncated)",
+			InFlightWarnFraction*100)
+	}
+	return t
+}

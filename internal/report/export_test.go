@@ -1,0 +1,130 @@
+package report
+
+import (
+	"bufio"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func sampleHistRecords() []HistogramRecord {
+	return []HistogramRecord{
+		{
+			Series: "DXbar DOR", Load: 0.4, Packets: 1000, InFlight: 3,
+			P50: 20, P90: 35, P99: 60, Max: 80,
+			Buckets: []HistogramBucket{{Low: 18, High: 18, Count: 400}, {Low: 32, High: 32, Count: 600}},
+		},
+		{
+			Series: "Flit-Bless", Load: 0.4, Packets: 800, InFlight: 120,
+			P50: 25, P90: 90, P99: 400, Max: 900,
+			Buckets: []HistogramBucket{{Low: 24, High: 24, Count: 800}},
+		},
+	}
+}
+
+func TestWriteHistogramsNDJSON(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHistogramsNDJSON(&b, sampleHistRecords()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2 (one per record)", len(lines))
+	}
+	var rec HistogramRecord
+	if err := json.Unmarshal([]byte(lines[0]), &rec); err != nil {
+		t.Fatalf("line 0 is not valid JSON: %v", err)
+	}
+	if rec.Series != "DXbar DOR" || rec.P99 != 60 || len(rec.Buckets) != 2 {
+		t.Errorf("round-trip mismatch: %+v", rec)
+	}
+}
+
+func TestWriteHistogramsCSV(t *testing.T) {
+	var b strings.Builder
+	if err := WriteHistogramsCSV(&b, sampleHistRecords()); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(strings.NewReader(b.String()))
+	var lines []string
+	for sc.Scan() {
+		lines = append(lines, sc.Text())
+	}
+	if len(lines) != 4 { // header + 3 bucket rows
+		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), b.String())
+	}
+	if !strings.HasPrefix(lines[0], "series,load,packets,in_flight,p50") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "DXbar DOR,0.400,1000,3,20,35,60,80,18,18,400") {
+		t.Errorf("first bucket row = %q", lines[1])
+	}
+}
+
+func TestWriteTimeSeries(t *testing.T) {
+	recs := []TimeSeriesRecord{{
+		Series: "scarab", Interval: 100,
+		Samples: []TimeSample{
+			{Cycle: 99, InjectedFlits: 50, EjectedFlits: 40, InFlightFlits: 10, QueuedFlits: 4, BufferedFlits: 0},
+			{Cycle: 199, InjectedFlits: 48, EjectedFlits: 47, InFlightFlits: 11, QueuedFlits: 5, BufferedFlits: 0},
+		},
+	}}
+	var nd strings.Builder
+	if err := WriteTimeSeriesNDJSON(&nd, recs); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(nd.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2 (one per sample)", len(lines))
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(lines[1]), &m); err != nil {
+		t.Fatal(err)
+	}
+	if m["series"] != "scarab" || m["cycle"] != float64(199) || m["queued_flits"] != float64(5) {
+		t.Errorf("flattened sample = %v", m)
+	}
+
+	var cs strings.Builder
+	if err := WriteTimeSeriesCSV(&cs, recs); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cs.String(), "scarab,99,50,40,10,4,0") {
+		t.Errorf("CSV missing sample row:\n%s", cs.String())
+	}
+}
+
+func TestLatencyTableFlagsTruncatedRuns(t *testing.T) {
+	rows := []LatencyRow{
+		{Label: "DXbar DOR", Load: 0.4, Packets: 1000, AvgLatency: 21.5, P50: 20, P90: 35, P99: 60, Max: 80, InFlight: 3},
+		{Label: "Flit-Bless", Load: 0.4, Packets: 800, AvgLatency: 55.0, P50: 25, P90: 90, P99: 400, Max: 900, InFlight: 120},
+	}
+	tbl := LatencyTable("latency comparison", rows)
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows", len(tbl.Rows))
+	}
+	healthy, saturated := tbl.Rows[0], tbl.Rows[1]
+	if strings.Contains(healthy[len(healthy)-1], "†") {
+		t.Errorf("0.3%% in-flight must not be flagged: %v", healthy)
+	}
+	if !strings.Contains(saturated[len(saturated)-1], "†") {
+		t.Errorf("15%% in-flight must be flagged: %v", saturated)
+	}
+	if !strings.Contains(tbl.Title, "in flight") {
+		t.Errorf("flagged table must carry the footnote in its title: %q", tbl.Title)
+	}
+	var b strings.Builder
+	if err := WriteTableText(&b, tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "p99") || !strings.Contains(b.String(), "120 †") {
+		t.Errorf("rendered table:\n%s", b.String())
+	}
+}
+
+func TestLatencyTableNoFlagNoFootnote(t *testing.T) {
+	tbl := LatencyTable("clean", []LatencyRow{{Label: "x", Packets: 100, InFlight: 0}})
+	if strings.Contains(tbl.Title, "†") {
+		t.Errorf("clean table must not carry the footnote: %q", tbl.Title)
+	}
+}

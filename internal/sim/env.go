@@ -178,6 +178,20 @@ func (env *Env) pushBackInjection(f *flit.Flit)  { env.injection.pushBack(f) }
 func (env *Env) pushFrontInjection(f *flit.Flit) { env.injection.pushFront(f) }
 func (env *Env) injectionLen() int               { return env.injection.len() }
 
+// creditOccupancy returns the number of downstream buffer slots this node's
+// flow control currently holds: for each credited output link, the credits
+// consumed and not yet usable again (occupied slots plus credits riding the
+// return pipeline). 0 when bufferless.
+func (env *Env) creditOccupancy() int {
+	total := 0
+	for _, c := range env.downCredits {
+		if c != nil {
+			total += env.bufferDepth - c.Available()
+		}
+	}
+	return total
+}
+
 func (env *Env) tickCredits() {
 	for _, c := range env.downCredits {
 		if c != nil {

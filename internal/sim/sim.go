@@ -123,13 +123,13 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 	}
 	n := cfg.Mesh.Nodes()
 	e := &Engine{
-		mesh:      cfg.Mesh,
-		meter:     cfg.Meter,
-		coll:      cfg.Stats,
-		source:    cfg.Source,
-		sink:      cfg.Sink,
-		linkStage: make([][]*flit.Flit, n),
-		reasm:     make([]*flit.Reassembler, n),
+		mesh:        cfg.Mesh,
+		meter:       cfg.Meter,
+		coll:        cfg.Stats,
+		source:      cfg.Source,
+		sink:        cfg.Sink,
+		linkStage:   make([][]*flit.Flit, n),
+		reasm:       make([]*flit.Reassembler, n),
 		wheel:       newEventWheel(64),
 		pool:        flit.NewPool(),
 		preCycle:    cfg.PreCycle,
@@ -210,6 +210,7 @@ func (e *Engine) Step() {
 		for nIdx := range e.envs {
 			for _, spec := range e.source.Generate(nIdx, c) {
 				fs := spec.AppendFlits(e.genScratch[:0], e.pool)
+				e.coll.PacketInjected(c)
 				e.coll.GeneratedFlits(c, len(fs))
 				for _, f := range fs {
 					e.envs[nIdx].pushBackInjection(f)
@@ -272,7 +273,31 @@ func (e *Engine) Step() {
 		env.tickCredits()
 	}
 
+	// Time-series sampling: when the collector's sampler is due, hand it
+	// the gauges only the engine can see. SampleDue is a nil check plus a
+	// compare, and RecordSample writes into a preallocated ring, so the
+	// cycle loop stays allocation-free with sampling enabled.
+	if e.coll.SampleDue(c) {
+		e.coll.RecordSample(c, stats.Probe{
+			InFlightFlits: e.pool.Outstanding(),
+			QueuedFlits:   e.QueuedFlits(),
+			BufferedFlits: e.bufferedFlits(),
+		})
+	}
+
 	e.cycle++
+}
+
+// bufferedFlits returns the number of downstream buffer slots held by
+// credit flow control across the whole network — consumed credits,
+// including those still riding the return pipelines. 0 for bufferless
+// designs.
+func (e *Engine) bufferedFlits() int {
+	total := 0
+	for _, env := range e.envs {
+		total += env.creditOccupancy()
+	}
+	return total
 }
 
 func (e *Engine) eject(node int, f *flit.Flit, c uint64) {

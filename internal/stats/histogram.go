@@ -1,0 +1,131 @@
+package stats
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Latency histogram: a fixed-size log-linear bucket array in the style of
+// HdrHistogram. Values below histSubCount land in exact unit buckets; above
+// that, every power of two is split into histSubCount linear sub-buckets, so
+// any recorded value is bucketed with relative error at most 1/histSubCount
+// (3.125%). The bucket array is a fixed field of the Collector — recording a
+// latency is two increments and never allocates, which is what lets the
+// cycle loop keep its zero-allocation steady state with histograms enabled.
+
+const (
+	// histSubBits sets the per-power-of-two resolution (32 sub-buckets).
+	histSubBits  = 5
+	histSubCount = 1 << histSubBits
+	// histBuckets covers every uint64 value: histSubCount exact unit
+	// buckets plus histSubCount sub-buckets for each of the remaining
+	// 64-histSubBits leading-bit positions.
+	histBuckets = histSubCount * (65 - histSubBits)
+)
+
+// Histogram is a fixed-bucket latency distribution. The zero value is an
+// empty histogram ready for use.
+type Histogram struct {
+	counts [histBuckets]uint64
+	total  uint64
+	max    uint64
+}
+
+// bucketIndex maps a value to its bucket. Values < histSubCount are exact;
+// larger values keep their top histSubBits+1 significant bits.
+func bucketIndex(v uint64) int {
+	if v < histSubCount {
+		return int(v)
+	}
+	k := bits.Len64(v) // k >= histSubBits+1
+	sub := (v >> uint(k-histSubBits-1)) & (histSubCount - 1)
+	return histSubCount*(k-histSubBits) + int(sub)
+}
+
+// bucketBounds returns the inclusive value range covered by bucket idx.
+func bucketBounds(idx int) (low, high uint64) {
+	if idx < histSubCount {
+		return uint64(idx), uint64(idx)
+	}
+	block := idx >> histSubBits // leading-bit position minus histSubBits
+	sub := uint64(idx & (histSubCount - 1))
+	width := uint64(1) << uint(block-1)
+	low = (histSubCount + sub) * width
+	return low, low + width - 1
+}
+
+// Record adds one value to the distribution.
+func (h *Histogram) Record(v uint64) {
+	h.counts[bucketIndex(v)]++
+	h.total++
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns the number of recorded values.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Max returns the largest recorded value (0 when empty).
+func (h *Histogram) Max() uint64 { return h.max }
+
+// Quantile returns the nearest-rank q-quantile (q in [0, 1]): the upper edge
+// of the bucket holding the value of rank ceil(q·count), capped at the exact
+// observed maximum. The estimate is never below the true quantile and
+// overshoots it by at most 1/32 relative. Returns 0 for an empty histogram.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > h.total {
+		rank = h.total
+	}
+	var cum uint64
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		if cum >= rank {
+			_, high := bucketBounds(i)
+			if high > h.max {
+				high = h.max
+			}
+			return high
+		}
+	}
+	return h.max // unreachable: cum reaches total
+}
+
+// Bucket is one non-empty histogram bin, for structured export.
+type Bucket struct {
+	// Low and High are the inclusive value bounds of the bin.
+	Low, High uint64
+	// Count is the number of values recorded in the bin.
+	Count uint64
+}
+
+// Buckets returns the non-empty bins in ascending value order. It allocates
+// and is meant for end-of-run export, not the cycle loop.
+func (h *Histogram) Buckets() []Bucket {
+	var out []Bucket
+	for i, n := range h.counts {
+		if n == 0 {
+			continue
+		}
+		low, high := bucketBounds(i)
+		out = append(out, Bucket{Low: low, High: high, Count: n})
+	}
+	return out
+}
+
+// snapshot returns a heap copy of the histogram (Results detaches the
+// distribution from the live collector).
+func (h *Histogram) snapshot() *Histogram {
+	c := *h
+	return &c
+}

@@ -1,0 +1,143 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketIndexBoundsRoundTrip: every value lands in a bucket whose
+// bounds contain it, and bucket boundaries are contiguous.
+func TestBucketIndexBoundsRoundTrip(t *testing.T) {
+	vals := []uint64{0, 1, 31, 32, 33, 63, 64, 65, 127, 128, 1000, 1 << 20, math.MaxUint64}
+	for _, v := range vals {
+		idx := bucketIndex(v)
+		low, high := bucketBounds(idx)
+		if v < low || v > high {
+			t.Errorf("value %d in bucket %d with bounds [%d, %d]", v, idx, low, high)
+		}
+	}
+	// Contiguity over the exact→log-linear seam and the first widths.
+	for idx := 0; idx < 4*histSubCount; idx++ {
+		_, high := bucketBounds(idx)
+		low2, _ := bucketBounds(idx + 1)
+		if low2 != high+1 {
+			t.Fatalf("bucket %d ends at %d but bucket %d starts at %d", idx, high, idx+1, low2)
+		}
+	}
+}
+
+// oracle computes the nearest-rank quantile from a sorted slice.
+func oracle(sorted []uint64, q float64) uint64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+// TestHistogramQuantileAgainstSortedOracle checks every percentile the
+// stats layer reports against a brute-force sorted slice: the histogram
+// estimate must never be below the true quantile and must overshoot by at
+// most one sub-bucket width (1/32 relative), capped at the exact max.
+func TestHistogramQuantileAgainstSortedOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	dists := map[string]func() uint64{
+		"uniform":   func() uint64 { return uint64(rng.Intn(500)) },
+		"heavytail": func() uint64 { return uint64(math.Pow(10, rng.Float64()*4)) },
+		"constant":  func() uint64 { return 42 },
+		"bimodal": func() uint64 {
+			if rng.Intn(10) == 0 {
+				return 5000 + uint64(rng.Intn(1000))
+			}
+			return 20 + uint64(rng.Intn(10))
+		},
+	}
+	for name, gen := range dists {
+		t.Run(name, func(t *testing.T) {
+			var h Histogram
+			vals := make([]uint64, 5000)
+			for i := range vals {
+				vals[i] = gen()
+				h.Record(vals[i])
+			}
+			sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+			if h.Count() != uint64(len(vals)) {
+				t.Fatalf("count = %d, want %d", h.Count(), len(vals))
+			}
+			if h.Max() != vals[len(vals)-1] {
+				t.Fatalf("max = %d, want %d", h.Max(), vals[len(vals)-1])
+			}
+			for _, q := range []float64{0.01, 0.25, 0.50, 0.90, 0.99, 1.0} {
+				want := oracle(vals, q)
+				got := h.Quantile(q)
+				if got < want {
+					t.Errorf("q=%.2f: histogram %d below oracle %d", q, got, want)
+				}
+				if limit := float64(want)*(1+1.0/histSubCount) + 1; float64(got) > limit {
+					t.Errorf("q=%.2f: histogram %d overshoots oracle %d beyond one bucket (limit %.1f)",
+						q, got, want, limit)
+				}
+			}
+		})
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Count() != 0 || h.Max() != 0 || h.Buckets() != nil {
+		t.Error("empty histogram must report zeros")
+	}
+}
+
+func TestHistogramBucketsExport(t *testing.T) {
+	var h Histogram
+	h.Record(3)
+	h.Record(3)
+	h.Record(100)
+	bs := h.Buckets()
+	if len(bs) != 2 {
+		t.Fatalf("got %d buckets, want 2", len(bs))
+	}
+	if bs[0].Low != 3 || bs[0].High != 3 || bs[0].Count != 2 {
+		t.Errorf("first bucket = %+v", bs[0])
+	}
+	if bs[1].Low > 100 || bs[1].High < 100 || bs[1].Count != 1 {
+		t.Errorf("second bucket = %+v must contain 100", bs[1])
+	}
+	var total uint64
+	for _, b := range bs {
+		total += b.Count
+	}
+	if total != h.Count() {
+		t.Errorf("bucket counts sum to %d, want %d", total, h.Count())
+	}
+}
+
+// TestCollectorPercentilesInResults: the collector's Results must expose
+// percentiles consistent with the recorded packet latencies.
+func TestCollectorPercentilesInResults(t *testing.T) {
+	c := NewCollector(4, 0, 1000)
+	for i := uint64(1); i <= 100; i++ {
+		c.PacketDone(pkt(0, i))
+	}
+	r := c.Results()
+	if r.P50Latency < 50 || r.P50Latency > 52 {
+		t.Errorf("p50 = %d, want ~50", r.P50Latency)
+	}
+	if r.P99Latency < 99 || r.P99Latency > 100 {
+		t.Errorf("p99 = %d, want ~99", r.P99Latency)
+	}
+	if r.MaxLatency != 100 || r.LatencyHistogram == nil {
+		t.Errorf("max = %d, hist = %v", r.MaxLatency, r.LatencyHistogram)
+	}
+	if got := r.LatencyHistogram.Count(); got != 100 {
+		t.Errorf("histogram count = %d, want 100", got)
+	}
+	// The snapshot must be detached from the live collector.
+	c.PacketDone(pkt(0, 5))
+	if r.LatencyHistogram.Count() != 100 {
+		t.Error("Results histogram must be a snapshot, not a live view")
+	}
+}

@@ -22,19 +22,34 @@ type Collector struct {
 	generatedFlits uint64
 	ejectedFlits   uint64
 
-	packets      uint64
-	latencySum   uint64
-	latencyMax   uint64
-	hopSum       uint64
-	deflectSum   uint64
-	retransSum   uint64
-	bufferedSum  uint64 // buffering events observed via BufferingEvent
-	routedFlits  uint64 // flit-router traversals observed via RoutedEvent
-	droppedFlits uint64
+	// totalGenerated/totalEjected count across the whole run (no window);
+	// the time-series sampler derives per-interval flow deltas from them.
+	totalGenerated uint64
+	totalEjected   uint64
+
+	packets         uint64
+	packetsInjected uint64 // packets injected in-window (PacketInjected)
+	latencySum      uint64
+	latencyMax      uint64
+	hopSum          uint64
+	deflectSum      uint64
+	retransSum      uint64
+	bufferedSum     uint64 // buffering events observed via BufferingEvent
+	routedFlits     uint64 // flit-router traversals observed via RoutedEvent
+	droppedFlits    uint64
+
+	// latHist is the in-window packet-latency distribution. It lives inline
+	// so recording a latency never allocates.
+	latHist Histogram
+
+	// ts is the optional time-series sample ring (see timeseries.go).
+	ts *timeSeries
 
 	// linkUse[n][p] counts window traversals of node n's output port p
-	// (nil unless EnableLinkUtilization was called).
-	linkUse [][]uint64
+	// (nil unless EnableLinkUtilization was called); utilWidth/utilHeight
+	// are the mesh dimensions, used to average only over links that exist.
+	linkUse               [][]uint64
+	utilWidth, utilHeight int
 }
 
 // NewCollector returns a collector for a network with the given node count
@@ -53,6 +68,7 @@ func (c *Collector) InWindow(cycle uint64) bool {
 
 // GeneratedFlits records n flits offered by sources at the given cycle.
 func (c *Collector) GeneratedFlits(cycle uint64, n int) {
+	c.totalGenerated += uint64(n)
 	if c.InWindow(cycle) {
 		c.generatedFlits += uint64(n)
 	}
@@ -60,8 +76,20 @@ func (c *Collector) GeneratedFlits(cycle uint64, n int) {
 
 // EjectedFlit records one flit delivered at the given cycle.
 func (c *Collector) EjectedFlit(cycle uint64) {
+	c.totalEjected++
 	if c.InWindow(cycle) {
 		c.ejectedFlits++
+	}
+}
+
+// PacketInjected records one packet entering the network at the given
+// cycle. Paired with PacketDone it exposes the packets still in flight when
+// the run ends (Results.InFlightPackets) — completed-only latency counting
+// is biased downward exactly when the network saturates, because the
+// slowest packets are the ones that have not finished yet.
+func (c *Collector) PacketInjected(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.packetsInjected++
 	}
 }
 
@@ -78,13 +106,16 @@ func (c *Collector) PacketDone(p flit.Packet) {
 	if lat > c.latencyMax {
 		c.latencyMax = lat
 	}
+	c.latHist.Record(lat)
 	c.hopSum += uint64(p.Hops)
 	c.deflectSum += uint64(p.Deflections)
 	c.retransSum += uint64(p.Retransmits)
 }
 
-// BufferingEvent records one flit entering a buffer (any cycle — used for
-// the buffering-probability ablation, windowed by RoutedEvent pairing).
+// BufferingEvent records one flit entering a buffer. Like the other event
+// recorders, only events inside the measurement window are counted, so the
+// buffering probability is the windowed ratio of buffer entries to switch
+// traversals.
 func (c *Collector) BufferingEvent(cycle uint64) {
 	if c.InWindow(cycle) {
 		c.bufferedSum++
@@ -115,8 +146,23 @@ type Results struct {
 	// packet completed.
 	AvgLatency float64
 	MaxLatency uint64
+	// P50Latency, P90Latency and P99Latency are nearest-rank latency
+	// percentiles in cycles, from the fixed-bucket histogram (at most 1/32
+	// relative overshoot; 0 when no packet completed).
+	P50Latency uint64
+	P90Latency uint64
+	P99Latency uint64
 	// Packets is the number of completed packets counted.
 	Packets uint64
+	// InFlightPackets is the number of packets injected inside the window
+	// that had not completed when the run ended. A non-negligible count
+	// means the latency figures are truncated: the slowest packets are
+	// missing from them (saturated or fault-degraded runs).
+	InFlightPackets uint64
+	// LatencyHistogram is a snapshot of the in-window latency distribution
+	// (nil when no packet completed). Use it for percentile queries beyond
+	// the precomputed ones and for structured export.
+	LatencyHistogram *Histogram
 	// AvgHops is the mean per-packet total link traversals.
 	AvgHops float64
 	// DeflectionsPerPacket and RetransmitsPerPacket explain bufferless
@@ -145,6 +191,13 @@ func (c *Collector) Results() Results {
 		r.AvgHops = float64(c.hopSum) / float64(c.packets)
 		r.DeflectionsPerPacket = float64(c.deflectSum) / float64(c.packets)
 		r.RetransmitsPerPacket = float64(c.retransSum) / float64(c.packets)
+		r.P50Latency = c.latHist.Quantile(0.50)
+		r.P90Latency = c.latHist.Quantile(0.90)
+		r.P99Latency = c.latHist.Quantile(0.99)
+		r.LatencyHistogram = c.latHist.snapshot()
+	}
+	if c.packetsInjected > c.packets {
+		r.InFlightPackets = c.packetsInjected - c.packets
 	}
 	if c.routedFlits > 0 {
 		r.BufferingProbability = float64(c.bufferedSum) / float64(c.routedFlits)

@@ -93,6 +93,64 @@ func TestNewCollectorValidation(t *testing.T) {
 	}
 }
 
+// pkt builds a completed packet with the given injection cycle and latency.
+func pkt(injection, latency uint64) flit.Packet {
+	return flit.Packet{InjectionCycle: injection, CompletionCycle: injection + latency}
+}
+
+// TestEventRecorderWindowing: all three microarchitectural event recorders
+// (BufferingEvent, RoutedEvent, DroppedFlit) count only inside the
+// measurement window — the BufferingEvent doc used to claim "any cycle".
+func TestEventRecorderWindowing(t *testing.T) {
+	c := NewCollector(64, 100, 200)
+	for _, cycle := range []uint64{99, 100, 150, 199, 200} { // 3 in-window
+		c.BufferingEvent(cycle)
+		c.RoutedEvent(cycle)
+		c.DroppedFlit(cycle)
+	}
+	if c.bufferedSum != 3 {
+		t.Errorf("buffered = %d, want 3 (window [100,200))", c.bufferedSum)
+	}
+	if c.routedFlits != 3 {
+		t.Errorf("routed = %d, want 3", c.routedFlits)
+	}
+	r := c.Results()
+	if r.DroppedFlits != 3 {
+		t.Errorf("dropped = %d, want 3", r.DroppedFlits)
+	}
+	if r.BufferingProbability != 1.0 {
+		t.Errorf("buffering probability = %v, want 1 (3 bufferings / 3 traversals)", r.BufferingProbability)
+	}
+}
+
+// TestInFlightPackets: packets injected in-window that never complete must
+// be reported, not silently dropped from the latency statistics.
+func TestInFlightPackets(t *testing.T) {
+	c := NewCollector(64, 100, 200)
+	c.PacketInjected(50)  // before window: not tracked
+	c.PacketInjected(120) // completes below
+	c.PacketInjected(130) // still in flight at run end
+	c.PacketInjected(140) // still in flight at run end
+	c.PacketDone(pkt(120, 30))
+	r := c.Results()
+	if r.Packets != 1 {
+		t.Fatalf("packets = %d, want 1", r.Packets)
+	}
+	if r.InFlightPackets != 2 {
+		t.Errorf("in-flight = %d, want 2", r.InFlightPackets)
+	}
+}
+
+// TestInFlightPacketsNeverUnderflows: a collector fed completions without
+// injection events (unit-test style usage) must report zero, not wrap.
+func TestInFlightPacketsNeverUnderflows(t *testing.T) {
+	c := NewCollector(64, 0, 100)
+	c.PacketDone(pkt(10, 5))
+	if r := c.Results(); r.InFlightPackets != 0 {
+		t.Errorf("in-flight = %d, want 0", r.InFlightPackets)
+	}
+}
+
 // Property: average latency is always between min and max of contributed
 // latencies, and AcceptedLoad <= OfferedLoad has no meaning here (retries),
 // but both are non-negative and finite.

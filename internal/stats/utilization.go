@@ -14,10 +14,16 @@ import (
 // links, hotspots glow around their home node — and the heatmap example
 // renders it.
 
-// EnableLinkUtilization switches on per-link counters for a mesh with the
-// given node count.
-func (c *Collector) EnableLinkUtilization(nodes int) {
-	c.linkUse = make([][]uint64, nodes)
+// EnableLinkUtilization switches on per-link counters for a width×height
+// mesh. The dimensions matter beyond the node count: edge and corner nodes
+// have fewer outgoing links, and NodeUtilization averages only over the
+// links that exist.
+func (c *Collector) EnableLinkUtilization(width, height int) {
+	if width < 1 || height < 1 {
+		panic("stats: invalid mesh dimensions")
+	}
+	c.utilWidth, c.utilHeight = width, height
+	c.linkUse = make([][]uint64, width*height)
 	for i := range c.linkUse {
 		c.linkUse[i] = make([]uint64, flit.NumLinkPorts)
 	}
@@ -48,7 +54,11 @@ func (c *Collector) LinkUtilization() [][]float64 {
 	return out
 }
 
-// NodeUtilization returns each node's mean outgoing-link utilization.
+// NodeUtilization returns each node's mean outgoing-link utilization,
+// averaged over the links the node actually has: a corner node has two
+// outgoing links, an edge node three, an interior node four. Dividing by
+// flit.NumLinkPorts unconditionally would systematically understate edge
+// and corner utilization in heatmaps.
 func (c *Collector) NodeUtilization() []float64 {
 	lu := c.LinkUtilization()
 	if lu == nil {
@@ -56,16 +66,33 @@ func (c *Collector) NodeUtilization() []float64 {
 	}
 	out := make([]float64, len(lu))
 	for n := range lu {
-		sum, cnt := 0.0, 0
+		sum := 0.0
 		for _, u := range lu[n] {
-			if u > 0 || true {
-				sum += u
-				cnt++
-			}
+			sum += u
 		}
-		out[n] = sum / float64(cnt)
+		out[n] = sum / float64(c.outgoingLinks(n))
 	}
 	return out
+}
+
+// outgoingLinks returns the number of cardinal links node n has in the
+// utilWidth×utilHeight mesh.
+func (c *Collector) outgoingLinks(n int) int {
+	x, y := n%c.utilWidth, n/c.utilWidth
+	cnt := 4
+	if x == 0 {
+		cnt--
+	}
+	if x == c.utilWidth-1 {
+		cnt--
+	}
+	if y == 0 {
+		cnt--
+	}
+	if y == c.utilHeight-1 {
+		cnt--
+	}
+	return cnt
 }
 
 // Heatmap renders the per-node utilization of a width×height mesh as an

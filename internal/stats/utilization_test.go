@@ -17,7 +17,7 @@ func TestLinkUtilizationDisabledByDefault(t *testing.T) {
 
 func TestLinkUtilizationCountsWindowedEvents(t *testing.T) {
 	c := NewCollector(4, 10, 110)
-	c.EnableLinkUtilization(4)
+	c.EnableLinkUtilization(2, 2)
 	c.LinkEvent(1, flit.East, 5)  // before window
 	c.LinkEvent(1, flit.East, 50) // counted
 	c.LinkEvent(1, flit.East, 51) // counted
@@ -36,18 +36,53 @@ func TestLinkUtilizationCountsWindowedEvents(t *testing.T) {
 }
 
 func TestNodeUtilizationAverages(t *testing.T) {
-	c := NewCollector(2, 0, 100)
-	c.EnableLinkUtilization(2)
+	c := NewCollector(4, 0, 100)
+	c.EnableLinkUtilization(2, 2)
 	for i := 0; i < 100; i++ {
 		c.LinkEvent(0, flit.East, uint64(i))
 	}
 	nu := c.NodeUtilization()
-	// One of four ports busy every cycle: mean 0.25.
-	if nu[0] != 0.25 {
-		t.Errorf("node 0 utilization = %v, want 0.25", nu[0])
+	// Node 0 is a 2×2 corner with two real links (E, S); one busy every
+	// cycle means a mean of 0.5 — not 0.25, which would count the two
+	// links the node does not have.
+	if nu[0] != 0.5 {
+		t.Errorf("node 0 utilization = %v, want 0.5", nu[0])
 	}
 	if nu[1] != 0 {
 		t.Errorf("node 1 utilization = %v, want 0", nu[1])
+	}
+}
+
+// TestNodeUtilizationEdgeVsCenter drives every real link of a corner node
+// (2 links), an edge node (3) and the center node (4) of a 3×3 mesh at the
+// same per-link rate. The fixed NodeUtilization must report the same mean
+// for all three; the old flit.NumLinkPorts divisor understated the corner
+// by 2× and the edge by 4/3.
+func TestNodeUtilizationEdgeVsCenter(t *testing.T) {
+	c := NewCollector(9, 0, 100)
+	c.EnableLinkUtilization(3, 3)
+	links := map[int][]flit.Port{
+		0: {flit.East, flit.South},                        // corner
+		1: {flit.East, flit.South, flit.West},             // edge
+		4: {flit.North, flit.East, flit.South, flit.West}, // center
+	}
+	for n, ports := range links {
+		for _, p := range ports {
+			for i := 0; i < 50; i++ { // 50% per-link utilization
+				c.LinkEvent(n, p, uint64(i))
+			}
+		}
+	}
+	nu := c.NodeUtilization()
+	for n := range links {
+		if nu[n] != 0.5 {
+			t.Errorf("node %d utilization = %v, want 0.5", n, nu[n])
+		}
+	}
+	for _, n := range []int{2, 3, 5, 6, 7, 8} {
+		if nu[n] != 0 {
+			t.Errorf("idle node %d utilization = %v, want 0", n, nu[n])
+		}
 	}
 }
 

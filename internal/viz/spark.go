@@ -1,0 +1,143 @@
+package viz
+
+// This file renders the observability companions to the figure charts: a
+// latency CDF (step plot on the same chart frame as LineSVG, built from
+// cumulative histogram points) and compact per-series sparklines for the
+// time-series samples (throughput, in-flight flits, buffer occupancy over
+// the run). Both take the generic Series/Chart shapes so the package stays
+// simulator-free.
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// CDFSVG renders the chart as step functions — the natural shape for an
+// empirical CDF built from histogram bucket edges, where Y holds cumulative
+// fractions in [0, 1]. X is expected non-decreasing per series; a log-ish
+// latency axis is the caller's choice of X values.
+func CDFSVG(c Chart) string {
+	var b strings.Builder
+	plotW := chartW - padLeft - padRight
+	plotH := chartH - padTop - padBot
+
+	xmin, xmax, _ := bounds(c)
+	ymax := 1.0 * 1.05 // CDFs top out at 1; keep headroom consistent with bounds()
+	xscale := func(x float64) float64 {
+		if xmax == xmin {
+			return padLeft
+		}
+		return padLeft + (x-xmin)/(xmax-xmin)*float64(plotW)
+	}
+	yscale := func(y float64) float64 {
+		return float64(padTop+plotH) - y/ymax*float64(plotH)
+	}
+
+	header(&b, c)
+	gridAndAxes(&b, c, xmin, xmax, ymax, xscale, yscale, nil)
+
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		var path strings.Builder
+		for i := range s.X {
+			x, y := xscale(s.X[i]), yscale(s.Y[i])
+			if i == 0 {
+				fmt.Fprintf(&path, "M%.1f %.1f ", x, y)
+				continue
+			}
+			// Horizontal-then-vertical: the quantile holds until the next
+			// bucket edge, then steps up.
+			fmt.Fprintf(&path, "H%.1f V%.1f ", x, y)
+		}
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="2" stroke-linejoin="round"/>`+"\n",
+			strings.TrimSpace(path.String()), color)
+	}
+	legend(&b, c)
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// sparkline geometry: one compact row per series, filled area + line.
+const (
+	sparkW     = 560
+	sparkRowH  = 56
+	sparkPadX  = 180 // label + last-value columns
+	sparkPadY  = 36  // title row
+	sparkInset = 8
+)
+
+// SparklineSVG renders each series as one compact row: label, filled
+// area-plus-line trace, and the final value. Rows share the X range but are
+// scaled independently on Y (a sparkline shows shape, not cross-series
+// magnitude — use LineSVG when magnitudes must be comparable).
+func SparklineSVG(c Chart) string {
+	var b strings.Builder
+	rows := len(c.Series)
+	if rows == 0 {
+		rows = 1
+	}
+	totalH := sparkPadY + rows*sparkRowH + 12
+
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="system-ui, sans-serif">`+"\n",
+		sparkW, totalH, sparkW, totalH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="%s"/>`+"\n", sparkW, totalH, surface)
+	fmt.Fprintf(&b, `<text x="16" y="24" font-size="15" font-weight="600" fill="%s">%s</text>`+"\n",
+		textPrimary, escape(c.Title))
+
+	traceW := sparkW - sparkPadX - 16
+	xmin, xmax, _ := bounds(c)
+
+	for si, s := range c.Series {
+		color := seriesColors[si%len(seriesColors)]
+		top := sparkPadY + si*sparkRowH
+		base := float64(top + sparkRowH - sparkInset)
+
+		ymaxRow := 0.0
+		for _, y := range s.Y {
+			ymaxRow = math.Max(ymaxRow, y)
+		}
+		xscale := func(x float64) float64 {
+			if xmax == xmin {
+				return 120
+			}
+			return 120 + (x-xmin)/(xmax-xmin)*float64(traceW)
+		}
+		yscale := func(y float64) float64 {
+			if ymaxRow == 0 {
+				return base
+			}
+			return base - y/ymaxRow*float64(sparkRowH-2*sparkInset)
+		}
+
+		fmt.Fprintf(&b, `<text x="16" y="%.1f" font-size="11" fill="%s">%s</text>`+"\n",
+			base-4, textPrimary, escape(s.Label))
+		fmt.Fprintf(&b, `<line x1="120" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`+"\n",
+			base, 120+traceW, base, gridStroke)
+
+		if len(s.X) == 0 {
+			continue
+		}
+		var line strings.Builder
+		for i := range s.X {
+			cmd := "L"
+			if i == 0 {
+				cmd = "M"
+			}
+			fmt.Fprintf(&line, "%s%.1f %.1f ", cmd, xscale(s.X[i]), yscale(s.Y[i]))
+		}
+		trace := strings.TrimSpace(line.String())
+		// Filled area under the trace at 15% alpha, then the 1.5px line.
+		fmt.Fprintf(&b, `<path d="%s L%.1f %.1f L%.1f %.1f Z" fill="%s" fill-opacity="0.15"/>`+"\n",
+			trace, xscale(s.X[len(s.X)-1]), base, xscale(s.X[0]), base, color)
+		fmt.Fprintf(&b, `<path d="%s" fill="none" stroke="%s" stroke-width="1.5" stroke-linejoin="round"/>`+"\n",
+			trace, color)
+		// Terminal marker + last value, the "now" readout.
+		lastX, lastY := xscale(s.X[len(s.X)-1]), yscale(s.Y[len(s.Y)-1])
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n", lastX, lastY, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s" text-anchor="end">%s</text>`+"\n",
+			sparkW-16, lastY+4, textSecondary, trimFloat(s.Y[len(s.Y)-1]))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

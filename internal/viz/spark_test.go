@@ -1,0 +1,66 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCDFSVGSteps(t *testing.T) {
+	svg := CDFSVG(Chart{
+		Title:  "latency CDF",
+		XLabel: "latency (cycles)",
+		YLabel: "fraction of packets",
+		Series: []Series{
+			{Label: "DXbar", X: []float64{10, 20, 40}, Y: []float64{0.5, 0.9, 1.0}},
+			{Label: "SCARAB", X: []float64{12, 30, 90}, Y: []float64{0.4, 0.8, 1.0}},
+		},
+	})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not a standalone SVG document")
+	}
+	// Step plot: paths use H/V segments, not diagonal L segments.
+	if !strings.Contains(svg, "H") || !strings.Contains(svg, "V") {
+		t.Error("CDF paths must be horizontal/vertical steps")
+	}
+	for _, label := range []string{"DXbar", "SCARAB", "latency CDF"} {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing %q", label)
+		}
+	}
+	if got := strings.Count(svg, `<path`); got != 2 {
+		t.Errorf("got %d paths, want one step path per series", got)
+	}
+}
+
+func TestSparklineSVGRows(t *testing.T) {
+	svg := SparklineSVG(Chart{
+		Title: "run time series",
+		Series: []Series{
+			{Label: "in-flight flits", X: []float64{100, 200, 300}, Y: []float64{5, 9, 7}},
+			{Label: "buffered flits", X: []float64{100, 200, 300}, Y: []float64{0, 0, 0}},
+		},
+	})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("not a standalone SVG document")
+	}
+	for _, label := range []string{"in-flight flits", "buffered flits", "run time series"} {
+		if !strings.Contains(svg, label) {
+			t.Errorf("missing %q", label)
+		}
+	}
+	// Each non-empty series renders a filled area and a line: 2 paths per row.
+	if got := strings.Count(svg, `<path`); got != 4 {
+		t.Errorf("got %d paths, want 4 (area+line per series)", got)
+	}
+	// Last-value readout for the first row.
+	if !strings.Contains(svg, ">7<") {
+		t.Error("missing terminal value readout")
+	}
+}
+
+func TestSparklineSVGEmpty(t *testing.T) {
+	svg := SparklineSVG(Chart{Title: "empty"})
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(svg, "</svg>\n") {
+		t.Fatal("empty chart must still produce a valid document")
+	}
+}

@@ -23,6 +23,10 @@ func steadyNetwork(t *testing.T, design Design, load float64) *Network {
 		t.Fatal(err)
 	}
 	coll := stats.NewCollector(mesh.Nodes(), 0, 1<<40)
+	// Sampling is on (with a capacity small enough that the ring wraps
+	// during the alloc test) so the zero-alloc guard below also covers the
+	// histogram and time-series instrumentation.
+	coll.EnableTimeSeries(64, 32)
 	net, err := NewNetwork(NetworkOptions{
 		Design: design,
 		Mesh:   mesh,

@@ -121,7 +121,11 @@ func (r *runner) run(c Config) (Result, error) {
 	}
 	coll := stats.NewCollector(mesh.Nodes(), cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles)
 	if cfg.TrackUtilization {
-		coll.EnableLinkUtilization(mesh.Nodes())
+		coll.EnableLinkUtilization(mesh.Width, mesh.Height)
+	}
+	if cfg.SampleInterval > 0 {
+		total := cfg.WarmupCycles + cfg.MeasureCycles
+		coll.EnableTimeSeries(cfg.SampleInterval, int(total/cfg.SampleInterval)+1)
 	}
 	net, err := r.network(NetworkOptions{
 		Design:               cfg.Design,
@@ -153,6 +157,8 @@ func (r *runner) run(c Config) (Result, error) {
 		Pattern:         cfg.Pattern,
 		Load:            cfg.Load,
 		NodeUtilization: coll.NodeUtilization(),
+		TimeSeries:      coll.Samples(),
+		SampleInterval:  cfg.SampleInterval,
 		Width:           cfg.Width,
 		Height:          cfg.Height,
 	}
@@ -222,6 +228,10 @@ func (r *runner) runSplash(c SplashConfig) (SplashResult, error) {
 	sr := coll.Results()
 	res.Packets = sr.Packets
 	res.AvgLatency = sr.AvgLatency
+	res.P50Latency = sr.P50Latency
+	res.P99Latency = sr.P99Latency
+	res.MaxLatency = sr.MaxLatency
+	res.InFlightPackets = sr.InFlightPackets
 	if sr.Packets > 0 {
 		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(sr.Packets)
 	}

@@ -35,8 +35,15 @@ type SplashResult struct {
 	TotalEnergyNJ float64
 	// Packets is the number of protocol messages delivered.
 	Packets uint64
-	// AvgLatency is the mean packet network latency in cycles.
-	AvgLatency float64
+	// AvgLatency is the mean packet network latency in cycles;
+	// P50Latency/P99Latency/MaxLatency describe the tail of the same
+	// distribution, and InFlightPackets counts protocol messages still in
+	// the network when the run ended (non-zero only on aborted runs).
+	AvgLatency      float64
+	P50Latency      uint64
+	P99Latency      uint64
+	MaxLatency      uint64
+	InFlightPackets uint64
 	// Design, Routing and Benchmark echo the configuration.
 	Design    Design
 	Routing   string
