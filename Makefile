@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race race bench bench-smoke figures figures-full examples clean
+.PHONY: all build test test-race race bench bench-smoke figures figures-full examples examples-smoke clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 	$(GO) build ./...
 	$(GO) vet ./...
 
-test: test-race
+test: test-race examples-smoke
 	$(GO) vet ./...
 	$(GO) test ./...
 
@@ -40,9 +40,18 @@ figures-full:
 	$(GO) run ./cmd/dxbar-sweep -fig all -quality full -out results -svg -md
 
 examples:
-	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing latencytail; do \
+	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing latencytail flightrecorder; do \
 		echo "=== $$e ==="; $(GO) run ./examples/$$e || exit 1; \
 	done
 
+# Build and run every example with DXBAR_SMOKE=1, which caps the open-loop
+# windows (warmup <= 200, measure <= 800 cycles) so the whole suite finishes
+# in seconds — a compile+runtime regression gate, not a demo.
+examples-smoke:
+	for e in quickstart hotspot faulttolerance splash tracereplay heatmap routing latencytail flightrecorder; do \
+		echo "=== $$e (smoke) ==="; DXBAR_SMOKE=1 $(GO) run ./examples/$$e > /dev/null || exit 1; \
+	done
+	rm -f flightrecorder_trace.json
+
 clean:
-	rm -rf results
+	rm -rf results flightrecorder_trace.json

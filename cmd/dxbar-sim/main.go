@@ -36,8 +36,16 @@ func main() {
 		interval = flag.Uint64("sample-interval", 0, "time-series sampling interval in cycles (0 disables)")
 		outDir   = flag.String("out", "", "directory for NDJSON/CSV export of the latency histogram and time series")
 		svg      = flag.Bool("svg", false, "also write a latency-CDF and time-series SVG to -out")
+		trace    = flag.Int("trace", 0, "flight-recorder ring capacity in events (0 disables runtime event tracing)")
+		traceOut = flag.String("trace-out", "", "write the recorded events as Chrome trace-event JSON to this file (load at ui.perfetto.dev; requires -trace)")
+		traceEv  = flag.String("trace-events", "", "comma-separated event kinds to record (default all; e.g. inject,buffered,eject)")
 	)
 	flag.Parse()
+
+	var kinds []string
+	if *traceEv != "" {
+		kinds = []string{*traceEv}
+	}
 
 	res, err := dxbar.Run(dxbar.Config{
 		Design:         dxbar.Design(*design),
@@ -59,6 +67,8 @@ func main() {
 		}(),
 		TrackUtilization: *heatmap,
 		SampleInterval:   *interval,
+		EventTrace:       *trace,
+		EventKinds:       kinds,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
@@ -86,12 +96,30 @@ func main() {
 	fmt.Printf("buffering prob  %.4f\n", res.BufferingProbability)
 	fmt.Printf("dropped flits   %d\n", res.DroppedFlits)
 	fmt.Printf("total power     %.1f mW (buffers %.0f%%)\n", res.Power.TotalMW, res.Power.BufferShareOfTot*100)
+	if *trace > 0 {
+		fmt.Printf("trace events    %d recorded (%d overwritten, ring %d)\n",
+			res.EventsRecorded, res.EventsOverwritten, *trace)
+	}
 	if *heatmap {
 		fmt.Println()
 		fmt.Print(dxbar.Heatmap(res))
 	}
 	if *outDir != "" {
 		export(*outDir, label, res, *svg)
+	}
+	if *traceOut != "" {
+		if *trace == 0 {
+			fatal(fmt.Errorf("-trace-out requires -trace > 0"))
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := dxbar.WriteChromeTrace(f, dxbar.TraceRecordFor(label, res)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace written   %s (open at ui.perfetto.dev)\n", *traceOut)
 	}
 }
 

@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strconv"
+	"strings"
 
 	"dxbar"
 	"dxbar/internal/report"
@@ -33,6 +34,7 @@ func main() {
 		svg        = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
 		md         = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
 		hist       = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
+		trace      = flag.Int("trace", 0, "for figs 5/6 with -hist: flight-recorder ring capacity per sweep point; writes one Chrome trace JSON per point to -out (0 disables)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -86,7 +88,7 @@ func main() {
 	// per-point Results also feed the latency table and histogram export.
 	done := map[string]bool{}
 	if *hist && (want("5") || want("6")) {
-		pts, err := dxbar.LoadSweep("UR", q, *seed)
+		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{EventTrace: *trace})
 		if err != nil {
 			fatal(err)
 		}
@@ -99,6 +101,9 @@ func main() {
 			done["6"] = true
 		}
 		emitLatency(pts, *outDir)
+		if *trace > 0 && *outDir != "" {
+			emitTraces(pts, *outDir)
+		}
 	}
 	for _, id := range order {
 		if !want(id) || done[id] {
@@ -129,6 +134,18 @@ func emitLatency(pts []dxbar.SweepPoint, outDir string) {
 	}
 	writeFile(outDir, "fig5_latency.ndjson", func(f *os.File) error { return dxbar.WriteHistogramsNDJSON(f, hists) })
 	writeFile(outDir, "fig5_latency.csv", func(f *os.File) error { return dxbar.WriteHistogramsCSV(f, hists) })
+}
+
+// emitTraces writes one Chrome trace-event JSON per traced sweep point
+// (trace_<label>_<load>.json, spaces dashed), loadable at ui.perfetto.dev.
+func emitTraces(pts []dxbar.SweepPoint, outDir string) {
+	for _, p := range pts {
+		label := fmt.Sprintf("%s %.2f", p.Label, p.Load)
+		name := "trace_" + strings.ReplaceAll(label, " ", "_") + ".json"
+		rec := dxbar.TraceRecordFor(label, p.Result)
+		writeFile(outDir, name, func(f *os.File) error { return dxbar.WriteChromeTrace(f, rec) })
+	}
+	fmt.Printf("wrote %d per-point traces to %s (open at ui.perfetto.dev)\n\n", len(pts), outDir)
 }
 
 func fatal(err error) {

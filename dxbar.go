@@ -25,9 +25,11 @@ package dxbar
 
 import (
 	"fmt"
+	"os"
 
 	"dxbar/internal/core"
 	"dxbar/internal/energy"
+	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/router"
 	"dxbar/internal/routing"
@@ -118,6 +120,16 @@ type Config struct {
 	// PortOrderArbitration replaces DXbar's age-based arbitration with
 	// static port order (arbitration-policy ablation; DXbar only).
 	PortOrderArbitration bool
+	// EventTrace enables the flight recorder with a ring of that many
+	// events (see internal/events). 0 disables tracing; disabled runs are
+	// bit-identical to traced ones. The recorded tail is returned in
+	// Result.Events, the whole-run per-router counters in
+	// Result.RouterEvents.
+	EventTrace int
+	// EventKinds restricts the recorder to the named event kinds (each
+	// entry may be a comma-separated list; see events.KindNames). Empty
+	// records every kind.
+	EventKinds []string
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.
@@ -151,6 +163,18 @@ type Result struct {
 	SampleInterval uint64
 	// Width and Height echo the mesh size (for Heatmap rendering).
 	Width, Height int
+	// Events is the flight-recorder ring's chronological tail (nil unless
+	// Config.EventTrace > 0). When EventsOverwritten > 0 the ring wrapped
+	// and the tail covers only the end of the run.
+	Events []events.Event
+	// EventsRecorded and EventsOverwritten count the events accepted over
+	// the whole run and those lost to ring overwrite.
+	EventsRecorded    uint64
+	EventsOverwritten uint64
+	// RouterEvents is the per-router × per-kind counter matrix (nil unless
+	// Config.EventTrace > 0). Unlike Events it is exact for the whole run —
+	// the counters survive ring overwrite.
+	RouterEvents *events.Matrix
 }
 
 func (c *Config) withDefaults() Config {
@@ -181,6 +205,16 @@ func (c *Config) withDefaults() Config {
 	}
 	if cfg.FairnessThreshold == 0 {
 		cfg.FairnessThreshold = core.FairnessThreshold
+	}
+	// DXBAR_SMOKE caps run lengths so `make examples-smoke` can exercise
+	// every example in seconds without editing them.
+	if os.Getenv("DXBAR_SMOKE") != "" {
+		if cfg.WarmupCycles > 200 {
+			cfg.WarmupCycles = 200
+		}
+		if cfg.MeasureCycles > 800 {
+			cfg.MeasureCycles = 800
+		}
 	}
 	return cfg
 }
@@ -283,6 +317,9 @@ type NetworkOptions struct {
 	CreditDelay int
 	// PortOrderArbitration switches DXbar to static port-order arbitration.
 	PortOrderArbitration bool
+	// Events attaches a flight recorder; nil (the default) disables runtime
+	// event tracing at zero cost.
+	Events *events.Recorder
 }
 
 // prepare validates the options and resolves them into an engine config, a
@@ -329,6 +366,7 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		BufferDepth: depth,
 		CreditDelay: o.CreditDelay,
 		PreCycle:    o.PreCycle,
+		Events:      o.Events,
 	}, factory, meter, nil
 }
 

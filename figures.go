@@ -76,10 +76,25 @@ type SweepPoint struct {
 	Result Result
 }
 
+// SweepOptions are per-point extras a load sweep can carry beyond the
+// quality axes (LoadSweepOpts).
+type SweepOptions struct {
+	// EventTrace enables the flight recorder with that ring capacity at
+	// every sweep point (Config.EventTrace). 0 leaves tracing off.
+	EventTrace int
+	// EventKinds restricts the recorder's kinds (Config.EventKinds).
+	EventKinds []string
+}
+
 // LoadSweep runs every figure design over the quality's load axis in
 // parallel under the given synthetic pattern. Points come back design-major
 // in the paper's legend order, loads ascending within each design.
 func LoadSweep(pattern string, q Quality, seed int64) ([]SweepPoint, error) {
+	return LoadSweepOpts(pattern, q, seed, SweepOptions{})
+}
+
+// LoadSweepOpts is LoadSweep with per-point options (event tracing).
+func LoadSweepOpts(pattern string, q Quality, seed int64, opts SweepOptions) ([]SweepPoint, error) {
 	var configs []Config
 	var pts []SweepPoint
 	for _, fd := range figureDesigns {
@@ -87,6 +102,7 @@ func LoadSweep(pattern string, q Quality, seed int64) ([]SweepPoint, error) {
 			configs = append(configs, Config{
 				Design: fd.Design, Routing: fd.Routing, Pattern: pattern, Load: l,
 				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
+				EventTrace: opts.EventTrace, EventKinds: opts.EventKinds,
 			})
 			pts = append(pts, SweepPoint{Label: fd.Label, Load: l})
 		}

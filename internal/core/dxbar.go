@@ -5,6 +5,7 @@ import (
 
 	"dxbar/internal/buffer"
 	"dxbar/internal/crossbar"
+	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -49,6 +50,10 @@ type DXbar struct {
 	// portOrder switches arbitration from age-based to static port order
 	// (an ablation of the paper's age-based priority, §II.A).
 	portOrder bool
+
+	// manifestSeen/detectedSeen latch the fault state machine's transitions
+	// so the flight recorder sees each exactly once.
+	manifestSeen, detectedSeen bool
 
 	// Per-Step scratch, reused across cycles.
 	incoming []inFlit
@@ -118,6 +123,10 @@ func (d *DXbar) Step(cycle uint64) {
 	// Apply manifest faults to the fabric models.
 	if d.detector.Manifest(cycle) {
 		f := d.detector.Fault()
+		if !d.manifestSeen {
+			d.manifestSeen = true
+			env.Events().Record(cycle, events.FaultManifest, env.Node, flit.Invalid, 0, 0, int32(f.Crossbar))
+		}
 		target := d.primary
 		if f.Crossbar == faults.Secondary {
 			target = d.secondary
@@ -132,6 +141,10 @@ func (d *DXbar) Step(cycle uint64) {
 		}
 	}
 	detected := d.detector.Detected(cycle)
+	if detected && !d.detectedSeen {
+		d.detectedSeen = true
+		env.Events().Record(cycle, events.FaultDetected, env.Node, flit.Invalid, 0, 0, int32(d.detector.Fault().Crossbar))
+	}
 
 	// Gather incoming flits (age order) and waiting flits.
 	incoming := d.incoming[:0]
@@ -179,7 +192,10 @@ func (d *DXbar) Step(cycle uint64) {
 		}
 	}
 
-	d.fair.observe(waitersExist, primaryWon, waiterWon)
+	if d.fair.observe(waitersExist, primaryWon, waiterWon) {
+		env.Stats().FairnessFlip(cycle)
+		env.Events().Record(cycle, events.FairnessFlip, env.Node, flit.Invalid, 0, 0, int32(d.fair.Flips()))
+	}
 }
 
 // sortInFlits sorts arrivals oldest-first (insertion sort over at most four
@@ -239,6 +255,7 @@ func (d *DXbar) allocateIncoming(incoming []inFlit, cycle uint64) bool {
 		if out != flit.Invalid && d.env.CanSend(out) {
 			if err := d.primary.Connect(int(p), int(out)); err == nil {
 				d.env.ReturnCredit(p)
+				d.env.Events().Record(cycle, events.PrimaryWin, d.env.Node, p, f.PacketID, f.ID, int32(out))
 				d.sendVia(out, f, cycle)
 				won = true
 				continue
@@ -402,6 +419,7 @@ func (d *DXbar) allocateDegradedPrimary(incoming []inFlit, flip bool, cycle uint
 				waiterWon = true
 			} else {
 				d.env.ReturnCredit(p)
+				d.env.Events().Record(cycle, events.PrimaryWin, d.env.Node, p, cand.f.PacketID, cand.f.ID, int32(out))
 				primaryWon = true
 			}
 			d.sendVia(out, cand.f, cycle)
@@ -449,6 +467,7 @@ func (d *DXbar) bufferFlit(f *flit.Flit, p flit.Port, cycle uint64) {
 	f.Buffered++
 	d.env.Meter().BufferWrite()
 	d.env.Stats().BufferingEvent(cycle)
+	d.env.Events().Record(cycle, events.Buffered, d.env.Node, p, f.PacketID, f.ID, int32(d.buffers[p].Len()))
 }
 
 // sendVia launches f through output port out, charging the crossbar

@@ -36,14 +36,16 @@ func (f *fairness) flip(waitersExist bool) bool {
 }
 
 // observe updates the counter after allocation: waiter wins reset it;
-// primary wins with waiters present advance it.
-func (f *fairness) observe(waitersExist, primaryWon, waiterWon bool) {
+// primary wins with waiters present advance it. It reports whether this
+// observation flipped priority (the counter just reached its threshold), so
+// callers can surface the flip to statistics and the flight recorder.
+func (f *fairness) observe(waitersExist, primaryWon, waiterWon bool) bool {
 	if !waitersExist {
-		return
+		return false
 	}
 	if waiterWon {
 		f.count = 0
-		return
+		return false
 	}
 	if primaryWon && f.count < f.threshold {
 		// A flip cycle that failed to serve any waiter (ports busy) keeps
@@ -52,8 +54,10 @@ func (f *fairness) observe(waitersExist, primaryWon, waiterWon bool) {
 		f.count++
 		if f.count == f.threshold {
 			f.flips++
+			return true
 		}
 	}
+	return false
 }
 
 // Flips returns how many times priority has flipped (diagnostics).

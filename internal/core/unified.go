@@ -6,6 +6,7 @@ import (
 	"dxbar/internal/arbiter"
 	"dxbar/internal/buffer"
 	"dxbar/internal/crossbar"
+	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -34,6 +35,12 @@ type Unified struct {
 
 	fair     *fairness
 	detector *faults.Detector
+
+	// manifestSeen latches the fault manifestation for the flight recorder;
+	// lastSwaps tracks the allocator's cumulative swap count so each cycle's
+	// delta can be recorded.
+	manifestSeen bool
+	lastSwaps    uint64
 
 	// Per-Step scratch, reused across cycles.
 	waiters []waiter
@@ -72,8 +79,14 @@ func (u *Unified) Step(cycle uint64) {
 	// an injected fault: a dead unified crossbar stops switching entirely
 	// (arrivals are buffered while space lasts, then back-pressure stalls
 	// the neighbourhood — the single-fabric design has no fallback path).
-	if u.detector.Manifest(cycle) && !u.xbar.Dead() {
-		u.xbar.Kill()
+	if u.detector.Manifest(cycle) {
+		if !u.manifestSeen {
+			u.manifestSeen = true
+			env.Events().Record(cycle, events.FaultManifest, env.Node, flit.Invalid, 0, 0, int32(u.detector.Fault().Crossbar))
+		}
+		if !u.xbar.Dead() {
+			u.xbar.Kill()
+		}
 	}
 
 	// Gather incoming flits and waiting flits.
@@ -128,6 +141,10 @@ func (u *Unified) Step(cycle uint64) {
 	}
 
 	grants := u.alloc.Allocate(reqs, flip)
+	if swaps := u.alloc.Swaps(); swaps != u.lastSwaps {
+		env.Events().Record(cycle, events.Swap, env.Node, flit.Invalid, 0, 0, int32(swaps-u.lastSwaps))
+		u.lastSwaps = swaps
+	}
 
 	var primaryWon, waiterWon bool
 	for p := 0; p < flit.NumPorts; p++ {
@@ -143,6 +160,7 @@ func (u *Unified) Step(cycle uint64) {
 			f := arrived[p]
 			if err := u.xbar.Connect(p, entIncoming, gIncoming); err == nil {
 				env.ReturnCredit(flit.Port(p))
+				env.Events().Record(cycle, events.PrimaryWin, env.Node, flit.Port(p), f.PacketID, f.ID, int32(gIncoming))
 				u.sendVia(flit.Port(gIncoming), f, cycle)
 				arrived[p] = nil
 				primaryWon = true
@@ -169,7 +187,10 @@ func (u *Unified) Step(cycle uint64) {
 		}
 	}
 
-	u.fair.observe(waitersExist, primaryWon, waiterWon)
+	if u.fair.observe(waitersExist, primaryWon, waiterWon) {
+		env.Stats().FairnessFlip(cycle)
+		env.Events().Record(cycle, events.FairnessFlip, env.Node, flit.Invalid, 0, 0, int32(u.fair.Flips()))
+	}
 }
 
 func (u *Unified) collectWaiters() []waiter {
@@ -219,6 +240,7 @@ func (u *Unified) bufferFlit(f *flit.Flit, p flit.Port, cycle uint64) {
 	f.Buffered++
 	u.env.Meter().BufferWrite()
 	u.env.Stats().BufferingEvent(cycle)
+	u.env.Events().Record(cycle, events.Buffered, u.env.Node, p, f.PacketID, f.ID, int32(u.buffers[p].Len()))
 }
 
 func (u *Unified) sendVia(out flit.Port, f *flit.Flit, cycle uint64) {

@@ -1,0 +1,183 @@
+package events
+
+import (
+	"testing"
+
+	"dxbar/internal/flit"
+)
+
+// TestRingOverwriteOldest: a capacity-4 ring fed 10 events keeps the last 4
+// in chronological order, reports the 6 lost to overwrite, and keeps exact
+// whole-run totals in the counter matrix.
+func TestRingOverwriteOldest(t *testing.T) {
+	r := NewRecorder(2, 4)
+	for i := 0; i < 10; i++ {
+		r.Record(uint64(i), Inject, i%2, flit.Local, uint64(i+1), uint64(i+1), 0)
+	}
+	if r.Len() != 4 || r.Capacity() != 4 {
+		t.Fatalf("len=%d cap=%d, want 4/4", r.Len(), r.Capacity())
+	}
+	if r.Total() != 10 || r.Overwritten() != 6 {
+		t.Fatalf("total=%d overwritten=%d, want 10/6", r.Total(), r.Overwritten())
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("Events() len = %d, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(6 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest overwritten first)", i, e.Cycle, want)
+		}
+	}
+	// The matrix never overwrites: 5 injects per node across the run.
+	m := r.Matrix()
+	if m.At(0, Inject) != 5 || m.At(1, Inject) != 5 {
+		t.Errorf("matrix injects = %d/%d, want 5/5", m.At(0, Inject), m.At(1, Inject))
+	}
+	if m.KindTotal(Inject) != 10 {
+		t.Errorf("kind total = %d, want 10", m.KindTotal(Inject))
+	}
+}
+
+// TestRingExactFill: filling the ring exactly to capacity loses nothing.
+func TestRingExactFill(t *testing.T) {
+	r := NewRecorder(1, 3)
+	for i := 0; i < 3; i++ {
+		r.Record(uint64(i), Eject, 0, flit.Local, 1, 1, 0)
+	}
+	if r.Len() != 3 || r.Overwritten() != 0 {
+		t.Fatalf("len=%d overwritten=%d, want 3/0", r.Len(), r.Overwritten())
+	}
+}
+
+// TestKindMaskFiltering: a recorder restricted to a kind subset drops
+// everything else at record time — neither the ring nor the matrix sees the
+// masked-out kinds.
+func TestKindMaskFiltering(t *testing.T) {
+	r := NewRecorder(1, 8, Drop, Deflect)
+	r.Record(1, Inject, 0, flit.Local, 1, 1, 0)
+	r.Record(2, Drop, 0, flit.Invalid, 1, 1, 3)
+	r.Record(3, Buffered, 0, flit.North, 1, 1, 2)
+	r.Record(4, Deflect, 0, flit.East, 1, 1, 1)
+	if r.Len() != 2 || r.Total() != 2 {
+		t.Fatalf("len=%d total=%d, want 2/2", r.Len(), r.Total())
+	}
+	for _, e := range r.Events() {
+		if e.Kind != Drop && e.Kind != Deflect {
+			t.Errorf("masked-out kind %s reached the ring", e.Kind)
+		}
+	}
+	if m := r.Matrix(); m.At(0, Inject) != 0 || m.At(0, Drop) != 1 {
+		t.Errorf("matrix saw masked kinds: inject=%d drop=%d", m.At(0, Inject), m.At(0, Drop))
+	}
+	if !r.Enabled(Drop) || r.Enabled(Inject) {
+		t.Error("Enabled disagrees with the mask")
+	}
+}
+
+// TestNilRecorderSafe: every method on a nil recorder is inert.
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record(1, Inject, 0, flit.Local, 1, 1, 0)
+	if r.Len() != 0 || r.Capacity() != 0 || r.Total() != 0 || r.Overwritten() != 0 {
+		t.Error("nil recorder reports non-zero state")
+	}
+	if r.Events() != nil || r.Matrix() != nil || r.PacketPath(1) != nil {
+		t.Error("nil recorder returns non-nil data")
+	}
+	if r.Enabled(Inject) {
+		t.Error("nil recorder claims a kind is enabled")
+	}
+}
+
+// TestPacketPath: path reconstruction keeps exactly the packet's per-flit
+// events, in order, and excludes router-scoped events and other packets.
+func TestPacketPath(t *testing.T) {
+	r := NewRecorder(4, 16)
+	r.Record(0, Inject, 0, flit.Local, 7, 28, 0)
+	r.Record(1, PrimaryWin, 0, flit.Local, 7, 28, int32(flit.East))
+	r.Record(1, Inject, 2, flit.Local, 9, 36, 0) // other packet
+	r.Record(2, FairnessFlip, 1, flit.Invalid, 0, 0, 1)
+	r.Record(2, Buffered, 1, flit.West, 7, 28, 1)
+	r.Record(4, Eject, 3, flit.Local, 7, 28, 4)
+	path := r.PacketPath(7)
+	if len(path) != 4 {
+		t.Fatalf("path len = %d, want 4: %v", len(path), path)
+	}
+	wantKinds := []Kind{Inject, PrimaryWin, Buffered, Eject}
+	wantNodes := []int32{0, 0, 1, 3}
+	for i, e := range path {
+		if e.Kind != wantKinds[i] || e.Node != wantNodes[i] {
+			t.Errorf("hop %d = %s@%d, want %s@%d", i, e.Kind, e.Node, wantKinds[i], wantNodes[i])
+		}
+	}
+}
+
+// TestKindNamesRoundTrip: every kind's String resolves back via KindByName,
+// and ParseKinds handles comma lists, spaces and bad names.
+func TestKindNamesRoundTrip(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		got, ok := KindByName(k.String())
+		if !ok || got != k {
+			t.Errorf("KindByName(%q) = %v,%v, want %v", k.String(), got, ok, k)
+		}
+	}
+	if _, ok := KindByName("bogus"); ok {
+		t.Error("KindByName accepted a bogus name")
+	}
+
+	kinds, err := ParseKinds([]string{"drop, deflect", "eject"})
+	if err != nil {
+		t.Fatalf("ParseKinds: %v", err)
+	}
+	if len(kinds) != 3 || kinds[0] != Drop || kinds[1] != Deflect || kinds[2] != Eject {
+		t.Errorf("ParseKinds = %v", kinds)
+	}
+	if kinds, err := ParseKinds(nil); err != nil || kinds != nil {
+		t.Errorf("ParseKinds(nil) = %v,%v, want nil,nil", kinds, err)
+	}
+	if _, err := ParseKinds([]string{"drop,bogus"}); err == nil {
+		t.Error("ParseKinds accepted a bogus name")
+	}
+}
+
+// TestMaskOf: no kinds means every kind.
+func TestMaskOf(t *testing.T) {
+	all := MaskOf()
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if all&(1<<uint(k)) == 0 {
+			t.Errorf("MaskOf() missing kind %s", k)
+		}
+	}
+	if m := MaskOf(Drop); m != 1<<uint(Drop) {
+		t.Errorf("MaskOf(Drop) = %b", m)
+	}
+}
+
+// TestPerFlit: router-scoped kinds carry no flit.
+func TestPerFlit(t *testing.T) {
+	for _, k := range []Kind{Swap, FairnessFlip, FaultManifest, FaultDetected} {
+		if k.PerFlit() {
+			t.Errorf("%s should not be per-flit", k)
+		}
+	}
+	for _, k := range []Kind{Inject, PrimaryWin, Buffered, Retransmit, Deflect, Drop, Eject} {
+		if !k.PerFlit() {
+			t.Errorf("%s should be per-flit", k)
+		}
+	}
+}
+
+// TestRecordZeroAlloc: the record path itself never allocates, wrapping or
+// not.
+func TestRecordZeroAlloc(t *testing.T) {
+	r := NewRecorder(4, 8)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 16; i++ { // wraps the ring every run
+			r.Record(uint64(i), Buffered, i%4, flit.North, uint64(i+1), uint64(i+1), 1)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("Record allocates %.1f per run, want 0", allocs)
+	}
+}

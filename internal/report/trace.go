@@ -1,0 +1,169 @@
+package report
+
+// This file exports flight-recorder event streams in the Chrome trace-event
+// JSON format, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+// One process (pid 0) per run, one track (tid) per router; each recorded
+// event is a 1-cycle duration slice, and the hops of a packet are linked
+// with flow arrows so a single packet's journey can be followed across
+// router tracks. Like the rest of the package, the types mirror the
+// facade's shapes without importing the simulator.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceFlitEvent is one flight-recorder event in simulator-neutral form.
+type TraceFlitEvent struct {
+	// Cycle is the simulation cycle the event happened on.
+	Cycle uint64
+	// Kind is the event kind name ("inject", "primary_win", "buffered", ...).
+	Kind string
+	// Node is the router the event happened at.
+	Node int
+	// Port is the port name involved ("" when not applicable).
+	Port string
+	// PacketID and FlitID identify the flit (0 for router-level events).
+	PacketID uint64
+	FlitID   uint64
+	// Detail is the kind-specific payload (latency, occupancy, ...).
+	Detail int32
+	// PerFlit marks events that belong to a flit's journey; only these
+	// participate in packet flow linking.
+	PerFlit bool
+}
+
+// TraceRecord is one run's event stream plus the mesh dimensions used to
+// name the per-router tracks.
+type TraceRecord struct {
+	// Series labels the run (design name, "DXbar WF", ...).
+	Series string
+	// Width and Height are the mesh dimensions (0 to skip coordinate
+	// annotations in track names).
+	Width, Height int
+	// Events is the recorded stream in chronological order.
+	Events []TraceFlitEvent
+}
+
+// chromeEvent is one entry of the trace-event array. Ph, Ts and Pid are
+// emitted unconditionally (never omitempty): viewers and the golden schema
+// test require them on every event, including metadata.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   uint64         `json:"ts"`
+	Dur  uint64         `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   uint64         `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeTrace is the top-level JSON object format (the array format is also
+// legal but cannot carry metadata defaults).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes rec as Chrome trace-event JSON. The timestamp unit
+// is one simulation cycle (rendered as 1 µs so Perfetto's zoom behaves).
+// Output is deterministic for a given record: metadata events first, then
+// the duration slices in input order, then the packet flow arrows grouped by
+// packet in order of first appearance.
+func WriteChromeTrace(w io.Writer, rec TraceRecord) error {
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+
+	// Process metadata and one thread per router that appears in the stream,
+	// in node order.
+	trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+		Name: "process_name", Ph: "M", Ts: 0, Pid: 0,
+		Args: map[string]any{"name": rec.Series},
+	})
+	maxNode := -1
+	seen := map[int]bool{}
+	for _, e := range rec.Events {
+		if !seen[e.Node] {
+			seen[e.Node] = true
+			if e.Node > maxNode {
+				maxNode = e.Node
+			}
+		}
+	}
+	for n := 0; n <= maxNode; n++ {
+		if !seen[n] {
+			continue
+		}
+		name := fmt.Sprintf("router %d", n)
+		if rec.Width > 0 {
+			name = fmt.Sprintf("router %d (%d,%d)", n, n%rec.Width, n/rec.Width)
+		}
+		trace.TraceEvents = append(trace.TraceEvents,
+			chromeEvent{Name: "thread_name", Ph: "M", Ts: 0, Pid: 0, Tid: n,
+				Args: map[string]any{"name": name}},
+			chromeEvent{Name: "thread_sort_index", Ph: "M", Ts: 0, Pid: 0, Tid: n,
+				Args: map[string]any{"sort_index": n}})
+	}
+
+	// Duration slices: one 1-cycle "X" event per recorded event.
+	for _, e := range rec.Events {
+		ce := chromeEvent{
+			Name: e.Kind, Cat: e.Kind, Ph: "X", Ts: e.Cycle, Dur: 1,
+			Pid: 0, Tid: e.Node,
+			Args: map[string]any{"detail": e.Detail},
+		}
+		if e.PerFlit {
+			ce.Args["packet"] = e.PacketID
+			ce.Args["flit"] = e.FlitID
+		}
+		if e.Port != "" {
+			ce.Args["port"] = e.Port
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+
+	// Flow arrows: link the per-flit events of each packet (start "s",
+	// steps "t", finish "f") so viewers draw the packet's path across
+	// router tracks. Packets with fewer than two recorded events have no
+	// path to draw.
+	byPacket := map[uint64][]TraceFlitEvent{}
+	var order []uint64
+	for _, e := range rec.Events {
+		if !e.PerFlit || e.PacketID == 0 {
+			continue
+		}
+		if _, ok := byPacket[e.PacketID]; !ok {
+			order = append(order, e.PacketID)
+		}
+		byPacket[e.PacketID] = append(byPacket[e.PacketID], e)
+	}
+	for _, id := range order {
+		hops := byPacket[id]
+		if len(hops) < 2 {
+			continue
+		}
+		for i, e := range hops {
+			ce := chromeEvent{
+				Name: "packet", Cat: "packet", Ts: e.Cycle,
+				Pid: 0, Tid: e.Node, ID: id,
+			}
+			switch i {
+			case 0:
+				ce.Ph = "s"
+			case len(hops) - 1:
+				ce.Ph = "f"
+				ce.BP = "e"
+			default:
+				ce.Ph = "t"
+			}
+			trace.TraceEvents = append(trace.TraceEvents, ce)
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(trace)
+}

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// traceFixture is the hand-built record behind the golden file: one packet's
+// three-router journey plus a router-level fairness flip.
+func traceFixture() TraceRecord {
+	return TraceRecord{
+		Series: "dxbar uniform 0.30",
+		Width:  2, Height: 2,
+		Events: []TraceFlitEvent{
+			{Cycle: 5, Kind: "inject", Node: 0, Port: "local", PacketID: 7, FlitID: 28, Detail: 2, PerFlit: true},
+			{Cycle: 6, Kind: "primary_win", Node: 0, Port: "local", PacketID: 7, FlitID: 28, Detail: 1, PerFlit: true},
+			{Cycle: 7, Kind: "buffered", Node: 1, Port: "west", PacketID: 7, FlitID: 28, Detail: 3, PerFlit: true},
+			{Cycle: 9, Kind: "fairness_flip", Node: 1, Detail: 4},
+			{Cycle: 10, Kind: "eject", Node: 3, Port: "local", PacketID: 7, FlitID: 28, Detail: 5, PerFlit: true},
+		},
+	}
+}
+
+// TestWriteChromeTraceGolden: the export is byte-identical to the checked-in
+// golden file — any format drift (field order, indentation, metadata) is a
+// deliberate change that must update the golden.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "chrome_trace_golden.json"))
+	if err != nil {
+		t.Fatalf("read golden: %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("output differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceSchema: the export round-trips through encoding/json and
+// every event carries the fields the Chrome trace-event format requires
+// (ph, ts, pid), with sane phase-specific structure.
+func TestChromeTraceSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, traceFixture()); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events exported")
+	}
+
+	phases := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"ph", "ts", "pid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing required field %q: %v", i, field, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "X":
+			if _, ok := ev["dur"]; !ok {
+				t.Errorf("duration event %d has no dur: %v", i, ev)
+			}
+		case "s", "t", "f":
+			if _, ok := ev["id"]; !ok {
+				t.Errorf("flow event %d has no id: %v", i, ev)
+			}
+		case "M":
+		default:
+			t.Errorf("event %d has unexpected phase %q", i, ph)
+		}
+	}
+
+	// The fixture's single 4-hop packet yields one start, two steps, one
+	// finish; its 5 events each yield one slice.
+	if phases["X"] != 5 || phases["s"] != 1 || phases["t"] != 2 || phases["f"] != 1 {
+		t.Errorf("phase counts = %v, want X:5 s:1 t:2 f:1", phases)
+	}
+}
+
+// TestChromeTraceNoFlowForSingletons: a packet with a single recorded event
+// gets no flow arrows (nothing to link), and router-level events never do.
+func TestChromeTraceNoFlowForSingletons(t *testing.T) {
+	rec := TraceRecord{
+		Series: "x",
+		Events: []TraceFlitEvent{
+			{Cycle: 1, Kind: "inject", Node: 0, PacketID: 3, FlitID: 12, PerFlit: true},
+			{Cycle: 2, Kind: "swap", Node: 1, Detail: 1},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, rec); err != nil {
+		t.Fatalf("WriteChromeTrace: %v", err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	for _, ev := range doc.TraceEvents {
+		if ph := ev["ph"].(string); ph == "s" || ph == "t" || ph == "f" {
+			t.Errorf("unexpected flow event: %v", ev)
+		}
+	}
+}

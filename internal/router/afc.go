@@ -2,6 +2,7 @@ package router
 
 import (
 	"dxbar/internal/arbiter"
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -210,7 +211,7 @@ func (a *AFC) stepBufferless(cycle uint64) {
 
 	flit.SortByAge(arrivals)
 	for _, f := range arrivals {
-		out := a.deflectionAssign(f)
+		out := a.deflectionAssign(f, cycle)
 		if out == flit.Invalid {
 			panic("router: afc bufferless mode failed to assign an output")
 		}
@@ -228,7 +229,7 @@ func (a *AFC) stepBufferless(cycle uint64) {
 
 // deflectionAssign picks the Flit-Bless-style output for f (never Invalid
 // for a legal candidate count, by the port-counting argument).
-func (a *AFC) deflectionAssign(f *flit.Flit) flit.Port {
+func (a *AFC) deflectionAssign(f *flit.Flit, cycle uint64) flit.Port {
 	env := a.env
 	if f.Dst == env.Node && env.OutputFree(flit.Local) {
 		return flit.Local
@@ -241,6 +242,7 @@ func (a *AFC) deflectionAssign(f *flit.Flit) flit.Port {
 			if f.Dst == env.Node || i >= prod.Len() {
 				f.Deflections++
 				a.ctrl.windowDeflections++
+				env.Events().Record(cycle, events.Deflect, env.Node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p
 		}
@@ -262,6 +264,7 @@ func (a *AFC) stepBuffered(cycle uint64) {
 		f.Buffered++
 		env.Meter().BufferWrite()
 		env.Stats().BufferingEvent(cycle)
+		env.Events().Record(cycle, events.Buffered, env.Node, p, f.PacketID, f.ID, int32(a.fifos[p].len()))
 	}
 
 	req := a.req

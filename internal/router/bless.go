@@ -15,6 +15,7 @@
 package router
 
 import (
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -70,7 +71,7 @@ func (b *Bless) Step(cycle uint64) {
 	flit.SortByAge(arrivals)
 
 	for _, f := range arrivals {
-		assigned := b.assign(f)
+		assigned := b.assign(f, cycle)
 		if assigned == flit.Invalid {
 			// Unreachable by the port-counting argument (candidates never
 			// exceed available outputs); keep the invariant loud.
@@ -85,7 +86,7 @@ func (b *Bless) Step(cycle uint64) {
 
 // assign picks the output port for f: Local when it has arrived and the
 // ejection port is free, otherwise the best free port in deflection order.
-func (b *Bless) assign(f *flit.Flit) flit.Port {
+func (b *Bless) assign(f *flit.Flit, cycle uint64) flit.Port {
 	env := b.env
 	mesh := env.Mesh()
 	node := env.Node
@@ -101,6 +102,7 @@ func (b *Bless) assign(f *flit.Flit) flit.Port {
 			// that has arrived but lost ejection is also deflected.
 			if f.Dst == node || i >= prod.Len() {
 				f.Deflections++
+				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p
 		}

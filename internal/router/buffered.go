@@ -2,6 +2,7 @@ package router
 
 import (
 	"dxbar/internal/arbiter"
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -125,6 +126,7 @@ func (b *Buffered) Step(cycle uint64) {
 		f.Buffered++
 		env.Meter().BufferWrite()
 		env.Stats().BufferingEvent(cycle)
+		env.Events().Record(cycle, events.Buffered, env.Node, p, f.PacketID, f.ID, int32(q.len()))
 	}
 
 	// Build the request matrix: inputs 0..3 are the link FIFOs, input 4 is

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -149,7 +150,8 @@ func (s *Scarab) send(p flit.Port, f *flit.Flit, cycle uint64) {
 func (s *Scarab) drop(f *flit.Flit, cycle uint64) {
 	env := s.env
 	dist := env.Mesh().Distance(env.Node, f.Src)
-	env.Stats().DroppedFlit(cycle)
+	env.Stats().DroppedFlit(cycle, env.Node)
+	env.Events().Record(cycle, events.Drop, env.Node, flit.Invalid, f.PacketID, f.ID, int32(dist))
 	env.Meter().NackHops(dist)
 	env.ScheduleRetransmit(f, uint64(dist)+1)
 }

@@ -5,6 +5,7 @@ import (
 
 	"dxbar/internal/buffer"
 	"dxbar/internal/energy"
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
@@ -86,6 +87,11 @@ func (env *Env) Meter() *energy.Meter { return env.engine.meter }
 // Stats returns the shared statistics collector.
 func (env *Env) Stats() *stats.Collector { return env.engine.coll }
 
+// Events returns the shared flight recorder — nil when runtime event
+// tracing is off, which every recorder method tolerates, so routers record
+// unconditionally.
+func (env *Env) Events() *events.Recorder { return env.engine.rec }
+
 // HasLink reports whether output port p leads to a neighbour (Local always
 // exists).
 func (env *Env) HasLink(p flit.Port) bool {
@@ -165,6 +171,8 @@ func (env *Env) ConsumeInjection(cycle uint64) *flit.Flit {
 	}
 	f := env.injection.popFront()
 	f.EnqueueCycle = cycle
+	env.engine.rec.Record(cycle, events.Inject, env.Node, flit.Local,
+		f.PacketID, f.ID, int32(cycle-f.InjectionCycle))
 	return f
 }
 

@@ -24,6 +24,7 @@ import (
 	"fmt"
 
 	"dxbar/internal/energy"
+	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
@@ -72,6 +73,10 @@ type Config struct {
 	// (before retransmissions, generation and the router phase). Closed-
 	// loop workloads use it to advance their own state machines.
 	PreCycle func(cycle uint64)
+	// Events is the optional flight recorder (nil disables runtime event
+	// tracing; a nil recorder's methods are no-ops, so the engine and the
+	// routers record unconditionally).
+	Events *events.Recorder
 }
 
 // Engine drives one network.
@@ -96,6 +101,9 @@ type Engine struct {
 
 	// pool recycles ejected flits back to the generation path.
 	pool *flit.Pool
+
+	// rec is the flight recorder (nil when tracing is off).
+	rec *events.Recorder
 
 	// genScratch is the per-cycle staging slice for freshly generated flits.
 	genScratch []*flit.Flit
@@ -132,6 +140,7 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		reasm:       make([]*flit.Reassembler, n),
 		wheel:       newEventWheel(64),
 		pool:        flit.NewPool(),
+		rec:         cfg.Events,
 		preCycle:    cfg.PreCycle,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
@@ -187,6 +196,7 @@ func (e *Engine) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 	if delay == 0 {
 		delay = 1
 	}
+	e.rec.Record(e.cycle, events.Retransmit, f.Src, flit.Invalid, f.PacketID, f.ID, int32(delay))
 	e.wheel.schedule(e.cycle, e.cycle+delay, f)
 }
 
@@ -305,6 +315,7 @@ func (e *Engine) eject(node int, f *flit.Flit, c uint64) {
 		panic(fmt.Sprintf("sim: flit %v ejected at wrong node %d", f, node))
 	}
 	e.coll.EjectedFlit(c)
+	e.rec.Record(c, events.Eject, node, flit.Local, f.PacketID, f.ID, int32(c-f.InjectionCycle))
 	pkt, done := e.reasm[node].Accept(f, c)
 	// Ejection ends the flit's network life: reassembly has folded its
 	// counters into the packet, so the flit returns to the pool here.
@@ -348,6 +359,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.coll = cfg.Stats
 	e.source = cfg.Source
 	e.sink = cfg.Sink
+	e.rec = cfg.Events
 	e.preCycle = cfg.PreCycle
 	e.cycle = 0
 	e.wheel.reset()

@@ -37,6 +37,11 @@ type Collector struct {
 	bufferedSum     uint64 // buffering events observed via BufferingEvent
 	routedFlits     uint64 // flit-router traversals observed via RoutedEvent
 	droppedFlits    uint64
+	fairnessFlips   uint64 // priority flips observed via FairnessFlip
+
+	// droppedByNode counts in-window drops at each router, so heatmaps can
+	// show *where* drops cluster instead of only how many happened.
+	droppedByNode []uint64
 
 	// latHist is the in-window packet-latency distribution. It lives inline
 	// so recording a latency never allocates.
@@ -58,7 +63,10 @@ func NewCollector(nodes int, start, end uint64) *Collector {
 	if nodes <= 0 || end <= start {
 		panic("stats: invalid collector configuration")
 	}
-	return &Collector{nodes: nodes, start: start, end: end}
+	return &Collector{
+		nodes: nodes, start: start, end: end,
+		droppedByNode: make([]uint64, nodes),
+	}
 }
 
 // InWindow reports whether a cycle falls inside the measurement window.
@@ -129,11 +137,21 @@ func (c *Collector) RoutedEvent(cycle uint64) {
 	}
 }
 
-// DroppedFlit records one flit dropped (SCARAB, or an undetected-fault
-// casualty that will be recovered by retransmission).
-func (c *Collector) DroppedFlit(cycle uint64) {
+// DroppedFlit records one flit dropped at the given node (SCARAB, or an
+// undetected-fault casualty that will be recovered by retransmission).
+func (c *Collector) DroppedFlit(cycle uint64, node int) {
 	if c.InWindow(cycle) {
 		c.droppedFlits++
+		c.droppedByNode[node]++
+	}
+}
+
+// FairnessFlip records one fairness-counter priority flip (§II.A.2): the
+// router's incoming flits won often enough, with flits waiting, that
+// priority flipped to the waiters (DXbar/unified).
+func (c *Collector) FairnessFlip(cycle uint64) {
+	if c.InWindow(cycle) {
+		c.fairnessFlips++
 	}
 }
 
@@ -174,6 +192,12 @@ type Results struct {
 	BufferingProbability float64
 	// DroppedFlits counts drop events inside the window.
 	DroppedFlits uint64
+	// DroppedByNode is the per-router breakdown of DroppedFlits, indexed by
+	// node (nil when no flit was dropped). Feeds the drop heatmap.
+	DroppedByNode []uint64
+	// FairnessFlips counts in-window fairness-counter priority flips summed
+	// over all routers (§II.A.2; 0 for designs without the counter).
+	FairnessFlips uint64
 }
 
 // Results computes the summary over the measurement window.
@@ -182,9 +206,13 @@ func (c *Collector) Results() Results {
 	r := Results{
 		OfferedLoad:  float64(c.generatedFlits) / (window * float64(c.nodes)),
 		AcceptedLoad: float64(c.ejectedFlits) / (window * float64(c.nodes)),
-		MaxLatency:   c.latencyMax,
-		Packets:      c.packets,
-		DroppedFlits: c.droppedFlits,
+		MaxLatency:    c.latencyMax,
+		Packets:       c.packets,
+		DroppedFlits:  c.droppedFlits,
+		FairnessFlips: c.fairnessFlips,
+	}
+	if c.droppedFlits > 0 {
+		r.DroppedByNode = append([]uint64(nil), c.droppedByNode...)
 	}
 	if c.packets > 0 {
 		r.AvgLatency = float64(c.latencySum) / float64(c.packets)

@@ -69,10 +69,31 @@ func TestBufferingProbability(t *testing.T) {
 
 func TestDroppedFlits(t *testing.T) {
 	c := NewCollector(64, 0, 100)
-	c.DroppedFlit(5)
-	c.DroppedFlit(500) // outside window
-	if r := c.Results(); r.DroppedFlits != 1 {
+	c.DroppedFlit(5, 7)
+	c.DroppedFlit(500, 7) // outside window
+	r := c.Results()
+	if r.DroppedFlits != 1 {
 		t.Errorf("dropped = %d, want 1", r.DroppedFlits)
+	}
+	if len(r.DroppedByNode) != 64 || r.DroppedByNode[7] != 1 {
+		t.Errorf("DroppedByNode = %v, want node 7 -> 1", r.DroppedByNode)
+	}
+}
+
+func TestDroppedByNodeNilWhenNoDrops(t *testing.T) {
+	c := NewCollector(16, 0, 100)
+	if r := c.Results(); r.DroppedByNode != nil {
+		t.Errorf("DroppedByNode = %v, want nil when nothing dropped", r.DroppedByNode)
+	}
+}
+
+func TestFairnessFlips(t *testing.T) {
+	c := NewCollector(16, 0, 100)
+	c.FairnessFlip(5)
+	c.FairnessFlip(50)
+	c.FairnessFlip(500) // outside window
+	if r := c.Results(); r.FairnessFlips != 2 {
+		t.Errorf("fairness flips = %d, want 2", r.FairnessFlips)
 	}
 }
 
@@ -106,7 +127,7 @@ func TestEventRecorderWindowing(t *testing.T) {
 	for _, cycle := range []uint64{99, 100, 150, 199, 200} { // 3 in-window
 		c.BufferingEvent(cycle)
 		c.RoutedEvent(cycle)
-		c.DroppedFlit(cycle)
+		c.DroppedFlit(cycle, 0)
 	}
 	if c.bufferedSum != 3 {
 		t.Errorf("buffered = %d, want 3 (window [100,200))", c.bufferedSum)

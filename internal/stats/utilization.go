@@ -98,6 +98,13 @@ func (c *Collector) outgoingLinks(n int) int {
 // Heatmap renders the per-node utilization of a width×height mesh as an
 // ASCII grid, one shaded cell per node (space = idle … '█' = saturated).
 func Heatmap(util []float64, width, height int) string {
+	return HeatmapLabeled(util, width, height, "max link utilization: %.3f flits/cycle")
+}
+
+// HeatmapLabeled is Heatmap with a caller-chosen header line; headerFormat
+// must contain one %.3f (or compatible) verb for the maximum value. Event
+// heatmaps use it to label counts instead of utilization.
+func HeatmapLabeled(util []float64, width, height int, headerFormat string) string {
 	shades := []rune(" .:-=+*#%@█")
 	var max float64
 	for _, u := range util {
@@ -106,7 +113,7 @@ func Heatmap(util []float64, width, height int) string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "max link utilization: %.3f flits/cycle\n", max)
+	fmt.Fprintf(&b, headerFormat+"\n", max)
 	for y := 0; y < height; y++ {
 		for x := 0; x < width; x++ {
 			u := util[y*width+x]

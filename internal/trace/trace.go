@@ -3,6 +3,11 @@
 // compact binary format, so expensive closed-loop workloads (the coherence
 // substrate) can be re-run open-loop against many router designs, and runs
 // can be archived and diffed for regression hunting.
+//
+// Not to be confused with internal/events, the runtime flight recorder:
+// this package captures the *input* workload (what the sources inject),
+// while internal/events records what the network *did* with it (per-flit
+// arbitration outcomes, bufferings, deflections, drops).
 package trace
 
 import (

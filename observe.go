@@ -9,7 +9,10 @@ package dxbar
 import (
 	"strings"
 
+	"dxbar/internal/events"
+	"dxbar/internal/flit"
 	"dxbar/internal/report"
+	"dxbar/internal/stats"
 	"dxbar/internal/viz"
 )
 
@@ -121,4 +124,78 @@ func LatencyTableText(title string, rows []report.LatencyRow) string {
 	var b strings.Builder
 	_ = report.WriteTableText(&b, report.LatencyTable(title, rows))
 	return b.String()
+}
+
+// Flight-recorder facade: conversions from a traced Result's event log into
+// the report/viz shapes, plus per-packet path reconstruction. See
+// Config.EventTrace and internal/events.
+
+// TraceRecordFor converts a traced run's event log into the Chrome
+// trace-export shape (WriteChromeTrace / Perfetto). Events is empty when the
+// run was not traced.
+func TraceRecordFor(label string, r Result) report.TraceRecord {
+	rec := report.TraceRecord{Series: label, Width: r.Width, Height: r.Height}
+	for _, e := range r.Events {
+		rec.Events = append(rec.Events, report.TraceFlitEvent{
+			Cycle:    e.Cycle,
+			Kind:     e.Kind.String(),
+			Node:     int(e.Node),
+			Port:     portName(e.Port),
+			PacketID: e.PacketID,
+			FlitID:   e.FlitID,
+			Detail:   e.Detail,
+			PerFlit:  e.Kind.PerFlit(),
+		})
+	}
+	return rec
+}
+
+// portName renders an event's port for export ("" when not meaningful).
+func portName(p flit.Port) string {
+	if p == flit.Invalid {
+		return ""
+	}
+	return p.String()
+}
+
+// WriteChromeTrace is the Chrome trace-event JSON exporter of
+// internal/report (load the output at ui.perfetto.dev).
+var WriteChromeTrace = report.WriteChromeTrace
+
+// PacketPath reconstructs one packet's hop-by-hop event history from a
+// traced Result (empty when the packet's events were overwritten or the run
+// was not traced). The events come back in chronological order: Inject at
+// the source, one arbitration outcome per router, Eject at the destination.
+func PacketPath(r Result, packetID uint64) []events.Event {
+	return events.PacketPath(r.Events, packetID)
+}
+
+// EventHeatmap renders the per-router counts of one event kind as an ASCII
+// mesh grid (the counter matrix is exact for the whole run, surviving ring
+// overwrite). Returns a placeholder when the run was not traced.
+func EventHeatmap(r Result, kind events.Kind) string {
+	if r.RouterEvents == nil {
+		return "(event tracing was not enabled)"
+	}
+	counts := r.RouterEvents.PerNode(kind)
+	vals := make([]float64, len(counts))
+	for i, c := range counts {
+		vals[i] = float64(c)
+	}
+	return stats.HeatmapLabeled(vals, r.Width, r.Height,
+		"max "+kind.String()+" events per router: %.0f")
+}
+
+// DropHeatmap renders where in-window drops clustered, from the always-on
+// per-node drop counters (no tracing required; SCARAB and fault runs).
+func DropHeatmap(r Result) string {
+	if r.DroppedByNode == nil {
+		return "(no flits were dropped)"
+	}
+	vals := make([]float64, len(r.DroppedByNode))
+	for i, c := range r.DroppedByNode {
+		vals[i] = float64(c)
+	}
+	return stats.HeatmapLabeled(vals, r.Width, r.Height,
+		"max dropped flits per router: %.0f")
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dxbar/internal/coherence"
+	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
@@ -127,6 +128,14 @@ func (r *runner) run(c Config) (Result, error) {
 		total := cfg.WarmupCycles + cfg.MeasureCycles
 		coll.EnableTimeSeries(cfg.SampleInterval, int(total/cfg.SampleInterval)+1)
 	}
+	var rec *events.Recorder
+	if cfg.EventTrace > 0 {
+		kinds, err := events.ParseKinds(cfg.EventKinds)
+		if err != nil {
+			return Result{}, err
+		}
+		rec = events.NewRecorder(mesh.Nodes(), cfg.EventTrace, kinds...)
+	}
 	net, err := r.network(NetworkOptions{
 		Design:               cfg.Design,
 		Routing:              cfg.Routing,
@@ -138,6 +147,7 @@ func (r *runner) run(c Config) (Result, error) {
 		BufferDepth:          cfg.BufferDepth,
 		CreditDelay:          cfg.CreditDelay,
 		PortOrderArbitration: cfg.PortOrderArbitration,
+		Events:               rec,
 	})
 	if err != nil {
 		return Result{}, err
@@ -161,6 +171,12 @@ func (r *runner) run(c Config) (Result, error) {
 		SampleInterval:  cfg.SampleInterval,
 		Width:           cfg.Width,
 		Height:          cfg.Height,
+	}
+	if rec != nil {
+		res.Events = rec.Events()
+		res.EventsRecorded = rec.Total()
+		res.EventsOverwritten = rec.Overwritten()
+		res.RouterEvents = rec.Matrix()
 	}
 	if res.Packets > 0 {
 		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)
