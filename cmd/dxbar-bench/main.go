@@ -19,9 +19,15 @@
 //	dxbar-bench -quick              # 1-iteration smoke (CI)
 //	dxbar-bench -baseline f.json    # compare against a specific record
 //	dxbar-bench -tolerance 0.15     # allow 15% ns/cycle regression
+//	dxbar-bench -shards 4           # run the sharded engine (see Config.Shards)
+//	dxbar-bench -scale              # sharded-engine scaling study: sequential
+//	                                # vs sharded ns/cycle on 16×16 and 32×32,
+//	                                # written to bench/SCALE_<date>.json
 //
 // The exit status is 1 when any design regresses beyond the tolerance, so
-// the tool can gate CI.
+// the tool can gate CI. When the baseline was measured under a different
+// workload (mesh, pattern, load, seed or shard count), the comparison is
+// printed for information but never fails.
 package main
 
 import (
@@ -65,6 +71,16 @@ type BenchConfig struct {
 	Warmup   uint64  `json:"warmup_cycles"`
 	Cycles   uint64  `json:"measure_cycles"`
 	FlitsPkt int     `json:"flits_per_packet"`
+	Shards   int     `json:"shards,omitempty"`
+}
+
+// sameWorkload reports whether two records measured the same thing, so a
+// regression comparison is meaningful. Warmup and cycle counts are excluded:
+// every metric is normalized per cycle.
+func sameWorkload(a, b BenchConfig) bool {
+	a.Warmup, a.Cycles = 0, 0
+	b.Warmup, b.Cycles = 0, 0
+	return a == b
 }
 
 // BenchFile is the on-disk record.
@@ -94,11 +110,18 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/cycle regression before failing")
 		baseline  = flag.String("baseline", "", "explicit baseline record to compare against (default: latest earlier record in -out)")
 		noWrite   = flag.Bool("no-write", false, "measure and compare without writing a record")
+		shards    = flag.Int("shards", 0, "router-phase shards (0/1 sequential, -1 = GOMAXPROCS)")
+		scale     = flag.Bool("scale", false, "sharded-engine scaling study (16x16 and 32x32, sequential vs -shards) instead of the regression suite")
 	)
 	flag.Parse()
 
 	if *quick {
 		*cycles = 2000
+	}
+
+	if *scale {
+		runScale(*outDir, *label, *designsCS, *load, *pattern, *seed, *warmup, *cycles, *shards, *noWrite)
+		return
 	}
 
 	designs := dxbar.AllDesigns
@@ -112,6 +135,7 @@ func main() {
 	cfg := BenchConfig{
 		Width: *width, Height: *height, Pattern: *pattern, Load: *load,
 		Seed: *seed, Warmup: *warmup, Cycles: *cycles, FlitsPkt: 1,
+		Shards: *shards,
 	}
 	rec := BenchFile{
 		Schema:    Schema,
@@ -154,7 +178,11 @@ func main() {
 		return
 	}
 	fmt.Printf("comparing against %s (%s)\n\n", prevPath, prev.Label)
-	if !compare(*prev, rec, *tolerance) {
+	enforce := sameWorkload(prev.Config, rec.Config)
+	if !enforce {
+		fmt.Println("baseline measured a different workload — comparison is informational only")
+	}
+	if !compare(*prev, rec, *tolerance) && enforce {
 		os.Exit(1)
 	}
 }
@@ -182,6 +210,7 @@ func measure(d dxbar.Design, cfg BenchConfig) (DesignBench, error) {
 		Mesh:    mesh,
 		Source:  &sim.SourceAdapter{B: bern},
 		Stats:   coll,
+		Shards:  cfg.Shards,
 	})
 	if err != nil {
 		return DesignBench{}, err
@@ -241,7 +270,7 @@ func loadBaseline(explicit, dir, exclude string) (*BenchFile, string, error) {
 	return &rec, path, nil
 }
 
-func writeRecord(path string, rec BenchFile) error {
+func writeRecord(path string, rec any) error {
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return err
 	}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"time"
+
+	"dxbar"
+)
+
+// ScalePoint is one mesh-size measurement of the scaling study: the same
+// workload timed on the sequential engine and on the sharded engine.
+type ScalePoint struct {
+	Width  int `json:"width"`
+	Height int `json:"height"`
+	// Shards is the effective shard count of the sharded measurement.
+	Shards             int     `json:"shards"`
+	NsPerCycleSeq      float64 `json:"ns_per_cycle_seq"`
+	NsPerCycleSharded  float64 `json:"ns_per_cycle_sharded"`
+	AllocsPerCycleSeq  float64 `json:"allocs_per_cycle_seq"`
+	AllocsPerCycleShrd float64 `json:"allocs_per_cycle_sharded"`
+	// Speedup is sequential ns/cycle over sharded ns/cycle (>1 = faster).
+	Speedup float64 `json:"speedup"`
+}
+
+// ScaleFile is the on-disk scaling record (bench/SCALE_<date>.json — a name
+// distinct from BENCH_* so the regression baseline glob never picks it up).
+type ScaleFile struct {
+	Schema    int    `json:"schema"`
+	Date      string `json:"date"`
+	Label     string `json:"label,omitempty"`
+	GoVersion string `json:"go"`
+	// NumCPU and GOMAXPROCS record the host parallelism the speedups were
+	// measured under — a speedup is meaningless without them.
+	NumCPU     int          `json:"num_cpu"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Design     string       `json:"design"`
+	Pattern    string       `json:"pattern"`
+	Load       float64      `json:"load"`
+	Points     []ScalePoint `json:"points"`
+}
+
+// scaleSizes are the large-mesh points of the scaling study — the sizes
+// where the router phase is wide enough for sharding to pay off.
+var scaleSizes = [][2]int{{16, 16}, {32, 32}}
+
+// runScale measures the sharded engine against the sequential one on the
+// large meshes and writes bench/SCALE_<date>.json. The study is
+// informational (exit 0 regardless of speedup): on a single-core host the
+// sharded engine cannot beat sequential, and the record says so via the
+// recorded NumCPU/GOMAXPROCS.
+func runScale(outDir, label, designsCS string, load float64, pattern string, seed int64, warmup, cycles uint64, shards int, noWrite bool) {
+	design := dxbar.DesignDXbar
+	if designsCS != "" {
+		design = dxbar.Design(strings.TrimSpace(strings.Split(designsCS, ",")[0]))
+	}
+	if shards == 0 {
+		shards = dxbar.AutoShards
+	}
+
+	rec := ScaleFile{
+		Schema:     Schema,
+		Date:       time.Now().UTC().Format(time.RFC3339),
+		Label:      label,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Design:     string(design),
+		Pattern:    pattern,
+		Load:       load,
+	}
+	fmt.Printf("dxbar-bench -scale: design=%s %s load=%.2f warmup=%d cycles=%d cpus=%d\n",
+		design, pattern, load, warmup, cycles, rec.NumCPU)
+
+	for _, size := range scaleSizes {
+		cfg := BenchConfig{
+			Width: size[0], Height: size[1], Pattern: pattern, Load: load,
+			Seed: seed, Warmup: warmup, Cycles: cycles, FlitsPkt: 1,
+		}
+		seq, err := measure(design, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Shards = shards
+		sh, err := measure(design, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		p := ScalePoint{
+			Width: size[0], Height: size[1],
+			Shards:             effectiveShards(shards, size[0]),
+			NsPerCycleSeq:      seq.NsPerCycle,
+			NsPerCycleSharded:  sh.NsPerCycle,
+			AllocsPerCycleSeq:  seq.AllocsPerCycle,
+			AllocsPerCycleShrd: sh.AllocsPerCycle,
+			Speedup:            seq.NsPerCycle / sh.NsPerCycle,
+		}
+		rec.Points = append(rec.Points, p)
+		fmt.Printf("%2dx%-2d seq %9.1f ns/cycle  sharded(%d) %9.1f ns/cycle  speedup %.2fx\n",
+			p.Width, p.Height, p.NsPerCycleSeq, p.Shards, p.NsPerCycleSharded, p.Speedup)
+	}
+
+	if noWrite {
+		return
+	}
+	path := filepath.Join(outDir, "SCALE_"+time.Now().UTC().Format("2006-01-02")+".json")
+	if err := writeRecord(path, rec); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+}
+
+// effectiveShards mirrors sim.ResolveShards for reporting.
+func effectiveShards(n, width int) int {
+	if n == 0 || n == 1 {
+		return 1
+	}
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > width {
+		n = width
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

@@ -35,6 +35,7 @@ func main() {
 		md         = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
 		hist       = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
 		trace      = flag.Int("trace", 0, "for figs 5/6 with -hist: flight-recorder ring capacity per sweep point; writes one Chrome trace JSON per point to -out (0 disables)")
+		shards     = flag.Int("shards", 0, "router-phase shards for the -hist load sweep (0/1 sequential, -1 = one per CPU); results are bit-identical either way")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -88,7 +89,7 @@ func main() {
 	// per-point Results also feed the latency table and histogram export.
 	done := map[string]bool{}
 	if *hist && (want("5") || want("6")) {
-		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{EventTrace: *trace})
+		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{EventTrace: *trace, Shards: *shards})
 		if err != nil {
 			fatal(err)
 		}

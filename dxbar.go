@@ -63,6 +63,10 @@ const (
 	DesignAFC Design = "afc"
 )
 
+// AutoShards, assigned to Config.Shards or NetworkOptions.Shards, sizes the
+// sharded engine to the available CPUs (GOMAXPROCS).
+const AutoShards = -1
+
 // Designs lists the six designs of the paper's comparison, in its order.
 var Designs = []Design{DesignFlitBless, DesignSCARAB, DesignBuffered4, DesignBuffered8, DesignDXbar, DesignUnified}
 
@@ -130,6 +134,14 @@ type Config struct {
 	// entry may be a comma-separated list; see events.KindNames). Empty
 	// records every kind.
 	EventKinds []string
+	// Shards runs the router phase of every cycle on that many parallel
+	// workers, each owning a column strip of the mesh. 0 or 1 selects the
+	// sequential engine; AutoShards (-1) sizes to the available CPUs; any
+	// value is clamped to the mesh width. Results are bit-identical to the
+	// sequential engine for every design, shard count and seed — sharding
+	// only changes wall-clock time, and only pays off on large meshes
+	// (16×16 and up).
+	Shards int
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.
@@ -244,8 +256,10 @@ func meterFor(d Design) *energy.Meter {
 	}
 }
 
-// factoryFor builds the per-node router factory.
-func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrder bool, plan *faults.Plan) (sim.RouterFactory, error) {
+// factoryFor builds the per-node router factory, plus an optional per-cycle
+// hook a design needs run before the router phase (AFC's shared mode
+// controller; nil for the other designs).
+func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrder bool, plan *faults.Plan, nodes int) (sim.RouterFactory, func(uint64), error) {
 	detectorFor := func(node int) *faults.Detector {
 		f, ok := plan.ForRouter(node)
 		return faults.NewDetector(f, plan.DetectionDelay, ok)
@@ -256,30 +270,33 @@ func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrde
 			r := core.NewDXbarDepth(env, algo, threshold, depth, detectorFor(env.Node))
 			r.SetPortOrderArbitration(portOrder)
 			return r
-		}, nil
+		}, nil, nil
 	case DesignUnified:
 		return func(env *sim.Env) sim.Router {
 			return core.NewUnified(env, algo, threshold, detectorFor(env.Node))
-		}, nil
+		}, nil, nil
 	case DesignFlitBless:
-		return func(env *sim.Env) sim.Router { return router.NewBless(env, algo) }, nil
+		return func(env *sim.Env) sim.Router { return router.NewBless(env, algo) }, nil, nil
 	case DesignSCARAB:
-		return func(env *sim.Env) sim.Router { return router.NewScarab(env) }, nil
+		return func(env *sim.Env) sim.Router { return router.NewScarab(env) }, nil, nil
 	case DesignBuffered4:
-		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, false) }, nil
+		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, false) }, nil, nil
 	case DesignBuffered8:
-		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, true) }, nil
+		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, true) }, nil, nil
 	case DesignAFC:
-		// One mode controller is shared by every router of the network.
-		var ctrl *router.AFCController
+		// One mode controller is shared by every router of the network. Its
+		// policy ticks once per cycle *before* the router phase, so that the
+		// sharded engine's workers read a stable mode (the guarded tick
+		// inside AFC.Step then no-ops). The policy observes exactly the
+		// state it saw when the first-stepping router ticked it, because
+		// nothing between cycle start and the router phase touches the
+		// controller — so sequential results are unchanged.
+		ctrl := router.NewAFCController(nodes)
 		return func(env *sim.Env) sim.Router {
-			if ctrl == nil {
-				ctrl = router.NewAFCController(env.Mesh().Nodes())
-			}
 			return router.NewAFC(env, algo, ctrl)
-		}, nil
+		}, ctrl.Tick, nil
 	}
-	return nil, fmt.Errorf("dxbar: unknown design %q", d)
+	return nil, nil, fmt.Errorf("dxbar: unknown design %q", d)
 }
 
 // Network bundles a ready-to-run engine with its meter and collector, for
@@ -320,6 +337,8 @@ type NetworkOptions struct {
 	// Events attaches a flight recorder; nil (the default) disables runtime
 	// event tracing at zero cost.
 	Events *events.Recorder
+	// Shards parallelizes the router phase (see Config.Shards).
+	Shards int
 }
 
 // prepare validates the options and resolves them into an engine config, a
@@ -353,9 +372,24 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		depth = o.BufferDepth
 	}
 	meter := meterFor(o.Design)
-	factory, err := factoryFor(o.Design, algo, o.FairnessThreshold, depth, o.PortOrderArbitration, o.FaultPlan)
+	nodes := 0
+	if o.Mesh != nil {
+		nodes = o.Mesh.Nodes()
+	}
+	factory, designPreCycle, err := factoryFor(o.Design, algo, o.FairnessThreshold, depth, o.PortOrderArbitration, o.FaultPlan, nodes)
 	if err != nil {
 		return sim.Config{}, nil, nil, err
+	}
+	preCycle := o.PreCycle
+	if designPreCycle != nil {
+		if user := o.PreCycle; user != nil {
+			preCycle = func(cycle uint64) {
+				designPreCycle(cycle)
+				user(cycle)
+			}
+		} else {
+			preCycle = designPreCycle
+		}
 	}
 	return sim.Config{
 		Mesh:        o.Mesh,
@@ -365,8 +399,9 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		Sink:        o.Sink,
 		BufferDepth: depth,
 		CreditDelay: o.CreditDelay,
-		PreCycle:    o.PreCycle,
+		PreCycle:    preCycle,
 		Events:      o.Events,
+		Shards:      o.Shards,
 	}, factory, meter, nil
 }
 

@@ -84,6 +84,9 @@ type SweepOptions struct {
 	EventTrace int
 	// EventKinds restricts the recorder's kinds (Config.EventKinds).
 	EventKinds []string
+	// Shards parallelizes the router phase at every sweep point
+	// (Config.Shards). Results are bit-identical either way.
+	Shards int
 }
 
 // LoadSweep runs every figure design over the quality's load axis in
@@ -103,6 +106,7 @@ func LoadSweepOpts(pattern string, q Quality, seed int64, opts SweepOptions) ([]
 				Design: fd.Design, Routing: fd.Routing, Pattern: pattern, Load: l,
 				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
 				EventTrace: opts.EventTrace, EventKinds: opts.EventKinds,
+				Shards: opts.Shards,
 			})
 			pts = append(pts, SweepPoint{Label: fd.Label, Load: l})
 		}

@@ -83,6 +83,29 @@ func (m *Meter) BufferRead() { m.bufferReads++ }
 // NackHops records h hops on the dedicated NACK network (SCARAB).
 func (m *Meter) NackHops(h int) { m.nackHops += uint64(h) }
 
+// Scratch returns an empty meter for staging events on behalf of this one
+// (the sharded engine gives each shard a scratch meter for its router
+// phase). Per-event energies are irrelevant on a scratch — only the event
+// counts matter, and Absorb folds those back into the real meter.
+func (m *Meter) Scratch() *Meter { return &Meter{} }
+
+// Absorb adds s's event counts into m and zeroes s. Counter addition is
+// commutative, so absorbing per-shard scratch meters in any order yields
+// the same totals as sequential metering — which is what keeps the sharded
+// engine's energy results bit-identical.
+func (m *Meter) Absorb(s *Meter) {
+	m.crossbarTraversals += s.crossbarTraversals
+	m.linkTraversals += s.linkTraversals
+	m.bufferWrites += s.bufferWrites
+	m.bufferReads += s.bufferReads
+	m.nackHops += s.nackHops
+	s.crossbarTraversals = 0
+	s.linkTraversals = 0
+	s.bufferWrites = 0
+	s.bufferReads = 0
+	s.nackHops = 0
+}
+
 // Counts is a snapshot of the raw event counters.
 type Counts struct {
 	CrossbarTraversals uint64

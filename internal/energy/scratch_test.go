@@ -1,0 +1,38 @@
+package energy
+
+import "testing"
+
+// TestScratchAbsorb checks every counter crosses the scratch→master fold
+// exactly once: absorbing a scratch adds its counts and zeroes it, and
+// repeated rounds accumulate like direct metering.
+func TestScratchAbsorb(t *testing.T) {
+	master := NewMeter()
+	direct := NewMeter()
+	scratch := master.Scratch()
+
+	record := func(m *Meter) {
+		m.CrossbarTraversal()
+		m.CrossbarTraversal()
+		m.LinkTraversal()
+		m.BufferWrite()
+		m.BufferWrite()
+		m.BufferWrite()
+		m.BufferRead()
+		m.NackHops(4)
+	}
+	for round := 0; round < 3; round++ {
+		record(direct)
+		record(scratch)
+		master.Absorb(scratch)
+		if scratch.Snapshot() != (Counts{}) {
+			t.Fatalf("round %d: scratch not zeroed after absorb: %+v", round, scratch.Snapshot())
+		}
+	}
+	if master.Snapshot() != direct.Snapshot() {
+		t.Errorf("absorbed totals differ from direct metering:\nmaster: %+v\ndirect: %+v", master.Snapshot(), direct.Snapshot())
+	}
+	// Energy conversion sees the absorbed counts through the master's params.
+	if master.TotalPJ() != direct.TotalPJ() {
+		t.Errorf("energy differs: master %f pJ, direct %f pJ", master.TotalPJ(), direct.TotalPJ())
+	}
+}

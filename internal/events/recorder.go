@@ -24,6 +24,14 @@ type Recorder struct {
 	counts []uint64
 
 	total uint64 // events accepted into the ring over the run
+
+	// grow marks a staging recorder (NewStage): the ring grows instead of
+	// overwriting, there is no counter matrix, and DrainTo replays the held
+	// events into a real recorder. The sharded cycle engine gives each node
+	// a stage so the router phase can record concurrently, then drains the
+	// stages in node order at the cycle barrier — reproducing exactly the
+	// ring the sequential engine would have written.
+	grow bool
 }
 
 // MaskOf builds the enable bitmask for a set of kinds; no kinds means all.
@@ -60,12 +68,57 @@ func (r *Recorder) Enabled(k Kind) bool {
 	return r != nil && r.mask&(1<<uint(k)) != 0
 }
 
+// NewStage returns a staging recorder with the same kind mask as r: a
+// growable event buffer with no counter matrix, filled by one node's router
+// during the parallel router phase and emptied by DrainTo at the cycle
+// barrier. A nil receiver yields a nil stage (tracing off). The buffer
+// grows by amortized append, so after a few cycles of warmup staging
+// allocates nothing.
+func (r *Recorder) NewStage() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return &Recorder{mask: r.mask, nodes: r.nodes, grow: true}
+}
+
+// DrainTo replays the staged events into dst in record order and empties
+// the stage. Only meaningful on a stage; replay goes through dst.Record, so
+// dst's ring, counter matrix and totals end up exactly as if the events had
+// been recorded there directly.
+func (r *Recorder) DrainTo(dst *Recorder) {
+	if r == nil || r.size == 0 {
+		return
+	}
+	for i := 0; i < r.size; i++ {
+		ev := &r.ring[i]
+		dst.Record(ev.Cycle, ev.Kind, int(ev.Node), ev.Port, ev.PacketID, ev.FlitID, ev.Detail)
+	}
+	r.ring = r.ring[:0]
+	r.size = 0
+	r.total = 0
+}
+
 // Record appends one event to the ring, overwriting the oldest entry once
 // the ring is full, and bumps the node's counter for the kind. It never
 // allocates; on a nil recorder (tracing disabled) or a masked-out kind it
-// returns immediately.
+// returns immediately. (Staging recorders grow instead of overwriting and
+// keep no counters — amortized-zero allocation, see NewStage.)
 func (r *Recorder) Record(cycle uint64, k Kind, node int, port flit.Port, packetID, flitID uint64, detail int32) {
 	if r == nil || r.mask&(1<<uint(k)) == 0 {
+		return
+	}
+	if r.grow {
+		r.ring = append(r.ring, Event{
+			Cycle:    cycle,
+			PacketID: packetID,
+			FlitID:   flitID,
+			Detail:   detail,
+			Node:     int32(node),
+			Kind:     k,
+			Port:     port,
+		})
+		r.size = len(r.ring)
+		r.total++
 		return
 	}
 	r.counts[node*NumKinds+int(k)]++

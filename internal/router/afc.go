@@ -1,6 +1,8 @@
 package router
 
 import (
+	"sync/atomic"
+
 	"dxbar/internal/arbiter"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
@@ -63,6 +65,14 @@ const (
 
 // AFCController is the shared network-wide mode state. Build exactly one
 // per network and hand it to every router's NewAFC.
+//
+// The counters routers bump during their Step (netFlits, window counters)
+// are atomics so the sharded engine may step AFC routers on concurrent
+// workers; atomic addition is commutative, so their end-of-phase values —
+// the only values the policy ever reads — are bit-identical to sequential
+// stepping. The mode state itself (mode/draining/next) is only mutated by
+// Tick, which the engine runs once per cycle before the router phase, so
+// routers read a stable mode all phase.
 type AFCController struct {
 	nodes int
 
@@ -70,11 +80,11 @@ type AFCController struct {
 	draining bool
 	next     int
 
-	netFlits int // flits inside routers/links (not source queues)
+	netFlits atomic.Int64 // flits inside routers/links (not source queues)
 
 	windowStart       uint64
-	windowDeflections int
-	windowInjections  int
+	windowDeflections atomic.Int64
+	windowInjections  atomic.Int64
 
 	lastTick uint64
 	started  bool
@@ -98,8 +108,16 @@ func (c *AFCController) Draining() bool { return c.draining }
 // InjectionAllowed reports whether sources may inject this cycle.
 func (c *AFCController) InjectionAllowed() bool { return !c.draining }
 
-// tick runs the mode policy once per cycle (the first router to step in a
-// cycle advances it).
+// Tick runs the mode policy for the cycle. The engine calls it once per
+// cycle (PreCycle hook) before any router steps; the call is idempotent per
+// cycle, so the fallback call at the top of Step — which keeps standalone
+// sequential use working without the hook — is a read-only no-op when the
+// engine already ticked.
+func (c *AFCController) Tick(cycle uint64) { c.tick(cycle) }
+
+// tick runs the mode policy once per cycle (repeat calls within a cycle
+// return without writing, so concurrently-stepping routers only race on the
+// started/lastTick reads — and only when nothing is writing them).
 func (c *AFCController) tick(cycle uint64) {
 	if c.started && cycle == c.lastTick {
 		return
@@ -108,21 +126,21 @@ func (c *AFCController) tick(cycle uint64) {
 	c.lastTick = cycle
 
 	if c.draining {
-		if c.netFlits == 0 {
+		if c.netFlits.Load() == 0 {
 			c.mode = c.next
 			c.draining = false
 			c.ModeSwitches++
 			c.windowStart = cycle
-			c.windowDeflections = 0
-			c.windowInjections = 0
+			c.windowDeflections.Store(0)
+			c.windowInjections.Store(0)
 		}
 		return
 	}
 	if cycle-c.windowStart < AFCWindow {
 		return
 	}
-	deflRate := float64(c.windowDeflections) / float64(AFCWindow) / float64(c.nodes)
-	injRate := float64(c.windowInjections) / float64(AFCWindow) / float64(c.nodes)
+	deflRate := float64(c.windowDeflections.Load()) / float64(AFCWindow) / float64(c.nodes)
+	injRate := float64(c.windowInjections.Load()) / float64(AFCWindow) / float64(c.nodes)
 	switch {
 	case c.mode == afcModeBufferless && deflRate > AFCOnDeflectionRate:
 		c.next = afcModeBuffered
@@ -132,8 +150,8 @@ func (c *AFCController) tick(cycle uint64) {
 		c.draining = true
 	}
 	c.windowStart = cycle
-	c.windowDeflections = 0
-	c.windowInjections = 0
+	c.windowDeflections.Store(0)
+	c.windowInjections.Store(0)
 }
 
 // NewAFC builds one AFC router sharing the given controller. The engine
@@ -217,11 +235,11 @@ func (a *AFC) stepBufferless(cycle uint64) {
 		}
 		if f == injectee {
 			env.ConsumeInjection(cycle)
-			a.ctrl.netFlits++
-			a.ctrl.windowInjections++
+			a.ctrl.netFlits.Add(1)
+			a.ctrl.windowInjections.Add(1)
 		}
 		if out == flit.Local {
-			a.ctrl.netFlits--
+			a.ctrl.netFlits.Add(-1)
 		}
 		a.send(out, f, cycle)
 	}
@@ -241,7 +259,7 @@ func (a *AFC) deflectionAssign(f *flit.Flit, cycle uint64) flit.Port {
 		if env.OutputFree(p) {
 			if f.Dst == env.Node || i >= prod.Len() {
 				f.Deflections++
-				a.ctrl.windowDeflections++
+				a.ctrl.windowDeflections.Add(1)
 				env.Events().Record(cycle, events.Deflect, env.Node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p
@@ -312,15 +330,15 @@ func (a *AFC) stepBuffered(cycle uint64) {
 		out := flit.Port(o)
 		if i == int(flit.Local) {
 			env.ConsumeInjection(cycle)
-			a.ctrl.netFlits++
-			a.ctrl.windowInjections++
+			a.ctrl.netFlits.Add(1)
+			a.ctrl.windowInjections.Add(1)
 		} else {
 			a.fifos[i].pop()
 			env.Meter().BufferRead()
 			env.ReturnCredit(flit.Port(i))
 		}
 		if out == flit.Local {
-			a.ctrl.netFlits--
+			a.ctrl.netFlits.Add(-1)
 		}
 		a.send(out, heads[i], cycle)
 	}

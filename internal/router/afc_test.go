@@ -124,7 +124,7 @@ func TestAFCControllerHysteresis(t *testing.T) {
 	}
 	// Hot window: deflections above threshold start a drain.
 	hot := AFCOnDeflectionRate * 64 * AFCWindow
-	c.windowDeflections = int(hot) + 1
+	c.windowDeflections.Store(int64(hot) + 1)
 	c.tick(2*AFCWindow + 2)
 	if !c.Draining() || !c.Buffered() == false {
 		// Draining toward buffered but not yet flipped.
@@ -136,7 +136,7 @@ func TestAFCControllerHysteresis(t *testing.T) {
 		t.Fatal("injection must pause during the drain")
 	}
 	// Drain completes when the network is empty.
-	c.netFlits = 0
+	c.netFlits.Store(0)
 	c.tick(2*AFCWindow + 3)
 	if !c.Buffered() || c.Draining() {
 		t.Fatal("drain completion must flip the mode")

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dxbar/internal/energy"
+	"dxbar/internal/flit"
+	"dxbar/internal/stats"
+)
+
+// backend executes the router phase (SA/ST for every node) of one cycle.
+// Two implementations exist behind this interface: the sequential backend
+// steps every router on the calling goroutine; the sharded backend fans the
+// mesh's tiles out over worker goroutines and reconciles their staged side
+// effects at a barrier. Both leave the engine in the exact same state after
+// every cycle — the sharded engine's determinism contract is bit-identity
+// with the sequential one.
+type backend interface {
+	// routerPhase steps every router for cycle c and applies all router
+	// side effects (latches, credits, meter, stats, events, retransmits)
+	// to the engine's master state before returning.
+	routerPhase(c uint64)
+	// shardCount reports the number of parallel shards (1 for sequential).
+	shardCount() int
+}
+
+// ResolveShards maps a Config.Shards request onto an effective shard count
+// for a mesh of the given width: 0 or 1 selects the sequential engine, a
+// negative value auto-sizes to GOMAXPROCS, and any result is clamped to the
+// mesh width (a column-strip tile must own at least one column).
+func ResolveShards(n, width int) int {
+	if n == 0 || n == 1 {
+		return 1
+	}
+	if n < 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > width {
+		n = width
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// seqBackend is the single-threaded router phase: every router steps on the
+// calling goroutine in node order, writing directly to the engine's master
+// meter, collector and recorder.
+type seqBackend struct {
+	e *Engine
+}
+
+func (b seqBackend) shardCount() int { return 1 }
+
+func (b seqBackend) routerPhase(c uint64) {
+	for i, r := range b.e.routers {
+		r.Step(c)
+		checkConsumed(b.e.envs[i], i, c)
+	}
+}
+
+// checkConsumed panics if a router left an input latch occupied — the
+// Router contract requires every latched flit to be consumed during Step.
+func checkConsumed(env *Env, node int, c uint64) {
+	for p := 0; p < flit.NumLinkPorts; p++ {
+		if env.In[p] != nil {
+			panic(fmt.Sprintf("sim: router %d left input %s unconsumed at cycle %d: %v",
+				node, flit.Port(p), c, env.In[p]))
+		}
+	}
+}
+
+// stagedRetx is one retransmission a router scheduled during the parallel
+// router phase, parked per-env until the barrier inserts it into the
+// engine's event wheel in node order (the wheel's slot order is delivery
+// order at the retransmit cycle, so insertion order must match the
+// sequential engine's).
+type stagedRetx struct {
+	f     *flit.Flit
+	delay uint64
+}
+
+// shard owns one tile of the mesh inside the sharded backend: the tile's
+// node list plus the scratch state its worker may write during the router
+// phase without touching another shard's memory. Everything staged here is
+// either commutative (meter and collector counters) or replayed in node
+// order at the barrier (events, retransmits), which is what preserves
+// bit-identity with the sequential engine.
+type shard struct {
+	id    int
+	nodes []int // ascending node indices of the tile
+
+	// meter and coll are the shard-local scratch the tile's routers write
+	// through their Env; the barrier absorbs both into the master.
+	meter *energy.Meter
+	coll  *stats.Collector
+
+	// creditReturns stages upstream credit-return closures. A returned
+	// credit enters the counter's delay pipeline and is invisible until the
+	// engine ticks the pipelines after the link phase, so applying returns
+	// at the barrier instead of mid-phase is observationally identical —
+	// staging exists to keep one shard from writing a neighbour shard's
+	// counter concurrently.
+	creditReturns []func()
+
+	// retx counts retransmissions staged across the shard's envs this
+	// cycle, so the barrier can skip the env scan entirely in the common
+	// case of none.
+	retx int
+}
+
+// shardedBackend runs the router phase tile-parallel. Each cycle it spawns
+// one goroutine per extra shard (shard 0 runs inline on the caller),
+// barriers on a WaitGroup, then merges the staged side effects:
+//
+//  1. per-env event stages drain into the master recorder, and staged
+//     retransmissions enter the event wheel, both in ascending node order —
+//     exactly the order the sequential engine would have produced;
+//  2. staged credit returns are applied (order-insensitive: returns ride
+//     the credit delay pipeline and only become visible at Tick);
+//  3. shard scratch meters and collectors are absorbed into the masters
+//     (order-insensitive: pure counter sums).
+//
+// Goroutine spawn per cycle costs well under a microsecond against router
+// phases that run hundreds of microseconds on the large meshes sharding
+// targets, reuses pooled goroutine stacks (no steady-state allocation), and
+// leaves the engine with no background goroutines to manage — an idle or
+// abandoned engine holds no resources beyond its memory.
+type shardedBackend struct {
+	e      *Engine
+	shards []*shard
+	wg     sync.WaitGroup
+
+	// cycle carries the current cycle to the workers; it is written before
+	// the spawns (a happens-before edge) and read-only during the phase.
+	cycle uint64
+	// workers[i] runs shard i+1 for the current cycle. They are pre-bound
+	// zero-argument closures because `go f()` on one spawns without heap
+	// allocation, whereas a go statement with arguments allocates a wrapper
+	// closure every call — which would break the engine's zero-alloc
+	// steady state.
+	workers []func()
+}
+
+func newShardedBackend(e *Engine, n int) *shardedBackend {
+	tiles := e.mesh.Tiles(n)
+	b := &shardedBackend{e: e, shards: make([]*shard, len(tiles))}
+	for i, t := range tiles {
+		b.shards[i] = &shard{id: i, nodes: t.Nodes}
+	}
+	for i := 1; i < len(b.shards); i++ {
+		s := b.shards[i]
+		b.workers = append(b.workers, func() {
+			b.runShard(s, b.cycle)
+			b.wg.Done()
+		})
+	}
+	return b
+}
+
+func (b *shardedBackend) shardCount() int { return len(b.shards) }
+
+func (b *shardedBackend) routerPhase(c uint64) {
+	b.cycle = c
+	b.wg.Add(len(b.workers))
+	for _, w := range b.workers {
+		go w()
+	}
+	b.runShard(b.shards[0], c)
+	b.wg.Wait()
+	b.merge(c)
+}
+
+func (b *shardedBackend) runShard(s *shard, c uint64) {
+	e := b.e
+	for _, n := range s.nodes {
+		e.routers[n].Step(c)
+		checkConsumed(e.envs[n], n, c)
+	}
+}
+
+// merge applies every staged side effect of the finished router phase to
+// the engine's master state. It runs on the coordinating goroutine after
+// the barrier, so it needs no synchronization beyond the WaitGroup's
+// happens-before edge.
+func (b *shardedBackend) merge(c uint64) {
+	e := b.e
+
+	retx := 0
+	for _, s := range b.shards {
+		retx += s.retx
+		s.retx = 0
+	}
+	// Replay per-env stages in ascending node order. The env scan is O(N),
+	// so skip it when there is nothing to replay (tracing off and no
+	// retransmissions scheduled — the overwhelmingly common cycle).
+	if e.rec != nil || retx > 0 {
+		for _, env := range e.envs {
+			env.rec.DrainTo(e.rec)
+			for _, rx := range env.pendingRetx {
+				e.wheel.schedule(c, c+rx.delay, rx.f)
+			}
+			env.pendingRetx = env.pendingRetx[:0]
+		}
+	}
+
+	for _, s := range b.shards {
+		for _, fn := range s.creditReturns {
+			fn()
+		}
+		s.creditReturns = s.creditReturns[:0]
+		e.meter.Absorb(s.meter)
+		e.coll.AbsorbRouterPhase(s.coll)
+	}
+}

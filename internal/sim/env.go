@@ -35,6 +35,23 @@ type Env struct {
 	injection   flitDeque
 	bufferDepth int
 	creditDelay int
+
+	// meter, coll and rec are what this node's router writes through: the
+	// engine's masters in sequential mode, or the owning shard's scratch
+	// meter/collector and a per-env event stage in sharded mode (see
+	// Engine.wireCollectors). Routers never see the difference.
+	meter *energy.Meter
+	coll  *stats.Collector
+	rec   *events.Recorder
+
+	// shard is the owning shard in sharded mode (nil = sequential). When
+	// set, ReturnCredit and ScheduleRetransmit stage instead of applying —
+	// the barrier replays them so no worker writes cross-shard state.
+	shard *shard
+
+	// pendingRetx holds retransmissions staged during the parallel router
+	// phase, drained into the event wheel in node order at the barrier.
+	pendingRetx []stagedRetx
 }
 
 func newEnv(e *Engine, node, bufferDepth, creditDelay int) *Env {
@@ -81,16 +98,20 @@ func (env *Env) wireCredits() {
 // Mesh returns the topology.
 func (env *Env) Mesh() *topology.Mesh { return env.engine.mesh }
 
-// Meter returns the shared energy meter.
-func (env *Env) Meter() *energy.Meter { return env.engine.meter }
+// Meter returns the energy meter this router records into (the engine's in
+// sequential mode, the shard's scratch in sharded mode — absorbed into the
+// engine's at every cycle barrier).
+func (env *Env) Meter() *energy.Meter { return env.meter }
 
-// Stats returns the shared statistics collector.
-func (env *Env) Stats() *stats.Collector { return env.engine.coll }
+// Stats returns the statistics collector this router records into (the
+// engine's, or the shard's scratch — see Meter).
+func (env *Env) Stats() *stats.Collector { return env.coll }
 
-// Events returns the shared flight recorder — nil when runtime event
-// tracing is off, which every recorder method tolerates, so routers record
-// unconditionally.
-func (env *Env) Events() *events.Recorder { return env.engine.rec }
+// Events returns the flight recorder this router records into — nil when
+// runtime event tracing is off, which every recorder method tolerates, so
+// routers record unconditionally. In sharded mode this is the env's private
+// stage, drained into the master recorder in node order at the barrier.
+func (env *Env) Events() *events.Recorder { return env.rec }
 
 // HasLink reports whether output port p leads to a neighbour (Local always
 // exists).
@@ -141,11 +162,22 @@ func (env *Env) OutputFree(p flit.Port) bool { return env.out[p] == nil }
 
 // ReturnCredit hands one credit back to the upstream neighbour feeding
 // input port p (call when a flit that arrived through p frees its buffer
-// slot, or immediately when it bypasses buffering entirely).
+// slot, or immediately when it bypasses buffering entirely). In sharded
+// mode the return is staged and applied at the cycle barrier: the upstream
+// counter may belong to another shard, and since a returned credit rides
+// the delay pipeline and only becomes visible at the post-link-phase Tick,
+// barrier-time application is observationally identical to the sequential
+// engine's mid-phase application.
 func (env *Env) ReturnCredit(p flit.Port) {
-	if fn := env.upCredit[p]; fn != nil {
-		fn()
+	fn := env.upCredit[p]
+	if fn == nil {
+		return
 	}
+	if s := env.shard; s != nil {
+		s.creditReturns = append(s.creditReturns, fn)
+		return
+	}
+	fn()
 }
 
 // DownstreamCredits exposes the credit counter for output port p (nil when
@@ -171,15 +203,29 @@ func (env *Env) ConsumeInjection(cycle uint64) *flit.Flit {
 	}
 	f := env.injection.popFront()
 	f.EnqueueCycle = cycle
-	env.engine.rec.Record(cycle, events.Inject, env.Node, flit.Local,
+	env.rec.Record(cycle, events.Inject, env.Node, flit.Local,
 		f.PacketID, f.ID, int32(cycle-f.InjectionCycle))
 	return f
 }
 
 // ScheduleRetransmit asks the engine to re-enqueue f at its source after
-// delay cycles (see Engine.ScheduleRetransmit).
+// delay cycles (see Engine.ScheduleRetransmit). In sharded mode the wheel
+// insertion is staged per-env and replayed in node order at the barrier, so
+// the wheel's delivery order matches the sequential engine's; the
+// Retransmit event is recorded into the env's stage at call time so it
+// stays interleaved with the router's other events.
 func (env *Env) ScheduleRetransmit(f *flit.Flit, delay uint64) {
-	env.engine.ScheduleRetransmit(f, delay)
+	if env.shard == nil {
+		env.engine.ScheduleRetransmit(f, delay)
+		return
+	}
+	if delay == 0 {
+		delay = 1
+	}
+	env.rec.Record(env.engine.cycle, events.Retransmit, f.Src, flit.Invalid,
+		f.PacketID, f.ID, int32(delay))
+	env.pendingRetx = append(env.pendingRetx, stagedRetx{f: f, delay: delay})
+	env.shard.retx++
 }
 
 func (env *Env) pushBackInjection(f *flit.Flit)  { env.injection.pushBack(f) }
@@ -219,6 +265,7 @@ func (env *Env) reset() {
 		env.out[p] = nil
 	}
 	env.injection.clear()
+	env.pendingRetx = env.pendingRetx[:0]
 	for _, c := range env.downCredits {
 		if c != nil {
 			c.Reset()

@@ -77,6 +77,13 @@ type Config struct {
 	// tracing; a nil recorder's methods are no-ops, so the engine and the
 	// routers record unconditionally).
 	Events *events.Recorder
+	// Shards selects the cycle-engine backend: 0 or 1 runs the sequential
+	// engine, n > 1 partitions the mesh into n column-strip tiles stepped
+	// by parallel worker goroutines with a two-phase barrier per cycle, and
+	// a negative value auto-sizes to GOMAXPROCS. The effective count is
+	// clamped to the mesh width (ResolveShards). Results are bit-identical
+	// to the sequential engine for every design and shard count.
+	Shards int
 }
 
 // Engine drives one network.
@@ -109,6 +116,12 @@ type Engine struct {
 	genScratch []*flit.Flit
 
 	preCycle func(cycle uint64)
+
+	// backend runs the router phase: sequential, or sharded over worker
+	// goroutines (see backend.go). shards is the resolved shard count the
+	// backend was built for.
+	backend backend
+	shards  int
 
 	bufferDepth int
 	creditDelay int
@@ -159,11 +172,54 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 	for i := 0; i < n; i++ {
 		e.envs[i].wireCredits()
 	}
+	e.shards = ResolveShards(cfg.Shards, cfg.Mesh.Width)
+	if e.shards > 1 {
+		e.backend = newShardedBackend(e, e.shards)
+	} else {
+		e.backend = seqBackend{e}
+	}
+	e.wireCollectors()
 	e.routers = make([]Router, n)
 	for i := 0; i < n; i++ {
 		e.routers[i] = factory(e.envs[i])
 	}
 	return e, nil
+}
+
+// wireCollectors points every Env at the meter, collector and recorder its
+// router must write through: the engine's masters in sequential mode, the
+// owning shard's scratch (and a per-env event stage) in sharded mode. Runs
+// at construction and again on Reset, because Reset swaps the masters.
+func (e *Engine) wireCollectors() {
+	sb, sharded := e.backend.(*shardedBackend)
+	if !sharded {
+		for _, env := range e.envs {
+			env.shard = nil
+			env.meter = e.meter
+			env.coll = e.coll
+			env.rec = e.rec
+		}
+		return
+	}
+	for _, s := range sb.shards {
+		s.meter = e.meter.Scratch()
+		s.coll = e.coll.Scratch()
+		for _, n := range s.nodes {
+			env := e.envs[n]
+			env.shard = s
+			env.meter = s.meter
+			env.coll = s.coll
+			env.rec = e.rec.NewStage()
+			if env.pendingRetx == nil {
+				// A router stages at most one retransmit per consumed flit:
+				// the port count bounds it. Preallocating keeps the steady
+				// state allocation-free even on nodes that drop rarely —
+				// growing 64 nil slices by occasional single appends would
+				// otherwise trickle allocations for thousands of cycles.
+				env.pendingRetx = make([]stagedRetx, 0, flit.NumPorts)
+			}
+		}
+	}
 }
 
 // Cycle returns the current cycle number.
@@ -182,6 +238,10 @@ func (e *Engine) Mesh() *topology.Mesh { return e.mesh }
 // Pool returns the engine's flit free list (leak tests assert that a drained
 // network has zero outstanding flits).
 func (e *Engine) Pool() *flit.Pool { return e.pool }
+
+// Shards returns the resolved shard count of the engine's router-phase
+// backend (1 = sequential).
+func (e *Engine) Shards() int { return e.backend.shardCount() }
 
 // ScheduleRetransmit re-enqueues f at the front of its source's injection
 // queue after delay cycles (SCARAB NACK path, fault recovery). The flit's
@@ -230,17 +290,10 @@ func (e *Engine) Step() {
 		}
 	}
 
-	// Router phase (SA/ST).
-	for i, r := range e.routers {
-		r.Step(c)
-		env := e.envs[i]
-		for p := 0; p < flit.NumLinkPorts; p++ {
-			if env.In[p] != nil {
-				panic(fmt.Sprintf("sim: router %d left input %s unconsumed at cycle %d: %v",
-					i, flit.Port(p), c, env.In[p]))
-			}
-		}
-	}
+	// Router phase (SA/ST): sequential or tile-parallel, depending on the
+	// backend. Either way every staged side effect is applied to master
+	// state before the link phase below observes it.
+	e.backend.routerPhase(c)
 
 	// Link phase: first land the flits that spent this cycle on the wire,
 	// then launch the freshly switched ones onto the wire.
@@ -355,6 +408,9 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 		return fmt.Errorf("sim: Reset requires BufferDepth=%d CreditDelay=%d (got %d, %d)",
 			e.bufferDepth, e.creditDelay, cfg.BufferDepth, cfg.CreditDelay)
 	}
+	if got := ResolveShards(cfg.Shards, e.mesh.Width); got != e.shards {
+		return fmt.Errorf("sim: Reset requires Shards resolving to %d (got %d)", e.shards, got)
+	}
 	e.meter = cfg.Meter
 	e.coll = cfg.Stats
 	e.source = cfg.Source
@@ -364,6 +420,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.cycle = 0
 	e.wheel.reset()
 	e.pool.DropOutstanding()
+	e.wireCollectors()
 	for i := range e.envs {
 		e.envs[i].reset()
 		e.reasm[i].Reset()

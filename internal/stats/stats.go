@@ -155,6 +155,41 @@ func (c *Collector) FairnessFlip(cycle uint64) {
 	}
 }
 
+// Scratch returns an empty collector with the same node count and
+// measurement window, for staging the router-phase events of one shard of
+// the parallel cycle engine. The window must match so the scratch applies
+// the same in-window gating the real collector would.
+func (c *Collector) Scratch() *Collector {
+	return NewCollector(c.nodes, c.start, c.end)
+}
+
+// AbsorbRouterPhase folds the counters a shard's routers staged in s back
+// into c and zeroes them. Routers touch exactly four collector entry points
+// during their Step — BufferingEvent, RoutedEvent, DroppedFlit and
+// FairnessFlip (everything else is recorded by the engine's sequential
+// phases) — so those are the fields a scratch can accumulate. All are
+// commutative counters, which is why barrier-time absorption in any shard
+// order reproduces the sequential totals bit-identically.
+func (c *Collector) AbsorbRouterPhase(s *Collector) {
+	c.bufferedSum += s.bufferedSum
+	c.routedFlits += s.routedFlits
+	c.fairnessFlips += s.fairnessFlips
+	s.bufferedSum = 0
+	s.routedFlits = 0
+	s.fairnessFlips = 0
+	if s.droppedFlits == 0 {
+		return
+	}
+	c.droppedFlits += s.droppedFlits
+	s.droppedFlits = 0
+	for i, v := range s.droppedByNode {
+		if v != 0 {
+			c.droppedByNode[i] += v
+			s.droppedByNode[i] = 0
+		}
+	}
+}
+
 // Results summarizes a run.
 type Results struct {
 	// OfferedLoad and AcceptedLoad are flits per node per cycle.
@@ -204,8 +239,8 @@ type Results struct {
 func (c *Collector) Results() Results {
 	window := float64(c.end - c.start)
 	r := Results{
-		OfferedLoad:  float64(c.generatedFlits) / (window * float64(c.nodes)),
-		AcceptedLoad: float64(c.ejectedFlits) / (window * float64(c.nodes)),
+		OfferedLoad:   float64(c.generatedFlits) / (window * float64(c.nodes)),
+		AcceptedLoad:  float64(c.ejectedFlits) / (window * float64(c.nodes)),
 		MaxLatency:    c.latencyMax,
 		Packets:       c.packets,
 		DroppedFlits:  c.droppedFlits,

@@ -1,0 +1,84 @@
+package topology
+
+// Tile is one spatial partition of the mesh: a contiguous strip of columns
+// owned by one shard of the parallel cycle engine. Tiles cover the mesh
+// exactly (every node belongs to one tile) and their Nodes lists are in
+// ascending node order, which is the order the sharded engine steps them —
+// and the order barrier-time replay walks them to stay bit-identical to the
+// sequential engine.
+type Tile struct {
+	// Index is the tile's position in the partition, west to east.
+	Index int
+	// X0 and X1 bound the tile's column range [X0, X1).
+	X0, X1 int
+	// Nodes lists the tile's node indices in ascending order.
+	Nodes []int
+}
+
+// Contains reports whether node n (with coordinates from m) lies in the
+// tile's column range.
+func (t Tile) Contains(m *Mesh, n int) bool {
+	x, _ := m.XY(n)
+	return x >= t.X0 && x < t.X1
+}
+
+// Tiles partitions the mesh into n vertical column strips of near-equal
+// width (the first width%n tiles get one extra column). n is clamped to
+// [1, Width]: a tile must own at least one column, and more tiles than
+// columns would leave some empty. Column strips are the natural partition
+// for a row-major mesh: each tile's boundary is a single column of
+// East/West links, so the per-cycle cross-tile traffic the barrier must
+// reconcile is minimal (Height links per internal boundary, per direction).
+func (m *Mesh) Tiles(n int) []Tile {
+	if n < 1 {
+		n = 1
+	}
+	if n > m.Width {
+		n = m.Width
+	}
+	tiles := make([]Tile, n)
+	base, extra := m.Width/n, m.Width%n
+	x := 0
+	for i := range tiles {
+		w := base
+		if i < extra {
+			w++
+		}
+		t := Tile{Index: i, X0: x, X1: x + w}
+		for node := 0; node < m.Nodes(); node++ {
+			if t.Contains(m, node) {
+				t.Nodes = append(t.Nodes, node)
+			}
+		}
+		tiles[i] = t
+		x += w
+	}
+	return tiles
+}
+
+// TileOf returns the index of the tile owning node n in the given partition
+// (-1 if the partition does not cover it — impossible for a Tiles result).
+func (m *Mesh) TileOf(tiles []Tile, n int) int {
+	x, _ := m.XY(n)
+	for _, t := range tiles {
+		if x >= t.X0 && x < t.X1 {
+			return t.Index
+		}
+	}
+	return -1
+}
+
+// BoundaryLinks enumerates the directed links that cross a tile boundary,
+// in the same deterministic order as Links (by upstream node, then port).
+// These are the links whose flits change owning shard during the link
+// phase; the sequential link phase is what makes that hand-off safe without
+// per-link synchronization.
+func (m *Mesh) BoundaryLinks(tiles []Tile) []Link {
+	var cross []Link
+	for _, l := range m.Links() {
+		if m.TileOf(tiles, l.From) != m.TileOf(tiles, l.To) {
+			cross = append(cross, l)
+		}
+	}
+	return cross
+}

@@ -1,0 +1,99 @@
+package topology
+
+import "testing"
+
+// TestTilesPartition checks the partition invariants for a range of tile
+// counts: exact cover, ascending node order, near-equal column widths with
+// the remainder spread over the westmost tiles, and clamping.
+func TestTilesPartition(t *testing.T) {
+	m := MustMesh(8, 4)
+	for n := -1; n <= 10; n++ {
+		tiles := m.Tiles(n)
+		wantTiles := n
+		if wantTiles < 1 {
+			wantTiles = 1
+		}
+		if wantTiles > m.Width {
+			wantTiles = m.Width
+		}
+		if len(tiles) != wantTiles {
+			t.Fatalf("Tiles(%d): %d tiles, want %d", n, len(tiles), wantTiles)
+		}
+		seen := make([]bool, m.Nodes())
+		x := 0
+		for i, tile := range tiles {
+			if tile.Index != i {
+				t.Errorf("Tiles(%d): tile %d has Index %d", n, i, tile.Index)
+			}
+			if tile.X0 != x {
+				t.Errorf("Tiles(%d): tile %d starts at column %d, want %d", n, i, tile.X0, x)
+			}
+			w := tile.X1 - tile.X0
+			if base := m.Width / wantTiles; w != base && w != base+1 {
+				t.Errorf("Tiles(%d): tile %d spans %d columns, want %d or %d", n, i, w, base, base+1)
+			}
+			x = tile.X1
+			prev := -1
+			for _, node := range tile.Nodes {
+				if node <= prev {
+					t.Fatalf("Tiles(%d): tile %d nodes not ascending: %v", n, i, tile.Nodes)
+				}
+				prev = node
+				if seen[node] {
+					t.Fatalf("Tiles(%d): node %d in two tiles", n, node)
+				}
+				seen[node] = true
+				if got := m.TileOf(tiles, node); got != i {
+					t.Errorf("Tiles(%d): TileOf(%d) = %d, want %d", n, node, got, i)
+				}
+			}
+		}
+		if x != m.Width {
+			t.Errorf("Tiles(%d): tiles end at column %d, want %d", n, x, m.Width)
+		}
+		for node, ok := range seen {
+			if !ok {
+				t.Errorf("Tiles(%d): node %d unowned", n, node)
+			}
+		}
+	}
+}
+
+// TestTilesUneven pins the remainder-spreading rule: 8 columns over 3 tiles
+// is 3+3+2, west to east.
+func TestTilesUneven(t *testing.T) {
+	m := MustMesh(8, 2)
+	tiles := m.Tiles(3)
+	widths := []int{tiles[0].X1 - tiles[0].X0, tiles[1].X1 - tiles[1].X0, tiles[2].X1 - tiles[2].X0}
+	if widths[0] != 3 || widths[1] != 3 || widths[2] != 2 {
+		t.Errorf("widths = %v, want [3 3 2]", widths)
+	}
+}
+
+// TestBoundaryLinks checks that column-strip boundaries consist of exactly
+// the East/West link pairs of the cut columns: an 8-wide mesh split into 4
+// strips has 3 internal boundaries, each crossed by Height links per
+// direction.
+func TestBoundaryLinks(t *testing.T) {
+	m := MustMesh(8, 4)
+	tiles := m.Tiles(4)
+	cross := m.BoundaryLinks(tiles)
+	want := 3 * m.Height * 2
+	if len(cross) != want {
+		t.Fatalf("%d boundary links, want %d", len(cross), want)
+	}
+	for _, l := range cross {
+		fx, fy := m.XY(l.From)
+		tx, ty := m.XY(l.To)
+		if fy != ty {
+			t.Errorf("boundary link %d->%d is vertical; column strips only cut horizontal links", l.From, l.To)
+		}
+		if d := fx - tx; d != 1 && d != -1 {
+			t.Errorf("boundary link %d->%d spans %d columns", l.From, l.To, d)
+		}
+	}
+	// One strip = no boundaries.
+	if got := m.BoundaryLinks(m.Tiles(1)); len(got) != 0 {
+		t.Errorf("single tile has %d boundary links, want 0", len(got))
+	}
+}

@@ -13,6 +13,12 @@ import (
 // uniform-random Bernoulli traffic, for allocation and leak tests.
 func steadyNetwork(t *testing.T, design Design, load float64) *Network {
 	t.Helper()
+	return steadyShardedNetwork(t, design, load, 0)
+}
+
+// steadyShardedNetwork is steadyNetwork with a shard count (0 sequential).
+func steadyShardedNetwork(t *testing.T, design Design, load float64, shards int) *Network {
+	t.Helper()
 	mesh := topology.MustMesh(8, 8)
 	pat, err := traffic.New("UR", mesh)
 	if err != nil {
@@ -32,6 +38,7 @@ func steadyNetwork(t *testing.T, design Design, load float64) *Network {
 		Mesh:   mesh,
 		Source: &sim.SourceAdapter{B: bern},
 		Stats:  coll,
+		Shards: shards,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -14,11 +14,12 @@ import (
 
 // engineKey identifies the engines a runner may transparently reuse: an
 // engine can only be Reset into a config with the same mesh and the same
-// structural parameters (buffer depth, credit delay).
+// structural parameters (buffer depth, credit delay, resolved shard count).
 type engineKey struct {
 	width, height int
 	bufferDepth   int
 	creditDelay   int
+	shards        int
 }
 
 // runner executes simulations while recycling meshes and engines across
@@ -71,6 +72,7 @@ func (r *runner) network(o NetworkOptions) (*Network, error) {
 		height:      o.Mesh.Height,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
+		shards:      sim.ResolveShards(cfg.Shards, o.Mesh.Width),
 	}
 	if key.creditDelay == 0 {
 		key.creditDelay = 1
@@ -148,6 +150,7 @@ func (r *runner) run(c Config) (Result, error) {
 		CreditDelay:          cfg.CreditDelay,
 		PortOrderArbitration: cfg.PortOrderArbitration,
 		Events:               rec,
+		Shards:               cfg.Shards,
 	})
 	if err != nil {
 		return Result{}, err

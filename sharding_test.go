@@ -1,0 +1,173 @@
+package dxbar
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"dxbar/internal/sim"
+)
+
+// shardCounts are the shard counts the determinism tests sweep: the
+// sequential engine, even and uneven column splits, and the auto sizing.
+// AutoShards resolves to GOMAXPROCS, so under -race this also drives the
+// barrier with real parallelism on multi-core hosts.
+var shardCounts = []int{1, 2, 3, 4, AutoShards}
+
+// runPair executes the same config sequentially and sharded and fails the
+// test unless the full Results — throughput, latency, energy counts, event
+// trace, per-router matrices, time series — are bit-identical.
+func runPair(t *testing.T, base Config, shards int) {
+	t.Helper()
+	seq := base
+	seq.Shards = 1
+	want, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := base
+	sharded.Shards = shards
+	got, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("shards=%d: result differs from sequential\nseq:     %+v\nsharded: %+v", shards, want, got)
+	}
+}
+
+// TestShardBitIdentityAllDesigns is the sharded engine's determinism
+// contract: for every design, seed and shard count, the sharded engine must
+// reproduce the sequential engine bit for bit. Event tracing is on so the
+// comparison covers the flight-recorder ring ordering, not just aggregate
+// counters; SCARAB's load sits past saturation so retransmit staging is
+// exercised hard.
+func TestShardBitIdentityAllDesigns(t *testing.T) {
+	for _, d := range AllDesigns {
+		for _, seed := range []int64{7, 42} {
+			base := Config{
+				Design: d, Width: 8, Height: 8, Pattern: "UR", Load: 0.3,
+				WarmupCycles: 300, MeasureCycles: 1200, Seed: seed,
+				EventTrace: 512,
+			}
+			for _, n := range shardCounts {
+				n := n
+				t.Run(fmt.Sprintf("%s/seed%d/shards%d", d, seed, n), func(t *testing.T) {
+					runPair(t, base, n)
+				})
+			}
+		}
+	}
+}
+
+// TestShardBitIdentityFaultSweep covers the fault-injection configurations:
+// broken crossbars (and single crosspoints) reroute flits through the
+// secondary fabric and change buffering/retransmission behaviour, so the
+// staged side effects differ from the healthy runs. Utilization tracking
+// and time-series sampling are enabled to compare those result fields too.
+func TestShardBitIdentityFaultSweep(t *testing.T) {
+	for _, d := range []Design{DesignDXbar, DesignUnified} {
+		for _, gran := range []string{"crossbar", "crosspoint"} {
+			for _, frac := range []float64{0.5, 1.0} {
+				base := Config{
+					Design: d, Width: 8, Height: 8, Pattern: "UR", Load: 0.25,
+					WarmupCycles: 300, MeasureCycles: 1000, Seed: 11,
+					FaultFraction: frac, FaultGranularity: gran,
+					TrackUtilization: true, SampleInterval: 128,
+					EventTrace: 256,
+				}
+				t.Run(fmt.Sprintf("%s/%s/%.2f", d, gran, frac), func(t *testing.T) {
+					runPair(t, base, 4)
+				})
+			}
+		}
+	}
+}
+
+// TestShardBitIdentityLargeMesh checks a 16×16 mesh — multi-column tiles,
+// and the mesh size where sharding is actually meant to be used.
+func TestShardBitIdentityLargeMesh(t *testing.T) {
+	base := Config{
+		Design: DesignDXbar, Width: 16, Height: 16, Pattern: "MT", Load: 0.25,
+		WarmupCycles: 200, MeasureCycles: 800, Seed: 3,
+	}
+	for _, n := range []int{4, AutoShards} {
+		t.Run(fmt.Sprintf("shards%d", n), func(t *testing.T) {
+			runPair(t, base, n)
+		})
+	}
+}
+
+// TestShardEngineReuse checks determinism through the runner's engine
+// recycling: RunMany gives both identical sharded jobs to one worker, so
+// the second run goes through Engine.Reset instead of a fresh build, and
+// both must still match a sequential run.
+func TestShardEngineReuse(t *testing.T) {
+	cfg := Config{
+		Design: DesignSCARAB, Width: 8, Height: 8, Pattern: "UR", Load: 0.2,
+		WarmupCycles: 200, MeasureCycles: 800, Seed: 5, Shards: 2,
+	}
+	batch, err := RunMany([]Config{cfg, cfg}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := cfg
+	seq.Shards = 1
+	want, err := Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range batch {
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("run %d of reused sharded engine differs from sequential", i)
+		}
+	}
+}
+
+// TestShardZeroAllocSteadyState extends the zero-allocation guard to the
+// sharded engine: the per-cycle worker spawns, staging slices and barrier
+// must all reuse capacity once warm.
+func TestShardZeroAllocSteadyState(t *testing.T) {
+	load := map[Design]float64{DesignFlitBless: 0.12, DesignSCARAB: 0.10}
+	for _, d := range AllDesigns {
+		t.Run(string(d), func(t *testing.T) {
+			l, ok := load[d]
+			if !ok {
+				l = 0.3
+			}
+			net := steadyShardedNetwork(t, d, l, 4)
+			net.Engine.Run(3000)
+			avg := testing.AllocsPerRun(5, func() { net.Engine.Run(200) })
+			if avg != 0 {
+				t.Errorf("%s: %.2f allocations per 200-cycle run in sharded steady state, want 0", d, avg)
+			}
+		})
+	}
+}
+
+// TestShardCountResolution pins the Shards-resolution rules the public API
+// documents.
+func TestShardCountResolution(t *testing.T) {
+	cases := []struct {
+		n, width, want int
+	}{
+		{0, 8, 1},
+		{1, 8, 1},
+		{2, 8, 2},
+		{8, 8, 8},
+		{16, 8, 8},         // clamped to width
+		{AutoShards, 1, 1}, // clamped to a 1-wide mesh
+		{AutoShards, 1 << 20, runtime.GOMAXPROCS(0)},
+	}
+	for _, c := range cases {
+		if got := sim.ResolveShards(c.n, c.width); got != c.want {
+			t.Errorf("ResolveShards(%d, %d) = %d, want %d", c.n, c.width, got, c.want)
+		}
+	}
+	// The engine must report the resolved count.
+	net := steadyShardedNetwork(t, DesignDXbar, 0.1, 2)
+	if got := net.Engine.Shards(); got != 2 {
+		t.Errorf("Engine.Shards() = %d, want 2", got)
+	}
+}
