@@ -6,7 +6,7 @@ GO ?= go
 # example never requires touching this file.
 EXAMPLES := $(notdir $(wildcard examples/*))
 
-.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke clean
+.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke clean
 
 all: build test
 
@@ -67,6 +67,11 @@ examples-smoke:
 		echo "=== $$e (smoke) ==="; DXBAR_SMOKE=1 $(GO) run ./examples/$$e > /dev/null || exit 1; \
 	done
 	rm -f flightrecorder_trace.json
+
+# Launch a sharded dxbar-sim with -http and assert /healthz and /metrics
+# serve the expected series while the simulation runs (needs curl).
+telemetry-smoke:
+	sh scripts/telemetry_smoke.sh
 
 clean:
 	rm -rf results flightrecorder_trace.json

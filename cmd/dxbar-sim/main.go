@@ -6,6 +6,7 @@
 //	dxbar-sim -design dxbar -routing WF -pattern NUR -load 0.4
 //	dxbar-sim -design dxbar -load 0.3 -faults 0.5   # Fig. 11/12 style run
 //	dxbar-sim -load 0.45 -sample-interval 200 -out results/ -svg
+//	dxbar-sim -measure 2000000 -shards -1 -http :8080   # watch /metrics live
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"path/filepath"
 
 	"dxbar"
+	"dxbar/internal/metrics"
 	"dxbar/internal/report"
 )
 
@@ -39,12 +41,33 @@ func main() {
 		trace    = flag.Int("trace", 0, "flight-recorder ring capacity in events (0 disables runtime event tracing)")
 		traceOut = flag.String("trace-out", "", "write the recorded events as Chrome trace-event JSON to this file (load at ui.perfetto.dev; requires -trace)")
 		traceEv  = flag.String("trace-events", "", "comma-separated event kinds to record (default all; e.g. inject,buffered,eject)")
+		shards   = flag.Int("shards", 0, "parallel router-phase shards (0/1 sequential, -1 auto-sizes to CPUs; bit-identical results)")
+		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
+		profile  = flag.Bool("shard-profile", false, "print the per-shard execution profile after the run (requires -shards > 1)")
 	)
 	flag.Parse()
 
 	var kinds []string
 	if *traceEv != "" {
 		kinds = []string{*traceEv}
+	}
+
+	// Live telemetry: the engine publishes into the registry while running;
+	// the server reads it without ever touching simulation state, so results
+	// are bit-identical with -http on or off.
+	var (
+		reg  *metrics.Registry
+		prog *metrics.Progress
+	)
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		prog = metrics.NewProgress("cycles", *warmup+*measure)
+		srv, err := metrics.StartServer(*httpAddr, reg, prog)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dxbar-sim: telemetry on http://%s/metrics\n", srv.Addr())
 	}
 
 	res, err := dxbar.Run(dxbar.Config{
@@ -69,6 +92,10 @@ func main() {
 		SampleInterval:   *interval,
 		EventTrace:       *trace,
 		EventKinds:       kinds,
+		Shards:           *shards,
+		Metrics:          reg,
+		Progress:         prog,
+		ShardProfile:     *profile,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
@@ -99,6 +126,10 @@ func main() {
 	if *trace > 0 {
 		fmt.Printf("trace events    %d recorded (%d overwritten, ring %d)\n",
 			res.EventsRecorded, res.EventsOverwritten, *trace)
+	}
+	if *profile {
+		fmt.Println()
+		fmt.Print(dxbar.ShardProfileText(fmt.Sprintf("Shard execution profile, %s", label), res))
 	}
 	if *heatmap {
 		fmt.Println()

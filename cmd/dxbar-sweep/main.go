@@ -9,6 +9,7 @@
 //	dxbar-sweep -fig 5 -hist -out results/   # + per-point latency histograms
 //	dxbar-sweep -fig all -quality quick
 //	dxbar-sweep -fig table3
+//	dxbar-sweep -fig all -quality full -http :8080   # live /metrics + /progress
 package main
 
 import (
@@ -20,8 +21,10 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"time"
 
 	"dxbar"
+	"dxbar/internal/metrics"
 	"dxbar/internal/report"
 )
 
@@ -36,6 +39,9 @@ func main() {
 		hist       = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
 		trace      = flag.Int("trace", 0, "for figs 5/6 with -hist: flight-recorder ring capacity per sweep point; writes one Chrome trace JSON per point to -out (0 disables)")
 		shards     = flag.Int("shards", 0, "router-phase shards for the -hist load sweep (0/1 sequential, -1 = one per CPU); results are bit-identical either way")
+		profile    = flag.Bool("shard-profile", false, "with -hist and -shards > 1: print the final sweep point's per-shard execution profile")
+		httpAddr   = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
+		quiet      = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -82,14 +88,66 @@ func main() {
 
 	want := func(id string) bool { return *figFlag == "all" || *figFlag == id }
 
+	// With -hist, figs 5 and 6 derive from ONE shared load sweep, so its
+	// points count once; every other wanted figure runs its own sweep.
+	shared := *hist && (want("5") || want("6"))
+	total := 0
+	if shared {
+		total += dxbar.PointCount("5", q)
+	}
+	for _, id := range order {
+		if !want(id) || (shared && (id == "5" || id == "6")) {
+			continue
+		}
+		total += dxbar.PointCount(id, q)
+	}
+
+	// Live telemetry and progress: every completed run fires the OnRunDone
+	// hook, feeding one Progress that serves both the stderr line and the
+	// /progress endpoint. Publication never touches simulation state, so
+	// results are bit-identical with telemetry on or off.
+	prog := metrics.NewProgress("points", uint64(total))
+	dxbar.OnRunDone(func() { prog.Add(1) })
+	defer dxbar.OnRunDone(nil)
+
+	var reg *metrics.Registry
+	if *httpAddr != "" {
+		reg = metrics.NewRegistry()
+		srv, err := metrics.StartServer(*httpAddr, reg, prog)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "dxbar-sweep: telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	if !*quiet {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-stop:
+					return
+				case <-t.C:
+					fmt.Fprintln(os.Stderr, "dxbar-sweep:", prog.Snapshot())
+				}
+			}
+		}()
+	}
+
 	if want("table3") || *figFlag == "all" {
 		emitTable3(*outDir, *md)
 	}
-	// With -hist, figs 5 and 6 derive from ONE shared load sweep whose full
-	// per-point Results also feed the latency table and histogram export.
+	// The shared -hist load sweep: its full per-point Results feed figs 5/6,
+	// the latency table and the histogram export.
 	done := map[string]bool{}
-	if *hist && (want("5") || want("6")) {
-		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{EventTrace: *trace, Shards: *shards})
+	if shared {
+		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{
+			EventTrace: *trace, Shards: *shards,
+			Metrics: reg, ShardProfile: *profile,
+		})
 		if err != nil {
 			fatal(err)
 		}
@@ -102,6 +160,12 @@ func main() {
 			done["6"] = true
 		}
 		emitLatency(pts, *outDir)
+		if *profile && len(pts) > 0 {
+			last := pts[len(pts)-1]
+			fmt.Print(dxbar.ShardProfileText(
+				fmt.Sprintf("Shard execution profile, %s @ %.2f", last.Label, last.Load), last.Result))
+			fmt.Println()
+		}
 		if *trace > 0 && *outDir != "" {
 			emitTraces(pts, *outDir)
 		}

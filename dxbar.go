@@ -31,6 +31,7 @@ import (
 	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/faults"
+	"dxbar/internal/metrics"
 	"dxbar/internal/router"
 	"dxbar/internal/routing"
 	"dxbar/internal/sim"
@@ -142,6 +143,23 @@ type Config struct {
 	// only changes wall-clock time, and only pays off on large meshes
 	// (16×16 and up).
 	Shards int
+	// Metrics attaches a live telemetry registry: the engine publishes flit
+	// and packet counters every cycle and gauges, the latency histogram and
+	// the per-shard execution profile at the metrics publish interval. Serve
+	// it with metrics.StartServer (the -http flag of the CLIs). A registry
+	// may be shared by many concurrent runs — counters aggregate across
+	// them. Nil (the default) disables publication at zero cost, and results
+	// are bit-identical with telemetry on or off.
+	Metrics *metrics.Registry
+	// Progress, when non-nil, tracks the run's completed cycles (the
+	// /progress endpoint for single runs). Sweeps use their own point-level
+	// tracker instead.
+	Progress *metrics.Progress
+	// ShardProfile populates Result.ShardProfile and Result.ShardImbalance
+	// from the sharded engine's execution profiler. Opt-in because the
+	// profile is wall-clock measurement: it varies run to run and would
+	// break bit-identity comparisons of whole Results.
+	ShardProfile bool
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.
@@ -187,6 +205,15 @@ type Result struct {
 	// Config.EventTrace > 0). Unlike Events it is exact for the whole run —
 	// the counters survive ring overwrite.
 	RouterEvents *events.Matrix
+	// ShardProfile is the sharded engine's per-shard execution profile —
+	// cumulative router-phase and barrier-wait time per shard over the whole
+	// run (nil unless Config.ShardProfile and the run was sharded).
+	ShardProfile []sim.ShardProfile
+	// ShardImbalance is the max/mean cumulative router-phase time across
+	// shards (1.0 = perfectly balanced; 0 when ShardProfile is nil). A high
+	// ratio means the column-strip tiling is uneven for this workload and
+	// faster shards burn their surplus in BarrierWait.
+	ShardImbalance float64
 }
 
 func (c *Config) withDefaults() Config {
@@ -339,6 +366,10 @@ type NetworkOptions struct {
 	Events *events.Recorder
 	// Shards parallelizes the router phase (see Config.Shards).
 	Shards int
+	// Telemetry attaches a live-metrics publication handle (see
+	// Config.Metrics; built with metrics.NewSimTelemetry). Nil disables
+	// publication at zero cost.
+	Telemetry *metrics.SimTelemetry
 }
 
 // prepare validates the options and resolves them into an engine config, a
@@ -401,6 +432,7 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		CreditDelay: o.CreditDelay,
 		PreCycle:    preCycle,
 		Events:      o.Events,
+		Telemetry:   o.Telemetry,
 		Shards:      o.Shards,
 	}, factory, meter, nil
 }

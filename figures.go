@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"dxbar/internal/energy"
+	"dxbar/internal/metrics"
 	"dxbar/internal/stats"
 	"dxbar/internal/viz"
 )
@@ -87,6 +88,14 @@ type SweepOptions struct {
 	// Shards parallelizes the router phase at every sweep point
 	// (Config.Shards). Results are bit-identical either way.
 	Shards int
+	// Metrics attaches a shared live-telemetry registry to every sweep
+	// point (Config.Metrics): counters aggregate across the whole sweep,
+	// gauges reflect the currently running points. Serve it with
+	// metrics.StartServer to watch the sweep live.
+	Metrics *metrics.Registry
+	// ShardProfile populates each point's Result.ShardProfile
+	// (Config.ShardProfile).
+	ShardProfile bool
 }
 
 // LoadSweep runs every figure design over the quality's load axis in
@@ -106,7 +115,7 @@ func LoadSweepOpts(pattern string, q Quality, seed int64, opts SweepOptions) ([]
 				Design: fd.Design, Routing: fd.Routing, Pattern: pattern, Load: l,
 				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
 				EventTrace: opts.EventTrace, EventKinds: opts.EventKinds,
-				Shards: opts.Shards,
+				Shards: opts.Shards, Metrics: opts.Metrics, ShardProfile: opts.ShardProfile,
 			})
 			pts = append(pts, SweepPoint{Label: fd.Label, Load: l})
 		}
@@ -178,6 +187,23 @@ func Figure6(q Quality, seed int64) (Figure, error) {
 
 // patternAxis is the paper's synthetic-pattern axis for Figs. 7/8.
 var patternAxis = []string{"UR", "NUR", "BR", "BF", "CP", "MT", "PS", "NB", "TOR"}
+
+// PointCount reports how many simulation runs regenerating a figure costs at
+// the given quality — the progress total for sweep drivers (each completed
+// run fires OnRunDone once). Table 3 and unknown IDs cost no runs.
+func PointCount(id string, q Quality) int {
+	switch id {
+	case "5", "6":
+		return len(figureDesigns) * len(q.Loads)
+	case "7", "8":
+		return len(figureDesigns) * len(patternAxis)
+	case "9", "10":
+		return len(figureDesigns) * len(SplashBenchmarks()) * q.SplashSeeds
+	case "11", "12":
+		return 2 * len(q.FaultFractions) * len(q.Loads)
+	}
+	return 0
+}
 
 // figure78 computes throughput and energy at offered load 0.5 across all
 // nine synthetic patterns.

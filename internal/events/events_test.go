@@ -1,6 +1,7 @@
 package events
 
 import (
+	"strings"
 	"testing"
 
 	"dxbar/internal/flit"
@@ -138,6 +139,24 @@ func TestKindNamesRoundTrip(t *testing.T) {
 	}
 	if _, err := ParseKinds([]string{"drop,bogus"}); err == nil {
 		t.Error("ParseKinds accepted a bogus name")
+	}
+}
+
+// TestParseKindsErrorEnumeratesKinds: the unknown-name error quotes the bad
+// input and lists every valid kind, so a CLI typo comes back with the menu.
+func TestParseKindsErrorEnumeratesKinds(t *testing.T) {
+	_, err := ParseKinds([]string{"bogus"})
+	if err == nil {
+		t.Fatal("ParseKinds accepted a bogus name")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, `"bogus"`) {
+		t.Errorf("error %q does not quote the bad input", msg)
+	}
+	for _, name := range KindNames() {
+		if !strings.Contains(msg, name) {
+			t.Errorf("error %q does not list valid kind %q", msg, name)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package metrics
+
+import "sync"
+
+// Histogram is a published snapshot of a fixed-bucket distribution — the
+// registry-side mirror of the collector's log-linear latency histogram
+// (internal/stats). The simulation side overwrites the whole snapshot with
+// Update at its publish interval; scrapes read it under the same mutex. The
+// count array is preallocated at registration, so publishing never
+// allocates, and the copy is a few microseconds for the ~2000 buckets of the
+// latency histogram — negligible at any reasonable publish interval.
+//
+// Bounds are the inclusive upper edges of the buckets, ascending; the
+// exposition writer renders them as cumulative `le` buckets and skips empty
+// bins, so the on-the-wire size tracks the number of distinct observed
+// values, not the bucket count.
+type Histogram struct {
+	bounds []float64
+
+	mu     sync.Mutex
+	counts []uint64
+	count  uint64
+	sum    float64
+}
+
+// NewHistogram returns a histogram with the given ascending bucket upper
+// bounds. Registry.Histogram is the usual constructor path.
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]uint64, len(bounds)),
+	}
+}
+
+// Update overwrites the published snapshot: counts holds per-bucket
+// (non-cumulative) counts aligned with the histogram's bounds, count the
+// total number of observations and sum their total value. Extra source
+// buckets beyond the registered bounds are ignored; missing ones stay zero.
+// Never allocates; nil-safe.
+func (h *Histogram) Update(counts []uint64, count uint64, sum float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	n := copy(h.counts, counts)
+	for i := n; i < len(h.counts); i++ {
+		h.counts[i] = 0
+	}
+	h.count = count
+	h.sum = sum
+	h.mu.Unlock()
+}
+
+// snapshotInto appends the non-empty buckets as (upperBound, cumulativeCount)
+// pairs to dst and returns it with the total count and sum. Scrape path.
+func (h *Histogram) snapshotInto(dst []histBucket) ([]histBucket, uint64, float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var cum uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		dst = append(dst, histBucket{le: h.bounds[i], cum: cum})
+	}
+	return dst, h.count, h.sum
+}
+
+// histBucket is one cumulative exposition bucket.
+type histBucket struct {
+	le  float64
+	cum uint64
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Progress tracks completion of a long-running job — cycles of one
+// simulation, or points of a sweep — for the /progress endpoint and the CLI
+// progress line. Writers call Add or Set (atomic, allocation-free); readers
+// take a Snapshot. The zero total means "unknown": done still counts, but
+// percent and ETA are omitted.
+type Progress struct {
+	unit  string
+	total atomic.Uint64
+	done  atomic.Uint64
+	start time.Time
+}
+
+// NewProgress returns a tracker for a job of the given size, measured in
+// unit (e.g. "cycles", "points"). The clock starts now.
+func NewProgress(unit string, total uint64) *Progress {
+	p := &Progress{unit: unit, start: time.Now()}
+	p.total.Store(total)
+	return p
+}
+
+// Add advances completion by n. Nil-safe.
+func (p *Progress) Add(n uint64) {
+	if p != nil {
+		p.done.Add(n)
+	}
+}
+
+// Set stores the absolute completion count. Nil-safe.
+func (p *Progress) Set(done uint64) {
+	if p != nil {
+		p.done.Store(done)
+	}
+}
+
+// SetTotal replaces the job size (for totals only known after setup).
+func (p *Progress) SetTotal(total uint64) {
+	if p != nil {
+		p.total.Store(total)
+	}
+}
+
+// ProgressSnapshot is one consistent read of a Progress tracker.
+type ProgressSnapshot struct {
+	// Unit names what Done and Total count ("cycles", "points").
+	Unit string `json:"unit"`
+	// Done and Total are the completed and expected unit counts (Total 0 =
+	// unknown).
+	Done  uint64 `json:"done"`
+	Total uint64 `json:"total"`
+	// Percent is 100·Done/Total (0 when Total is unknown).
+	Percent float64 `json:"percent"`
+	// PerSecond is the mean completion rate since the tracker started.
+	PerSecond float64 `json:"per_second"`
+	// ElapsedSeconds is wall time since the tracker started.
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	// ETASeconds estimates remaining wall time from the mean rate (0 when
+	// unknown: no total, no completions yet, or already done).
+	ETASeconds float64 `json:"eta_seconds"`
+}
+
+// Snapshot reads the tracker. Nil-safe (returns the zero snapshot).
+func (p *Progress) Snapshot() ProgressSnapshot {
+	if p == nil {
+		return ProgressSnapshot{}
+	}
+	s := ProgressSnapshot{
+		Unit:  p.unit,
+		Done:  p.done.Load(),
+		Total: p.total.Load(),
+	}
+	s.ElapsedSeconds = time.Since(p.start).Seconds()
+	if s.ElapsedSeconds > 0 {
+		s.PerSecond = float64(s.Done) / s.ElapsedSeconds
+	}
+	if s.Total > 0 {
+		s.Percent = 100 * float64(s.Done) / float64(s.Total)
+		if s.PerSecond > 0 && s.Done < s.Total {
+			s.ETASeconds = float64(s.Total-s.Done) / s.PerSecond
+		}
+	}
+	return s
+}
+
+// String renders the snapshot as a one-line status, e.g.
+// "37/330 points (11.2%) · 3.1 points/s · eta 1m35s".
+func (s ProgressSnapshot) String() string {
+	unit := s.Unit
+	if unit == "" {
+		unit = "units"
+	}
+	if s.Total == 0 {
+		return fmt.Sprintf("%d %s · %.1f %s/s", s.Done, unit, s.PerSecond, unit)
+	}
+	line := fmt.Sprintf("%d/%d %s (%.1f%%) · %.1f %s/s", s.Done, s.Total, unit, s.Percent, s.PerSecond, unit)
+	if s.ETASeconds > 0 {
+		line += " · eta " + (time.Duration(s.ETASeconds * float64(time.Second))).Round(time.Second).String()
+	}
+	return line
+}

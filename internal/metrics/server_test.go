@@ -1,0 +1,82 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dxbar_cycles_total", "Simulated cycles.").Add(99)
+	p := NewProgress("points", 10)
+	p.Set(4)
+
+	srv, err := StartServer("127.0.0.1:0", r, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr()
+
+	get := func(path string) (string, string) {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ctype := get("/metrics")
+	if !strings.HasPrefix(ctype, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics content type = %q", ctype)
+	}
+	if !strings.Contains(body, "dxbar_cycles_total 99") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+
+	body, _ = get("/healthz")
+	if strings.TrimSpace(body) != "ok" {
+		t.Errorf("/healthz = %q, want ok", body)
+	}
+
+	body, ctype = get("/progress")
+	if !strings.HasPrefix(ctype, "application/json") {
+		t.Errorf("/progress content type = %q", ctype)
+	}
+	var snap ProgressSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/progress JSON: %v\n%s", err, body)
+	}
+	if snap.Done != 4 || snap.Total != 10 || snap.Unit != "points" {
+		t.Errorf("/progress snapshot = %+v", snap)
+	}
+
+	if body, _ = get("/debug/pprof/cmdline"); body == "" {
+		t.Error("/debug/pprof/cmdline returned empty body")
+	}
+}
+
+func TestStartServerBadAddr(t *testing.T) {
+	if _, err := StartServer("127.0.0.1:-1", nil, nil); err == nil {
+		t.Fatal("expected error for invalid listen address")
+	}
+}
+
+func TestServerNilClose(t *testing.T) {
+	var s *Server
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

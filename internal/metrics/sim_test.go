@@ -1,0 +1,148 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSimTelemetryNil(t *testing.T) {
+	var st *SimTelemetry
+	st.OnCycle(SimCounters{Cycles: 1})
+	st.OnPublish(1, SimGauges{}, nil, nil)
+	st.Detach()
+	if st.PublishDue(0) {
+		t.Fatal("nil telemetry must never be due")
+	}
+	if st.Latency() != nil {
+		t.Fatal("nil telemetry must have nil latency histogram")
+	}
+}
+
+func TestSimTelemetryCounterDeltas(t *testing.T) {
+	r := NewRegistry()
+	st := NewSimTelemetry(r, SimTelemetryOptions{})
+	st.OnCycle(SimCounters{Cycles: 1, InjectedFlits: 4, EjectedFlits: 2})
+	st.OnCycle(SimCounters{Cycles: 2, InjectedFlits: 9, EjectedFlits: 7, DroppedFlits: 1})
+	// A second engine over the same registry must aggregate, not overwrite.
+	st2 := NewSimTelemetry(r, SimTelemetryOptions{})
+	st2.OnCycle(SimCounters{Cycles: 10})
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		MetricCycles + " 12",
+		MetricInjectedFlits + " 9",
+		MetricEjectedFlits + " 7",
+		MetricDroppedFlits + " 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSimTelemetryPublishInterval(t *testing.T) {
+	st := NewSimTelemetry(NewRegistry(), SimTelemetryOptions{Interval: 8})
+	if st.PublishDue(0) {
+		t.Fatal("cycle 0 must not be due with interval 8")
+	}
+	if !st.PublishDue(7) {
+		t.Fatal("cycle 7 must be due with interval 8")
+	}
+	st.OnPublish(7, SimGauges{}, nil, nil)
+	if st.PublishDue(8) {
+		t.Fatal("cycle 8 must not be due right after a publish at 7")
+	}
+	if !st.PublishDue(15) {
+		t.Fatal("cycle 15 must be due")
+	}
+}
+
+func TestSimTelemetryGaugesAndDetach(t *testing.T) {
+	r := NewRegistry()
+	st := NewSimTelemetry(r, SimTelemetryOptions{})
+	st.OnPublish(63, SimGauges{InFlightFlits: 5, QueuedFlits: 3, BufferedFlits: 2}, nil, nil)
+
+	inFlight := r.Gauge(MetricInFlight, "")
+	if got := inFlight.Value(); got != 5 {
+		t.Fatalf("in-flight gauge = %d, want 5", got)
+	}
+	// Second engine contributes additively.
+	st2 := NewSimTelemetry(r, SimTelemetryOptions{})
+	st2.OnPublish(63, SimGauges{InFlightFlits: 2}, nil, nil)
+	if got := inFlight.Value(); got != 7 {
+		t.Fatalf("in-flight gauge after second engine = %d, want 7", got)
+	}
+	// Detach removes only this engine's residual contribution.
+	st.Detach()
+	if got := inFlight.Value(); got != 2 {
+		t.Fatalf("in-flight gauge after detach = %d, want 2", got)
+	}
+	st2.Detach()
+	if got := inFlight.Value(); got != 0 {
+		t.Fatalf("in-flight gauge after both detach = %d, want 0", got)
+	}
+}
+
+func TestSimTelemetryShardSeries(t *testing.T) {
+	r := NewRegistry()
+	st := NewSimTelemetry(r, SimTelemetryOptions{Shards: 2})
+	busy := []time.Duration{3 * time.Second, time.Second}
+	wait := []time.Duration{0, 2 * time.Second}
+	st.OnPublish(63, SimGauges{}, busy, wait)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		MetricShardBusy + `{shard="0"} 3`,
+		MetricShardBusy + `{shard="1"} 1`,
+		MetricShardWait + `{shard="1"} 2`,
+		// max/mean = 3 / ((3+1)/2) = 1.5
+		MetricShardImbalance + " 1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+
+	// Cumulative inputs must publish as deltas: doubling busy time adds the
+	// difference, not the new total.
+	busy[0], busy[1] = 6*time.Second, 2*time.Second
+	st.OnPublish(127, SimGauges{}, busy, wait)
+	fc := r.FloatCounter(MetricShardBusy, "", Label{Key: "shard", Value: "0"})
+	if got := fc.Value(); got != 6 {
+		t.Fatalf("shard 0 busy counter = %v, want 6", got)
+	}
+}
+
+func TestSimTelemetryProgress(t *testing.T) {
+	p := NewProgress("cycles", 100)
+	st := NewSimTelemetry(nil, SimTelemetryOptions{Progress: p})
+	st.OnCycle(SimCounters{Cycles: 42})
+	if got := p.Snapshot().Done; got != 42 {
+		t.Fatalf("progress done = %d, want 42", got)
+	}
+}
+
+func TestSimTelemetryLatencyRegistered(t *testing.T) {
+	r := NewRegistry()
+	st := NewSimTelemetry(r, SimTelemetryOptions{LatencyBounds: []float64{1, 2, 4}})
+	if st.Latency() == nil {
+		t.Fatal("latency histogram not registered despite bounds")
+	}
+	st.Latency().Update([]uint64{1, 1, 0}, 2, 3)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), MetricLatency+`_count 2`) {
+		t.Fatalf("latency histogram missing from exposition:\n%s", sb.String())
+	}
+}

@@ -151,6 +151,52 @@ func WriteTimeSeriesCSV(w io.Writer, recs []TimeSeriesRecord) error {
 	return cw.Error()
 }
 
+// ShardProfileRow is one shard of the parallel engine's execution profile.
+type ShardProfileRow struct {
+	Shard int
+	// Nodes is the number of mesh nodes in the shard's tile.
+	Nodes int
+	// BusySeconds and WaitSeconds are the shard's cumulative router-phase
+	// execution and barrier-wait times.
+	BusySeconds float64
+	WaitSeconds float64
+}
+
+// ShardProfileTable formats an execution profile as a Table: per-shard busy
+// and wait times, each shard's busy share of the total, and a summary
+// imbalance line (max/mean busy time) in the title. Render with WriteTable*.
+func ShardProfileTable(title string, rows []ShardProfileRow) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"shard", "nodes", "busy", "barrier wait", "busy share"},
+	}
+	var total, max float64
+	for _, r := range rows {
+		total += r.BusySeconds
+		if r.BusySeconds > max {
+			max = r.BusySeconds
+		}
+	}
+	for _, r := range rows {
+		share := 0.0
+		if total > 0 {
+			share = r.BusySeconds / total
+		}
+		t.Rows = append(t.Rows, []string{
+			strconv.Itoa(r.Shard),
+			strconv.Itoa(r.Nodes),
+			fmt.Sprintf("%.1fms", r.BusySeconds*1000),
+			fmt.Sprintf("%.1fms", r.WaitSeconds*1000),
+			fmt.Sprintf("%.1f%%", share*100),
+		})
+	}
+	if len(rows) > 0 && total > 0 {
+		t.Title += fmt.Sprintf(" (imbalance %.2f = max/mean busy)",
+			max*float64(len(rows))/total)
+	}
+	return t
+}
+
 // LatencyRow is one per-design latency comparison row (a slice of the
 // load/latency space at one operating point).
 type LatencyRow struct {

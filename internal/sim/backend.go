@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"dxbar/internal/energy"
 	"dxbar/internal/flit"
@@ -24,6 +25,13 @@ type backend interface {
 	routerPhase(c uint64)
 	// shardCount reports the number of parallel shards (1 for sequential).
 	shardCount() int
+	// profile returns the cumulative per-shard router-phase and barrier-wait
+	// times (nil for the sequential backend). The returned slices are live —
+	// callers on the coordinating goroutine read them between cycles.
+	profile() (busy, wait []time.Duration)
+	// resetProfile zeroes the profiler accumulators (Engine.Reset — a reused
+	// engine must not leak the previous run's times into the next one).
+	resetProfile()
 }
 
 // ResolveShards maps a Config.Shards request onto an effective shard count
@@ -54,6 +62,9 @@ type seqBackend struct {
 }
 
 func (b seqBackend) shardCount() int { return 1 }
+
+func (b seqBackend) profile() (busy, wait []time.Duration) { return nil, nil }
+func (b seqBackend) resetProfile()                         {}
 
 func (b seqBackend) routerPhase(c uint64) {
 	for i, r := range b.e.routers {
@@ -134,6 +145,18 @@ type shardedBackend struct {
 	shards []*shard
 	wg     sync.WaitGroup
 
+	// Execution profiler. Each worker times its own router phase and writes
+	// only its own slot (busy accumulates, finish is per-cycle scratch); the
+	// coordinator folds finish times into the barrier-wait accumulators after
+	// wg.Wait, whose happens-before edge makes the cross-goroutine reads
+	// safe. The profiler observes the phase without feeding any simulation
+	// state, so it cannot perturb bit-identity, and its cost — two time.Now
+	// calls per shard per cycle — is noise against router phases that run for
+	// tens of microseconds; it is therefore always on.
+	busy   []time.Duration
+	wait   []time.Duration
+	finish []time.Time
+
 	// cycle carries the current cycle to the workers; it is written before
 	// the spawns (a happens-before edge) and read-only during the phase.
 	cycle uint64
@@ -147,7 +170,13 @@ type shardedBackend struct {
 
 func newShardedBackend(e *Engine, n int) *shardedBackend {
 	tiles := e.mesh.Tiles(n)
-	b := &shardedBackend{e: e, shards: make([]*shard, len(tiles))}
+	b := &shardedBackend{
+		e:      e,
+		shards: make([]*shard, len(tiles)),
+		busy:   make([]time.Duration, len(tiles)),
+		wait:   make([]time.Duration, len(tiles)),
+		finish: make([]time.Time, len(tiles)),
+	}
 	for i, t := range tiles {
 		b.shards[i] = &shard{id: i, nodes: t.Nodes}
 	}
@@ -171,14 +200,44 @@ func (b *shardedBackend) routerPhase(c uint64) {
 	}
 	b.runShard(b.shards[0], c)
 	b.wg.Wait()
+	b.settleWaits()
 	b.merge(c)
 }
 
 func (b *shardedBackend) runShard(s *shard, c uint64) {
 	e := b.e
+	start := time.Now()
 	for _, n := range s.nodes {
 		e.routers[n].Step(c)
 		checkConsumed(e.envs[n], n, c)
+	}
+	end := time.Now()
+	b.busy[s.id] += end.Sub(start)
+	b.finish[s.id] = end
+}
+
+// settleWaits charges each shard the time it spent idle at the barrier this
+// cycle: the gap between its own finish and the slowest shard's. The slowest
+// shard's wait is zero by construction — a persistently zero-wait shard is
+// the bottleneck tile.
+func (b *shardedBackend) settleWaits() {
+	last := b.finish[0]
+	for _, t := range b.finish[1:] {
+		if t.After(last) {
+			last = t
+		}
+	}
+	for i, t := range b.finish {
+		b.wait[i] += last.Sub(t)
+	}
+}
+
+func (b *shardedBackend) profile() (busy, wait []time.Duration) { return b.busy, b.wait }
+
+func (b *shardedBackend) resetProfile() {
+	for i := range b.busy {
+		b.busy[i] = 0
+		b.wait[i] = 0
 	}
 }
 
@@ -194,6 +253,7 @@ func (b *shardedBackend) merge(c uint64) {
 		retx += s.retx
 		s.retx = 0
 	}
+	e.retransmits += uint64(retx)
 	// Replay per-env stages in ascending node order. The env scan is O(N),
 	// so skip it when there is nothing to replay (tracing off and no
 	// retransmissions scheduled — the overwhelmingly common cycle).

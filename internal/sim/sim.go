@@ -22,10 +22,12 @@ package sim
 
 import (
 	"fmt"
+	"time"
 
 	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
+	"dxbar/internal/metrics"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
 	"dxbar/internal/traffic"
@@ -77,6 +79,13 @@ type Config struct {
 	// tracing; a nil recorder's methods are no-ops, so the engine and the
 	// routers record unconditionally).
 	Events *events.Recorder
+	// Telemetry, when non-nil, receives the engine's live publication
+	// stream: counter deltas every cycle, gauges / the latency histogram /
+	// the shard execution profile at the telemetry's publish interval. Nil
+	// disables publication entirely (the nil check is the only per-cycle
+	// cost). Publication reads simulation state but never writes it, so
+	// results are bit-identical with telemetry on or off.
+	Telemetry *metrics.SimTelemetry
 	// Shards selects the cycle-engine backend: 0 or 1 runs the sequential
 	// engine, n > 1 partitions the mesh into n column-strip tiles stepped
 	// by parallel worker goroutines with a two-phase barrier per cycle, and
@@ -126,6 +135,12 @@ type Engine struct {
 	bufferDepth int
 	creditDelay int
 
+	// telemetry is the optional live-metrics publication handle (see
+	// Config.Telemetry); retransmits counts scheduled retransmissions across
+	// the whole run, for the dxbar_flits_retransmitted_total counter.
+	telemetry   *metrics.SimTelemetry
+	retransmits uint64
+
 	cycle uint64
 }
 
@@ -154,6 +169,7 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		wheel:       newEventWheel(64),
 		pool:        flit.NewPool(),
 		rec:         cfg.Events,
+		telemetry:   cfg.Telemetry,
 		preCycle:    cfg.PreCycle,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
@@ -256,6 +272,7 @@ func (e *Engine) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 	if delay == 0 {
 		delay = 1
 	}
+	e.retransmits++
 	e.rec.Record(e.cycle, events.Retransmit, f.Src, flit.Invalid, f.PacketID, f.ID, int32(delay))
 	e.wheel.schedule(e.cycle, e.cycle+delay, f)
 }
@@ -349,6 +366,92 @@ func (e *Engine) Step() {
 	}
 
 	e.cycle++
+
+	// Live telemetry. The per-cycle leg is a handful of atomic counter
+	// deltas; the O(nodes) gauge scans, the latency-histogram copy and the
+	// shard execution profile only run at the telemetry's publish interval.
+	// All of it reads state and writes none back, so the simulation is
+	// bit-identical with telemetry on or off, and none of it allocates.
+	if t := e.telemetry; t != nil {
+		t.OnCycle(e.counterSnapshot())
+		if t.PublishDue(c) {
+			e.publishGauges(c)
+		}
+	}
+}
+
+// counterSnapshot gathers the whole-run totals the telemetry publishes as
+// monotonic counters.
+func (e *Engine) counterSnapshot() metrics.SimCounters {
+	return metrics.SimCounters{
+		Cycles:           e.cycle,
+		InjectedFlits:    e.coll.TotalGenerated(),
+		EjectedFlits:     e.coll.TotalEjected(),
+		DroppedFlits:     e.coll.TotalDropped(),
+		RetransmitFlits:  e.retransmits,
+		PacketsInjected:  e.coll.TotalPacketsInjected(),
+		PacketsDelivered: e.coll.TotalPacketsDelivered(),
+	}
+}
+
+// publishGauges runs the interval leg of telemetry publication: network
+// gauges, the shard execution profile and the latency-histogram snapshot.
+func (e *Engine) publishGauges(c uint64) {
+	busy, wait := e.backend.profile()
+	e.telemetry.OnPublish(c, metrics.SimGauges{
+		InFlightFlits: e.pool.Outstanding(),
+		QueuedFlits:   e.QueuedFlits(),
+		BufferedFlits: e.bufferedFlits(),
+	}, busy, wait)
+	if h := e.telemetry.Latency(); h != nil {
+		e.coll.PublishLatency(h)
+	}
+}
+
+// FlushTelemetry forces a final publication of every telemetry series — the
+// run usually ends between publish intervals, which would otherwise leave
+// the gauges, the latency histogram and the shard profile up to one interval
+// stale. No-op without telemetry.
+func (e *Engine) FlushTelemetry() {
+	if e.telemetry == nil {
+		return
+	}
+	e.telemetry.OnCycle(e.counterSnapshot())
+	e.publishGauges(e.cycle)
+}
+
+// ShardProfile is the execution profile of one shard of the parallel cycle
+// engine, accumulated over the run so far.
+type ShardProfile struct {
+	// Shard is the shard index; Nodes the number of mesh nodes in its tile.
+	Shard int
+	Nodes int
+	// RouterPhase is the cumulative wall time the shard spent stepping its
+	// routers; BarrierWait the cumulative time it sat idle at the cycle
+	// barrier waiting for the slowest shard. A shard with near-zero
+	// BarrierWait is the bottleneck tile.
+	RouterPhase time.Duration
+	BarrierWait time.Duration
+}
+
+// ShardProfiles returns the per-shard execution profile of the sharded
+// backend, or nil for a sequential engine. Allocates; call at end of run,
+// not per cycle.
+func (e *Engine) ShardProfiles() []ShardProfile {
+	sb, ok := e.backend.(*shardedBackend)
+	if !ok {
+		return nil
+	}
+	out := make([]ShardProfile, len(sb.shards))
+	for i, s := range sb.shards {
+		out[i] = ShardProfile{
+			Shard:       i,
+			Nodes:       len(s.nodes),
+			RouterPhase: sb.busy[i],
+			BarrierWait: sb.wait[i],
+		}
+	}
+	return out
 }
 
 // bufferedFlits returns the number of downstream buffer slots held by
@@ -416,8 +519,11 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.source = cfg.Source
 	e.sink = cfg.Sink
 	e.rec = cfg.Events
+	e.telemetry = cfg.Telemetry
 	e.preCycle = cfg.PreCycle
 	e.cycle = 0
+	e.retransmits = 0
+	e.backend.resetProfile()
 	e.wheel.reset()
 	e.pool.DropOutstanding()
 	e.wireCollectors()

@@ -22,10 +22,15 @@ type Collector struct {
 	generatedFlits uint64
 	ejectedFlits   uint64
 
-	// totalGenerated/totalEjected count across the whole run (no window);
-	// the time-series sampler derives per-interval flow deltas from them.
-	totalGenerated uint64
-	totalEjected   uint64
+	// totalGenerated/totalEjected/totalDropped and the packet totals count
+	// across the whole run (no window); the time-series sampler derives
+	// per-interval flow deltas from the flit totals, and live telemetry
+	// (internal/metrics) publishes all of them as monotonic counters.
+	totalGenerated        uint64
+	totalEjected          uint64
+	totalDropped          uint64
+	totalPacketsInjected  uint64
+	totalPacketsDelivered uint64
 
 	packets         uint64
 	packetsInjected uint64 // packets injected in-window (PacketInjected)
@@ -96,6 +101,7 @@ func (c *Collector) EjectedFlit(cycle uint64) {
 // is biased downward exactly when the network saturates, because the
 // slowest packets are the ones that have not finished yet.
 func (c *Collector) PacketInjected(cycle uint64) {
+	c.totalPacketsInjected++
 	if c.InWindow(cycle) {
 		c.packetsInjected++
 	}
@@ -105,6 +111,7 @@ func (c *Collector) PacketInjected(cycle uint64) {
 // delivery of the last flit (source queueing included). Only packets
 // injected inside the window contribute.
 func (c *Collector) PacketDone(p flit.Packet) {
+	c.totalPacketsDelivered++
 	if !c.InWindow(p.InjectionCycle) {
 		return
 	}
@@ -140,6 +147,7 @@ func (c *Collector) RoutedEvent(cycle uint64) {
 // DroppedFlit records one flit dropped at the given node (SCARAB, or an
 // undetected-fault casualty that will be recovered by retransmission).
 func (c *Collector) DroppedFlit(cycle uint64, node int) {
+	c.totalDropped++
 	if c.InWindow(cycle) {
 		c.droppedFlits++
 		c.droppedByNode[node]++
@@ -177,6 +185,10 @@ func (c *Collector) AbsorbRouterPhase(s *Collector) {
 	s.bufferedSum = 0
 	s.routedFlits = 0
 	s.fairnessFlips = 0
+	// totalDropped counts out-of-window drops too, so it must be absorbed
+	// even when the windowed droppedFlits below short-circuits.
+	c.totalDropped += s.totalDropped
+	s.totalDropped = 0
 	if s.droppedFlits == 0 {
 		return
 	}

@@ -1,0 +1,45 @@
+package stats
+
+import "dxbar/internal/metrics"
+
+// Live-telemetry bridge: the whole-run totals the engine publishes as
+// monotonic counters every cycle, and the latency-histogram export it
+// publishes at the metrics interval. All of these are plain field reads or a
+// fixed-size copy — nothing here allocates, so the cycle loop keeps its
+// zero-allocation steady state with telemetry enabled.
+
+// TotalGenerated returns flits offered by sources across the whole run.
+func (c *Collector) TotalGenerated() uint64 { return c.totalGenerated }
+
+// TotalEjected returns flits delivered across the whole run.
+func (c *Collector) TotalEjected() uint64 { return c.totalEjected }
+
+// TotalDropped returns flits dropped across the whole run.
+func (c *Collector) TotalDropped() uint64 { return c.totalDropped }
+
+// TotalPacketsInjected returns packets injected across the whole run.
+func (c *Collector) TotalPacketsInjected() uint64 { return c.totalPacketsInjected }
+
+// TotalPacketsDelivered returns packets completed across the whole run.
+func (c *Collector) TotalPacketsDelivered() uint64 { return c.totalPacketsDelivered }
+
+// PublishLatency copies the in-window latency distribution into h
+// (registered with LatencyBucketUppers bounds). The histogram's fixed bucket
+// array maps 1:1 onto the metrics bounds, so this is a straight copy under
+// h's mutex — no allocation, no iteration over packets.
+func (c *Collector) PublishLatency(h *metrics.Histogram) {
+	h.Update(c.latHist.counts[:], c.latHist.total, float64(c.latencySum))
+}
+
+// LatencyBucketUppers returns the inclusive upper bound of every latency
+// histogram bucket, ascending — the bounds a metrics.Histogram must be
+// registered with for PublishLatency to align. Allocates; call once at
+// telemetry setup.
+func LatencyBucketUppers() []float64 {
+	out := make([]float64, histBuckets)
+	for i := range out {
+		_, high := bucketBounds(i)
+		out[i] = float64(high)
+	}
+	return out
+}

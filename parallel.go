@@ -4,7 +4,31 @@ import (
 	"errors"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
+
+// onRunDone holds the batch-progress hook (see OnRunDone).
+var onRunDone atomic.Pointer[func()]
+
+// OnRunDone installs a process-wide hook invoked once after every completed
+// RunMany / RunManySplash job, successful or failed — the sweep-progress
+// source for the /progress endpoint and the CLI progress line (hooks
+// typically close over a metrics.Progress and Add(1)). fn must be safe for
+// concurrent calls from worker goroutines; nil removes the hook.
+func OnRunDone(fn func()) {
+	if fn == nil {
+		onRunDone.Store(nil)
+		return
+	}
+	onRunDone.Store(&fn)
+}
+
+// runDone fires the OnRunDone hook, if any.
+func runDone() {
+	if fn := onRunDone.Load(); fn != nil {
+		(*fn)()
+	}
+}
 
 // RunMany executes a batch of independent simulations on a worker pool and
 // returns results in input order. workers <= 0 uses GOMAXPROCS. Each
@@ -44,6 +68,7 @@ func RunMany(configs []Config, workers int) ([]Result, error) {
 			r := newRunner()
 			for i := range jobs {
 				results[i], errs[i] = r.run(configs[i])
+				runDone()
 			}
 		}()
 	}
@@ -81,6 +106,7 @@ func RunManySplash(configs []SplashConfig, workers int) ([]SplashResult, error) 
 			r := newRunner()
 			for i := range jobs {
 				results[i], errs[i] = r.runSplash(configs[i])
+				runDone()
 			}
 		}()
 	}

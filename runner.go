@@ -2,15 +2,61 @@ package dxbar
 
 import (
 	"fmt"
+	"sync"
 
 	"dxbar/internal/coherence"
 	"dxbar/internal/events"
 	"dxbar/internal/faults"
+	"dxbar/internal/metrics"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
 	"dxbar/internal/traffic"
 )
+
+// latencyBounds caches the latency histogram's bucket bounds — identical for
+// every run, and ~2000 float64s, so sweeps sharing a registry should not
+// rebuild them per point.
+var (
+	latencyBoundsOnce sync.Once
+	latencyBounds     []float64
+)
+
+// newTelemetry builds the per-run telemetry handle for a config, or nil when
+// the config carries neither a registry nor a progress tracker.
+func newTelemetry(cfg Config, mesh *topology.Mesh) *metrics.SimTelemetry {
+	if cfg.Metrics == nil && cfg.Progress == nil {
+		return nil
+	}
+	opts := metrics.SimTelemetryOptions{
+		Shards:   sim.ResolveShards(cfg.Shards, mesh.Width),
+		Progress: cfg.Progress,
+	}
+	if cfg.Metrics != nil {
+		latencyBoundsOnce.Do(func() { latencyBounds = stats.LatencyBucketUppers() })
+		opts.LatencyBounds = latencyBounds
+	}
+	return metrics.NewSimTelemetry(cfg.Metrics, opts)
+}
+
+// shardImbalance is max/mean cumulative router-phase time over a profile.
+func shardImbalance(profs []sim.ShardProfile) float64 {
+	if len(profs) == 0 {
+		return 0
+	}
+	var total, max float64
+	for _, p := range profs {
+		busy := p.RouterPhase.Seconds()
+		total += busy
+		if busy > max {
+			max = busy
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return max * float64(len(profs)) / total
+}
 
 // engineKey identifies the engines a runner may transparently reuse: an
 // engine can only be Reset into a config with the same mesh and the same
@@ -138,6 +184,10 @@ func (r *runner) run(c Config) (Result, error) {
 		}
 		rec = events.NewRecorder(mesh.Nodes(), cfg.EventTrace, kinds...)
 	}
+	tel := newTelemetry(cfg, mesh)
+	if cfg.Progress != nil {
+		cfg.Progress.SetTotal(cfg.WarmupCycles + cfg.MeasureCycles)
+	}
 	net, err := r.network(NetworkOptions{
 		Design:               cfg.Design,
 		Routing:              cfg.Routing,
@@ -151,6 +201,7 @@ func (r *runner) run(c Config) (Result, error) {
 		PortOrderArbitration: cfg.PortOrderArbitration,
 		Events:               rec,
 		Shards:               cfg.Shards,
+		Telemetry:            tel,
 	})
 	if err != nil {
 		return Result{}, err
@@ -160,6 +211,11 @@ func (r *runner) run(c Config) (Result, error) {
 	base := net.Meter.Snapshot()
 	net.Engine.Run(cfg.MeasureCycles)
 	window := net.Meter.Snapshot().Sub(base)
+	// Final telemetry flush, then detach this run's residual gauge
+	// contributions from the shared registry (counters stay — they are
+	// cumulative across runs by design).
+	net.Engine.FlushTelemetry()
+	tel.Detach()
 
 	res := Result{
 		Results:         coll.Results(),
@@ -180,6 +236,10 @@ func (r *runner) run(c Config) (Result, error) {
 		res.EventsRecorded = rec.Total()
 		res.EventsOverwritten = rec.Overwritten()
 		res.RouterEvents = rec.Matrix()
+	}
+	if cfg.ShardProfile {
+		res.ShardProfile = net.Engine.ShardProfiles()
+		res.ShardImbalance = shardImbalance(res.ShardProfile)
 	}
 	if res.Packets > 0 {
 		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)

@@ -1,0 +1,69 @@
+#!/bin/sh
+# Telemetry smoke test: launch a sharded dxbar-sim with the live-telemetry
+# endpoint, scrape /healthz and /metrics while the simulation is running, and
+# assert the core and per-shard series are present. Exercises the same path a
+# dashboard scraping a long sweep would use. Needs curl and the go toolchain.
+set -eu
+
+PORT="${1:-18230}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+SIM_PID=""
+cleanup() {
+	[ -n "$SIM_PID" ] && kill "$SIM_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/dxbar-sim" ./cmd/dxbar-sim
+
+# A run long enough to still be in flight when we scrape; cleanup kills it.
+"$WORK/dxbar-sim" -measure 50000000 -shards 2 -http "127.0.0.1:$PORT" \
+	>/dev/null 2>"$WORK/sim.stderr" &
+SIM_PID=$!
+
+ready=""
+for _ in $(seq 1 60); do
+	if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+		ready=yes
+		break
+	fi
+	if ! kill -0 "$SIM_PID" 2>/dev/null; then
+		echo "telemetry-smoke: dxbar-sim exited before serving" >&2
+		cat "$WORK/sim.stderr" >&2
+		exit 1
+	fi
+	sleep 0.25
+done
+if [ -z "$ready" ]; then
+	echo "telemetry-smoke: /healthz never came up on $BASE" >&2
+	exit 1
+fi
+
+# Let the engine pass its first publish interval so gauges are populated.
+sleep 1
+
+curl -sf "$BASE/healthz" | grep -q '^ok$' || {
+	echo "telemetry-smoke: /healthz did not answer ok" >&2
+	exit 1
+}
+curl -sf "$BASE/progress" | grep -q '"unit"' || {
+	echo "telemetry-smoke: /progress is not serving JSON" >&2
+	exit 1
+}
+
+METRICS="$WORK/metrics.txt"
+curl -sf "$BASE/metrics" >"$METRICS"
+for series in \
+	'^dxbar_cycles_total [1-9]' \
+	'^dxbar_shard_barrier_wait_seconds_total{shard="0"}' \
+	'^dxbar_shard_imbalance_ratio '; do
+	if ! grep -q "$series" "$METRICS"; then
+		echo "telemetry-smoke: /metrics is missing series matching: $series" >&2
+		echo "--- scraped exposition:" >&2
+		cat "$METRICS" >&2
+		exit 1
+	fi
+done
+
+echo "telemetry-smoke: ok ($(grep -c '^dxbar_' "$METRICS") dxbar samples live at $BASE/metrics)"

@@ -1,0 +1,157 @@
+package dxbar
+
+import (
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"dxbar/internal/metrics"
+	"dxbar/internal/sim"
+	"dxbar/internal/stats"
+	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
+)
+
+// steadyTelemeteredNetwork is steadyShardedNetwork with a full live-metrics
+// attachment (counters, gauges, latency histogram, per-shard profile series),
+// for the telemetry allocation and race guards.
+func steadyTelemeteredNetwork(t *testing.T, shards int) (*Network, *metrics.Registry) {
+	t.Helper()
+	mesh := topology.MustMesh(8, 8)
+	pat, err := traffic.New("UR", mesh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bern, err := traffic.NewBernoulli(mesh, pat, 0.3, 1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coll := stats.NewCollector(mesh.Nodes(), 0, 1<<40)
+	coll.EnableTimeSeries(64, 32)
+	reg := metrics.NewRegistry()
+	tel := metrics.NewSimTelemetry(reg, metrics.SimTelemetryOptions{
+		Shards:        sim.ResolveShards(shards, mesh.Width),
+		LatencyBounds: stats.LatencyBucketUppers(),
+		Progress:      metrics.NewProgress("cycles", 0),
+	})
+	net, err := NewNetwork(NetworkOptions{
+		Design:    DesignDXbar,
+		Mesh:      mesh,
+		Source:    &sim.SourceAdapter{B: bern},
+		Stats:     coll,
+		Shards:    shards,
+		Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, reg
+}
+
+// TestTelemetryBitIdentity is the observability contract: attaching a
+// registry and progress tracker must not change a single bit of the Result,
+// on either engine. Telemetry publication reads simulation state; it never
+// feeds back into it.
+func TestTelemetryBitIdentity(t *testing.T) {
+	base := Config{
+		Design: DesignDXbar, Routing: "DOR", Pattern: "UR", Load: 0.3,
+		WarmupCycles: 300, MeasureCycles: 1200, Seed: 42,
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+	}{
+		{"sequential", 0},
+		{"sharded", 2},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			plainCfg := base
+			plainCfg.Shards = tc.shards
+			plain, err := Run(plainCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			telCfg := plainCfg
+			telCfg.Metrics = metrics.NewRegistry()
+			telCfg.Progress = metrics.NewProgress("cycles", 0)
+			tel, err := Run(telCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(plain, tel) {
+				t.Errorf("telemetered result differs from plain run\nplain: %+v\ntel:   %+v", plain, tel)
+			}
+		})
+	}
+}
+
+// TestStepZeroAllocTelemetry extends the zero-allocation guard to a fully
+// telemetered engine: the per-cycle counter publication and the periodic
+// gauge/histogram publish must both reuse capacity once warm.
+func TestStepZeroAllocTelemetry(t *testing.T) {
+	net, _ := steadyTelemeteredNetwork(t, 0)
+	net.Engine.Run(3000)
+	avg := testing.AllocsPerRun(5, func() { net.Engine.Run(200) })
+	if avg != 0 {
+		t.Errorf("%.2f allocations per 200-cycle telemetered run in steady state, want 0", avg)
+	}
+}
+
+// TestShardZeroAllocTelemetry is the same guard on the sharded engine, where
+// publication additionally reads the per-shard execution profile.
+func TestShardZeroAllocTelemetry(t *testing.T) {
+	net, _ := steadyTelemeteredNetwork(t, 4)
+	net.Engine.Run(3000)
+	avg := testing.AllocsPerRun(5, func() { net.Engine.Run(200) })
+	if avg != 0 {
+		t.Errorf("%.2f allocations per 200-cycle telemetered sharded run in steady state, want 0", avg)
+	}
+}
+
+// TestShardMetricsScrapeRace scrapes the registry continuously while the
+// sharded engine runs on another goroutine — the race-detector guard for the
+// /metrics read path (atomics and the histogram mutex only, never engine
+// state). The name keeps it inside the Makefile's test-race matcher.
+func TestShardMetricsScrapeRace(t *testing.T) {
+	net, reg := steadyTelemeteredNetwork(t, 4)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		net.Engine.Run(4000)
+	}()
+	scrapes := 0
+	for running := true; running; {
+		select {
+		case <-done:
+			running = false
+		default:
+			time.Sleep(time.Millisecond)
+		}
+		var b strings.Builder
+		if err := reg.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := io.WriteString(io.Discard, b.String()); err != nil {
+			t.Fatal(err)
+		}
+		scrapes++
+	}
+	if scrapes < 2 {
+		t.Errorf("only %d scrapes completed, want at least one mid-run", scrapes)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, series := range []string{
+		metrics.MetricCycles,
+		metrics.MetricShardWait,
+		metrics.MetricShardImbalance,
+	} {
+		if !strings.Contains(b.String(), series) {
+			t.Errorf("final exposition is missing %s", series)
+		}
+	}
+}
