@@ -19,10 +19,12 @@ test: test-race examples-smoke
 	$(GO) test ./...
 
 # Race-detector pass over the packages plus the concurrent paths of the root
-# package: the RunMany batch runner and the sharded cycle engine.
+# package: the RunMany batch runner, the sharded cycle engine and the
+# fast-vs-reference arbitration identity suite (which drives every design's
+# bit-parallel core against its branchy oracle, sharded runs included).
 test-race:
 	$(GO) test -race ./internal/...
-	$(GO) test -race -run 'TestRunMany|TestShard' .
+	$(GO) test -race -run 'TestRunMany|TestShard|TestArbitrationBitIdentity' .
 
 race:
 	$(GO) test -race ./...
@@ -44,8 +46,12 @@ bench:
 
 # One quick pass of the per-design cycle-engine benchmarks; emits
 # bench/BENCH_<date>.json and compares against the newest earlier baseline.
+# The bitarb micro-benchmarks (bit-parallel arbitration kernels vs their
+# branchy references) run alongside and land in bench/BITARB_bench.txt so CI
+# can archive kernel-level numbers next to the whole-engine ones.
 bench-smoke:
-	$(GO) run ./cmd/dxbar-bench -quick -out bench
+	$(GO) run ./cmd/dxbar-bench -quick -out bench -suffix _ci
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/bitarb | tee bench/BITARB_bench.txt
 
 # Regenerate every figure as CSV + SVG + Markdown under results/.
 figures:

@@ -1,0 +1,157 @@
+package dxbar
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// runArbPair executes the same config on the bit-parallel fast paths and on
+// the branchy reference paths and fails the test unless the full Results —
+// throughput, latency, energy counts, event trace, per-router matrices,
+// time series — are bit-identical. This is the tentpole's correctness
+// contract: the bitmask arbitration and SoA switching cores are drop-in
+// replacements for the original branchy code, grant for grant.
+func runArbPair(t *testing.T, base Config) {
+	t.Helper()
+	ref := base
+	ref.ReferenceArbitration = true
+	want, err := Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := base
+	fast.ReferenceArbitration = false
+	got, err := Run(fast)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("fast arbitration differs from reference\nref:  %+v\nfast: %+v", want, got)
+	}
+}
+
+// TestArbitrationBitIdentityAllDesigns sweeps every design and several seeds
+// with event tracing on, so the comparison covers per-flit event ordering,
+// not just aggregate counters. Loads sit near each design's interesting
+// region (SCARAB past saturation exercises drop/retransmit arbitration).
+func TestArbitrationBitIdentityAllDesigns(t *testing.T) {
+	for _, d := range AllDesigns {
+		for _, seed := range []int64{3, 7, 42} {
+			base := Config{
+				Design: d, Width: 8, Height: 8, Pattern: "UR", Load: 0.3,
+				WarmupCycles: 300, MeasureCycles: 1200, Seed: seed,
+				EventTrace: 512,
+			}
+			t.Run(fmt.Sprintf("%s/seed%d", d, seed), func(t *testing.T) {
+				runArbPair(t, base)
+			})
+		}
+	}
+}
+
+// TestArbitrationBitIdentityPatterns crosses the fast paths with adversarial
+// traffic patterns: transpose-style permutations produce sustained
+// contention on specific ports, butterfly and neighbour patterns vary the hop-distance mix.
+func TestArbitrationBitIdentityPatterns(t *testing.T) {
+	for _, d := range []Design{DesignDXbar, DesignUnified, DesignFlitBless, DesignAFC} {
+		for _, pat := range []string{"MT", "BF", "NB"} {
+			base := Config{
+				Design: d, Width: 8, Height: 8, Pattern: pat, Load: 0.25,
+				WarmupCycles: 200, MeasureCycles: 1000, Seed: 11,
+			}
+			t.Run(fmt.Sprintf("%s/%s", d, pat), func(t *testing.T) {
+				runArbPair(t, base)
+			})
+		}
+	}
+}
+
+// TestArbitrationBitIdentityFaultSweep covers the fault-injection
+// configurations on the designs that accept them: broken crossbars and
+// single crosspoints reroute flits through the secondary fabric, exercising
+// the masked-request construction under port sets that change mid-run.
+func TestArbitrationBitIdentityFaultSweep(t *testing.T) {
+	for _, d := range []Design{DesignDXbar, DesignUnified} {
+		for _, gran := range []string{"crossbar", "crosspoint"} {
+			for _, frac := range []float64{0.5, 1.0} {
+				base := Config{
+					Design: d, Width: 8, Height: 8, Pattern: "UR", Load: 0.25,
+					WarmupCycles: 300, MeasureCycles: 1000, Seed: 11,
+					FaultFraction: frac, FaultGranularity: gran,
+					TrackUtilization: true, SampleInterval: 128,
+					EventTrace: 256,
+				}
+				t.Run(fmt.Sprintf("%s/%s/%.2f", d, gran, frac), func(t *testing.T) {
+					runArbPair(t, base)
+				})
+			}
+		}
+	}
+}
+
+// TestArbitrationBitIdentitySharded crosses the two orthogonal determinism
+// contracts: the fast paths on the sharded engine must match the reference
+// paths on the sequential engine.
+func TestArbitrationBitIdentitySharded(t *testing.T) {
+	for _, d := range AllDesigns {
+		base := Config{
+			Design: d, Width: 8, Height: 8, Pattern: "UR", Load: 0.3,
+			WarmupCycles: 200, MeasureCycles: 800, Seed: 7,
+		}
+		t.Run(string(d), func(t *testing.T) {
+			ref := base
+			ref.ReferenceArbitration = true
+			ref.Shards = 1
+			want, err := Run(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fast := base
+			fast.ReferenceArbitration = false
+			fast.Shards = 4
+			got, err := Run(fast)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s: sharded fast run differs from sequential reference", d)
+			}
+		})
+	}
+}
+
+// TestArbitrationBitIdentityVariants pins the DXbar-specific configuration
+// axes: west-first routing (a different productive-port set per hop), static
+// port-order arbitration (the age-free ablation), a non-default fairness
+// threshold (flips the unified fabric's priority more often) and a deeper
+// secondary buffer.
+func TestArbitrationBitIdentityVariants(t *testing.T) {
+	variants := map[string]Config{
+		"wf-routing": {
+			Design: DesignDXbar, Routing: "WF", Width: 8, Height: 8,
+			Pattern: "UR", Load: 0.3, WarmupCycles: 200, MeasureCycles: 1000, Seed: 5,
+		},
+		"port-order": {
+			Design: DesignDXbar, Width: 8, Height: 8, Pattern: "UR", Load: 0.3,
+			WarmupCycles: 200, MeasureCycles: 1000, Seed: 5, PortOrderArbitration: true,
+		},
+		"fairness-1": {
+			Design: DesignUnified, Width: 8, Height: 8, Pattern: "MT", Load: 0.3,
+			WarmupCycles: 200, MeasureCycles: 1000, Seed: 5, FairnessThreshold: 1,
+		},
+		"deep-buffers": {
+			Design: DesignDXbar, Width: 8, Height: 8, Pattern: "UR", Load: 0.35,
+			WarmupCycles: 200, MeasureCycles: 1000, Seed: 5, BufferDepth: 8,
+		},
+		"multi-flit": {
+			Design: DesignSCARAB, Width: 8, Height: 8, Pattern: "UR", Load: 0.25,
+			WarmupCycles: 200, MeasureCycles: 1000, Seed: 5, FlitsPerPacket: 4,
+		},
+	}
+	for name, cfg := range variants {
+		t.Run(name, func(t *testing.T) {
+			runArbPair(t, cfg)
+		})
+	}
+}

@@ -125,6 +125,12 @@ type Config struct {
 	// PortOrderArbitration replaces DXbar's age-based arbitration with
 	// static port order (arbitration-policy ablation; DXbar only).
 	PortOrderArbitration bool
+	// ReferenceArbitration runs every router on its branchy reference
+	// arbitration/switching path instead of the bit-parallel one. Results are
+	// bit-identical either way (the equivalence suite proves it); the flag
+	// exists so those tests — and any future debugging of the fast path —
+	// can pin the oracle.
+	ReferenceArbitration bool
 	// EventTrace enables the flight recorder with a ring of that many
 	// events (see internal/events). 0 disables tracing; disabled runs are
 	// bit-identical to traced ones. The recorded tail is returned in
@@ -286,7 +292,11 @@ func meterFor(d Design) *energy.Meter {
 // factoryFor builds the per-node router factory, plus an optional per-cycle
 // hook a design needs run before the router phase (AFC's shared mode
 // controller; nil for the other designs).
-func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrder bool, plan *faults.Plan, nodes int) (sim.RouterFactory, func(uint64), error) {
+//
+// The algo handed in is already a *routing.Table (prepare wraps it once per
+// network), so every router's in-constructor NewTable wrap is a no-op and all
+// routers of the network share the same precomputed tables.
+func factoryFor(d Design, algo routing.Algorithm, mesh *topology.Mesh, threshold, depth int, portOrder, reference bool, plan *faults.Plan, nodes int) (sim.RouterFactory, func(uint64), error) {
 	detectorFor := func(node int) *faults.Detector {
 		f, ok := plan.ForRouter(node)
 		return faults.NewDetector(f, plan.DetectionDelay, ok)
@@ -296,20 +306,47 @@ func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrde
 		return func(env *sim.Env) sim.Router {
 			r := core.NewDXbarDepth(env, algo, threshold, depth, detectorFor(env.Node))
 			r.SetPortOrderArbitration(portOrder)
+			r.SetReferenceArbitration(reference)
 			return r
 		}, nil, nil
 	case DesignUnified:
 		return func(env *sim.Env) sim.Router {
-			return core.NewUnified(env, algo, threshold, detectorFor(env.Node))
+			r := core.NewUnified(env, algo, threshold, detectorFor(env.Node))
+			r.SetReferenceArbitration(reference)
+			return r
 		}, nil, nil
 	case DesignFlitBless:
-		return func(env *sim.Env) sim.Router { return router.NewBless(env, algo) }, nil, nil
+		return func(env *sim.Env) sim.Router {
+			r := router.NewBless(env, algo)
+			r.SetReferenceArbitration(reference)
+			return r
+		}, nil, nil
 	case DesignSCARAB:
-		return func(env *sim.Env) sim.Router { return router.NewScarab(env) }, nil, nil
+		// SCARAB's minimal-adaptive routing has no Config knob, so its table
+		// is built here — once, shared by every router of the network. A nil
+		// mesh (invalid options, rejected by sim.New before the factory runs)
+		// just skips the precomputation.
+		var minTable *routing.Table
+		if mesh != nil {
+			minTable = routing.NewTable(routing.MinimalAdaptive{}, mesh, nodes)
+		}
+		return func(env *sim.Env) sim.Router {
+			r := router.NewScarabTable(env, minTable)
+			r.SetReferenceArbitration(reference)
+			return r
+		}, nil, nil
 	case DesignBuffered4:
-		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, false) }, nil, nil
+		return func(env *sim.Env) sim.Router {
+			r := router.NewBuffered(env, algo, false)
+			r.SetReferenceArbitration(reference)
+			return r
+		}, nil, nil
 	case DesignBuffered8:
-		return func(env *sim.Env) sim.Router { return router.NewBuffered(env, algo, true) }, nil, nil
+		return func(env *sim.Env) sim.Router {
+			r := router.NewBuffered(env, algo, true)
+			r.SetReferenceArbitration(reference)
+			return r
+		}, nil, nil
 	case DesignAFC:
 		// One mode controller is shared by every router of the network. Its
 		// policy ticks once per cycle *before* the router phase, so that the
@@ -320,7 +357,9 @@ func factoryFor(d Design, algo routing.Algorithm, threshold, depth int, portOrde
 		// controller — so sequential results are unchanged.
 		ctrl := router.NewAFCController(nodes)
 		return func(env *sim.Env) sim.Router {
-			return router.NewAFC(env, algo, ctrl)
+			r := router.NewAFC(env, algo, ctrl)
+			r.SetReferenceArbitration(reference)
+			return r
 		}, ctrl.Tick, nil
 	}
 	return nil, nil, fmt.Errorf("dxbar: unknown design %q", d)
@@ -361,6 +400,9 @@ type NetworkOptions struct {
 	CreditDelay int
 	// PortOrderArbitration switches DXbar to static port-order arbitration.
 	PortOrderArbitration bool
+	// ReferenceArbitration selects the branchy reference arbitration paths
+	// (see Config.ReferenceArbitration).
+	ReferenceArbitration bool
 	// Events attaches a flight recorder; nil (the default) disables runtime
 	// event tracing at zero cost.
 	Events *events.Recorder
@@ -392,6 +434,12 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 	if err != nil {
 		return sim.Config{}, nil, nil, err
 	}
+	if o.Mesh != nil {
+		// Precompute the routing algorithm over the whole mesh once; every
+		// router of the network shares the table (constructors wrap the algo
+		// in NewTable, which is a no-op on an existing table).
+		algo = routing.NewTable(algo, o.Mesh, o.Mesh.Nodes())
+	}
 	depth, err := bufferDepthFor(o.Design)
 	if err != nil {
 		return sim.Config{}, nil, nil, err
@@ -407,7 +455,7 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 	if o.Mesh != nil {
 		nodes = o.Mesh.Nodes()
 	}
-	factory, designPreCycle, err := factoryFor(o.Design, algo, o.FairnessThreshold, depth, o.PortOrderArbitration, o.FaultPlan, nodes)
+	factory, designPreCycle, err := factoryFor(o.Design, algo, o.Mesh, o.FairnessThreshold, depth, o.PortOrderArbitration, o.ReferenceArbitration, o.FaultPlan, nodes)
 	if err != nil {
 		return sim.Config{}, nil, nil, err
 	}

@@ -50,6 +50,9 @@ type DualInput struct {
 	swaps            uint64
 	outWinner        []int       // per-Allocate scratch
 	grants           []DualGrant // per-Allocate scratch, aliased by the result
+	// prefOut/otherOut are AllocateFast's per-output requester-port masks
+	// (bit p of prefOut[o] = port p's preferred-class sub-input wants o).
+	prefOut, otherOut []uint64
 }
 
 // NewDualInput returns an allocator for numPorts input ports and numOut
@@ -63,6 +66,8 @@ func NewDualInput(numPorts, numOut int) *DualInput {
 		numOut:    numOut,
 		outWinner: make([]int, numOut),
 		grants:    make([]DualGrant, numPorts),
+		prefOut:   make([]uint64, numOut),
+		otherOut:  make([]uint64, numOut),
 	}
 }
 
@@ -117,7 +122,68 @@ func (d *DualInput) Allocate(reqs []DualRequest, preferBuffered bool) []DualGran
 		outWinner[o] = bestPort
 	}
 
-	// Stage 2: per-port serial V:1 arbitration.
+	return d.stage2(reqs, pref, other)
+}
+
+// AllocateFast is Allocate with the stage-1 per-output arbitration done
+// bit-parallel: the request matrix is transposed into per-output
+// requester-port masks (touching only set bits), the class priority falls
+// out of which mask is non-empty, and the age minimum scans only actual
+// requesters. Stage 2 is shared code, so AllocateFast is grant-for-grant
+// identical to Allocate — which remains the reference oracle the
+// equivalence tests compare against.
+func (d *DualInput) AllocateFast(reqs []DualRequest, preferBuffered bool) []DualGrant {
+	if len(reqs) != d.numPorts {
+		panic("arbiter: request slice has wrong port count")
+	}
+	pref, other := SubBufferless, SubBuffered
+	if preferBuffered {
+		pref, other = SubBuffered, SubBufferless
+	}
+
+	prefOut, otherOut := d.prefOut, d.otherOut
+	for o := 0; o < d.numOut; o++ {
+		prefOut[o], otherOut[o] = 0, 0
+	}
+	for p := range reqs {
+		r := &reqs[p]
+		pb := uint64(1) << uint(p)
+		for m := r.Want[pref]; m != 0; m &= m - 1 {
+			prefOut[bits.TrailingZeros64(m)] |= pb
+		}
+		for m := r.Want[other]; m != 0; m &= m - 1 {
+			otherOut[bits.TrailingZeros64(m)] |= pb
+		}
+	}
+	outWinner := d.outWinner
+	for o := 0; o < d.numOut; o++ {
+		m, sub := prefOut[o], pref
+		if m == 0 {
+			m, sub = otherOut[o], other
+		}
+		if m == 0 {
+			outWinner[o] = -1
+			continue
+		}
+		// Minimum age over the set bits; ties break on the lower port index,
+		// which the ascending bit scan with a strict comparison preserves.
+		best := bits.TrailingZeros64(m)
+		bestAge := reqs[best].Age[sub]
+		for mm := m & (m - 1); mm != 0; mm &= mm - 1 {
+			p := bits.TrailingZeros64(mm)
+			if a := reqs[p].Age[sub]; a < bestAge {
+				best, bestAge = p, a
+			}
+		}
+		outWinner[o] = best
+	}
+	return d.stage2(reqs, pref, other)
+}
+
+// stage2 runs the per-port serial V:1 arbitration over d.outWinner — the
+// shared back half of Allocate and AllocateFast.
+func (d *DualInput) stage2(reqs []DualRequest, pref, other int) []DualGrant {
+	outWinner := d.outWinner
 	grants := d.grants
 	for p := range grants {
 		grants[p] = DualGrant{-1, -1}

@@ -191,6 +191,41 @@ func TestDualInputWorkConservingSingleRequester(t *testing.T) {
 	}
 }
 
+// TestDualInputFlipTiebreak pins the exact interaction the fairness flip is
+// for: same output, buffered side older on one port, bufferless younger on
+// another, plus a same-class age tie — the flip must change the winner and
+// the tie must still break on the lower port index in both paths.
+func TestDualInputFlipTiebreak(t *testing.T) {
+	build := func() []DualRequest {
+		reqs := make([]DualRequest, 5)
+		// Ports 1 and 3: same class (bufferless), same age — index tie.
+		reqs[1].Want[SubBufferless] = 1 << 2
+		reqs[1].Age[SubBufferless] = 9
+		reqs[3].Want[SubBufferless] = 1 << 2
+		reqs[3].Age[SubBufferless] = 9
+		// Port 0 buffered (older) vs the pair above on the same output.
+		reqs[0].Want[SubBuffered] = 1 << 2
+		reqs[0].Age[SubBuffered] = 1
+		return reqs
+	}
+	for _, flip := range []bool{false, true} {
+		ref := NewDualInput(5, 5).Allocate(build(), flip)
+		fast := NewDualInput(5, 5).AllocateFast(build(), flip)
+		for p := 0; p < 5; p++ {
+			if ref[p] != fast[p] {
+				t.Fatalf("flip=%v port %d: reference %v, fast %v", flip, p, ref[p], fast[p])
+			}
+		}
+		if flip {
+			if ref[0][SubBuffered] != 2 {
+				t.Fatalf("flip must hand output 2 to the buffered side, grants %v", ref)
+			}
+		} else if ref[1][SubBufferless] != 2 {
+			t.Fatalf("without flip the older-indexed bufferless port must win, grants %v", ref)
+		}
+	}
+}
+
 func TestDualInputPanicsOnBadInput(t *testing.T) {
 	defer func() {
 		if recover() == nil {

@@ -77,6 +77,48 @@ func (s *Separable) Allocate(req [][]bool) []int {
 	return grant
 }
 
+// AllocateMask is Allocate over a bitmask request matrix (req[i] has bit o
+// set when input i wants output o). It runs the exact same branchy
+// round-robin arbiter network as Allocate — this is the reference-oracle
+// entry point the bit-parallel allocator in internal/bitarb is proven
+// grant-for-grant identical to.
+func (s *Separable) AllocateMask(req []uint64) []int {
+	if len(req) != s.numIn {
+		panic("arbiter: request matrix has wrong input count")
+	}
+	// Stage 1: output arbitration.
+	outWinner := s.outWinner
+	for o := 0; o < s.numOut; o++ {
+		bit := uint64(1) << uint(o)
+		var mask uint64
+		for i := 0; i < s.numIn; i++ {
+			if req[i]&bit != 0 {
+				mask |= 1 << uint(i)
+			}
+		}
+		outWinner[o] = s.outArb[o].Peek(mask)
+	}
+	// Stage 2: input arbitration among granted outputs.
+	grant := s.grant
+	for i := range grant {
+		grant[i] = -1
+	}
+	for i := 0; i < s.numIn; i++ {
+		var mask uint64
+		for o := 0; o < s.numOut; o++ {
+			if outWinner[o] == i {
+				mask |= 1 << uint(o)
+			}
+		}
+		if o := s.inArb[i].Peek(mask); o != -1 {
+			grant[i] = o
+			s.inArb[i].Commit(o)
+			s.outArb[o].Commit(i)
+		}
+	}
+	return grant
+}
+
 // NumIn returns the allocator's input radix.
 func (s *Separable) NumIn() int { return s.numIn }
 

@@ -1,0 +1,107 @@
+package bitarb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"dxbar/internal/arbiter"
+)
+
+// Grant-latency micro-benchmarks: the O(1) doubly-shifted-mask arbiter
+// against the branchy cyclic-scan reference, at router radix (5), small
+// switch radix (8), concentrated radix (16) and full-word radix (64).
+// `make bench-smoke` runs these alongside the whole-network benchmarks.
+
+var benchWidths = []int{5, 8, 16, 64}
+
+func benchMasks(n int, count int) []uint64 {
+	rng := rand.New(rand.NewSource(int64(n)))
+	masks := make([]uint64, count)
+	for i := range masks {
+		masks[i] = rng.Uint64() & LowMask(n)
+	}
+	return masks
+}
+
+func BenchmarkRoundRobinBitarb(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := NewRoundRobin(n)
+			masks := benchMasks(n, 1024)
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += r.Grant(masks[i&1023])
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkRoundRobinBranchy(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r := arbiter.NewRoundRobin(n)
+			masks := benchMasks(n, 1024)
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink += r.Grant(masks[i&1023])
+			}
+			_ = sink
+		})
+	}
+}
+
+func benchReqMatrices(n, count int) [][]uint64 {
+	rng := rand.New(rand.NewSource(int64(n) * 31))
+	ms := make([][]uint64, count)
+	for i := range ms {
+		m := make([]uint64, n)
+		for j := range m {
+			m[j] = rng.Uint64() & LowMask(n)
+		}
+		ms[i] = m
+	}
+	return ms
+}
+
+func BenchmarkSeparableBitarb(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := NewSeparable(n, n)
+			reqs := benchReqMatrices(n, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Allocate(reqs[i&255])
+			}
+		})
+	}
+}
+
+func BenchmarkSeparableBranchy(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			s := newRefSeparable(n, n)
+			reqs := benchReqMatrices(n, 256)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.allocate(reqs[i&255])
+			}
+		})
+	}
+}
+
+func BenchmarkWavefront(b *testing.B) {
+	for _, n := range benchWidths {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			reqs := benchReqMatrices(n, 256)
+			grant := make([]int, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				Wavefront(reqs[i&255], n, i%n, grant)
+			}
+		})
+	}
+}

@@ -1,0 +1,348 @@
+// Package bitarb is the bit-parallel arbitration core: request vectors are
+// uint64 words, a round-robin grant is one find-first-set on a doubly
+// shifted (rotated-priority) mask, and a whole separable switch allocation
+// is a handful of word operations over contiguous state — no per-requester
+// branching, no pointer chasing.
+//
+// The scheme is the software rendition of the `nvector`/round-robin-arbiter
+// request vectors of flat-crossbar hardware allocators: every output port
+// owns a request word whose bit i means "input i wants me"; the rotating
+// priority pointer splits the word into a high part (requesters at or past
+// the pointer) and a low part (wrapped requesters), and the grant is the
+// trailing-zero count of whichever part is non-empty. That is exactly the
+// cyclic scan the branchy reference arbiters in internal/arbiter perform,
+// so grants are bit-identical — the reference implementations remain the
+// oracle the equivalence tests run against.
+package bitarb
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// LowMask returns the mask with the n low bits set (n in [0, 64]).
+func LowMask(n int) uint64 {
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<uint(n) - 1
+}
+
+// GrantRot picks the lowest set bit of mask at or above the rotation
+// pointer ptr, wrapping to the lowest set bit overall when the high part is
+// empty — the rotated-priority round-robin grant. mask must already be
+// confined to the arbiter width; it returns -1 when mask is 0.
+func GrantRot(mask uint64, ptr int) int {
+	if mask == 0 {
+		return -1
+	}
+	// Doubly-shifted priority split: bits >= ptr first, wrapped bits after.
+	if hi := mask >> uint(ptr) << uint(ptr); hi != 0 {
+		return bits.TrailingZeros64(hi)
+	}
+	return bits.TrailingZeros64(mask)
+}
+
+// RoundRobin is an n-requester rotating-priority arbiter with O(1) grants.
+// It is grant-for-grant identical to the branchy arbiter.RoundRobin: the
+// requester at the pointer has highest priority, and after a grant the
+// pointer moves one past the winner.
+type RoundRobin struct {
+	n     int
+	ptr   int
+	width uint64 // LowMask(n)
+	// grants/wraps are popcount-style fairness accounting: total grants
+	// issued and how many were wrapped (won from below the pointer).
+	grants, wraps uint64
+}
+
+// NewRoundRobin returns an arbiter over n requesters. n must be in (0, 64].
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 || n > 64 {
+		panic(fmt.Sprintf("bitarb: invalid round-robin width %d", n))
+	}
+	return &RoundRobin{n: n, width: LowMask(n)}
+}
+
+// Grant picks the winning requester from the request bitmask and advances
+// the rotation pointer one past the winner. It returns -1 if no bit is set.
+func (r *RoundRobin) Grant(mask uint64) int {
+	i := GrantRot(mask&r.width, r.ptr)
+	if i >= 0 {
+		r.grants++
+		if i < r.ptr {
+			r.wraps++
+		}
+		r.ptr = i + 1
+		if r.ptr == r.n {
+			r.ptr = 0
+		}
+	}
+	return i
+}
+
+// Peek is Grant without the pointer update.
+func (r *RoundRobin) Peek(mask uint64) int {
+	return GrantRot(mask&r.width, r.ptr)
+}
+
+// Commit moves the pointer past the given winner.
+func (r *RoundRobin) Commit(winner int) {
+	if winner >= 0 && winner < r.n {
+		r.grants++
+		if winner < r.ptr {
+			r.wraps++
+		}
+		r.ptr = winner + 1
+		if r.ptr == r.n {
+			r.ptr = 0
+		}
+	}
+}
+
+// Grants returns the number of grants issued (fairness accounting).
+func (r *RoundRobin) Grants() uint64 { return r.grants }
+
+// Wraps returns how many grants wrapped past the rotation pointer — a
+// starvation canary: with persistent all-contending load, wraps/grants
+// converges to (n-1)/n for a fair arbiter.
+func (r *RoundRobin) Wraps() uint64 { return r.wraps }
+
+// ReqVec is a request vector over an arbitrary number of requesters, packed
+// into uint64 words. It is the multi-word generalization of the single-word
+// masks the 5-port routers use; wide fabrics (64+ requesters) index it by
+// word.
+type ReqVec struct {
+	words []uint64
+	n     int
+}
+
+// NewReqVec returns a zeroed vector over n requesters.
+func NewReqVec(n int) *ReqVec {
+	if n <= 0 {
+		panic(fmt.Sprintf("bitarb: invalid request vector width %d", n))
+	}
+	return &ReqVec{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the requester count.
+func (v *ReqVec) Len() int { return v.n }
+
+// Set marks requester i as requesting.
+func (v *ReqVec) Set(i int) { v.words[i>>6] |= 1 << uint(i&63) }
+
+// Clear unmarks requester i.
+func (v *ReqVec) Clear(i int) { v.words[i>>6] &^= 1 << uint(i&63) }
+
+// Test reports whether requester i is requesting.
+func (v *ReqVec) Test(i int) bool { return v.words[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Reset clears every request.
+func (v *ReqVec) Reset() {
+	for i := range v.words {
+		v.words[i] = 0
+	}
+}
+
+// Any reports whether any requester is set.
+func (v *ReqVec) Any() bool {
+	for _, w := range v.words {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of set requesters (population count).
+func (v *ReqVec) Count() int {
+	n := 0
+	for _, w := range v.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Words exposes the packed words (word w covers requesters [64w, 64w+63]).
+func (v *ReqVec) Words() []uint64 { return v.words }
+
+// GrantRot picks the lowest set requester at or above ptr, wrapping to the
+// lowest set requester overall — the multi-word rotated-priority grant.
+// It returns -1 when the vector is empty.
+func (v *ReqVec) GrantRot(ptr int) int {
+	nw := len(v.words)
+	pw, pb := ptr>>6, uint(ptr&63)
+	// High part: the pointer word masked from the pointer bit up, then the
+	// words above it.
+	if hi := v.words[pw] >> pb << pb; hi != 0 {
+		return pw<<6 + bits.TrailingZeros64(hi)
+	}
+	for w := pw + 1; w < nw; w++ {
+		if v.words[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(v.words[w])
+		}
+	}
+	// Wrapped part: words below the pointer, then the pointer word's low bits.
+	for w := 0; w < pw; w++ {
+		if v.words[w] != 0 {
+			return w<<6 + bits.TrailingZeros64(v.words[w])
+		}
+	}
+	if lo := v.words[pw] & (uint64(1)<<pb - 1); lo != 0 {
+		return pw<<6 + bits.TrailingZeros64(lo)
+	}
+	return -1
+}
+
+// Separable is the bit-parallel output-first separable switch allocator:
+// stage 1 grants each output to one requesting input (per-output rotated-
+// priority round robin over the transposed request matrix), stage 2 grants
+// each input one of the outputs it won (per-input round robin), and only
+// the pointers of matched pairs advance. It is grant-for-grant identical to
+// the branchy arbiter.Separable, which the equivalence tests treat as the
+// oracle.
+//
+// All state is contiguous: two pointer slices and two scratch word slices,
+// no per-arbiter objects.
+type Separable struct {
+	numIn, numOut int
+	inWidth       uint64
+	outPtr        []int32 // per output, rotation pointer over inputs
+	inPtr         []int32 // per input, rotation pointer over outputs
+	outReq        []uint64
+	inWon         []uint64
+	grant         []int
+	// grants/wraps: fairness accounting over stage-2 matches.
+	grants uint64
+}
+
+// NewSeparable returns an allocator of the given radix (both ≤ 64).
+func NewSeparable(numIn, numOut int) *Separable {
+	if numIn <= 0 || numIn > 64 || numOut <= 0 || numOut > 64 {
+		panic(fmt.Sprintf("bitarb: invalid separable radix %dx%d", numIn, numOut))
+	}
+	return &Separable{
+		numIn:   numIn,
+		numOut:  numOut,
+		inWidth: LowMask(numIn),
+		outPtr:  make([]int32, numOut),
+		inPtr:   make([]int32, numIn),
+		outReq:  make([]uint64, numOut),
+		inWon:   make([]uint64, numIn),
+		grant:   make([]int, numIn),
+	}
+}
+
+// NumIn returns the input radix.
+func (s *Separable) NumIn() int { return s.numIn }
+
+// NumOut returns the output radix.
+func (s *Separable) NumOut() int { return s.numOut }
+
+// Grants returns the number of matches made (fairness accounting).
+func (s *Separable) Grants() uint64 { return s.grants }
+
+// Allocate computes a conflict-free matching for the request matrix req,
+// where req[i] is input i's requested-output bitmask. It returns grant[i] =
+// granted output for input i, or -1. The returned slice is the allocator's
+// scratch: valid until the next Allocate call.
+func (s *Separable) Allocate(req []uint64) []int {
+	if len(req) != s.numIn {
+		panic("bitarb: request matrix has wrong input count")
+	}
+	// Transpose the request matrix into per-output request words, touching
+	// only the set bits.
+	outReq := s.outReq
+	for o := range outReq {
+		outReq[o] = 0
+	}
+	inAny := uint64(0)
+	for i, m := range req {
+		for ; m != 0; m &= m - 1 {
+			outReq[bits.TrailingZeros64(m)] |= 1 << uint(i)
+		}
+		if req[i] != 0 {
+			inAny |= 1 << uint(i)
+		}
+	}
+	// Stage 1: each output picks one input (peek only).
+	inWon := s.inWon
+	for m := inAny; m != 0; m &= m - 1 {
+		inWon[bits.TrailingZeros64(m)] = 0
+	}
+	for o := 0; o < s.numOut; o++ {
+		r := outReq[o]
+		if r == 0 {
+			continue
+		}
+		if w := GrantRot(r, int(s.outPtr[o])); w >= 0 {
+			inWon[w] |= 1 << uint(o)
+		}
+	}
+	// Stage 2: each input picks one of the outputs granted to it, and the
+	// matched pair's pointers advance.
+	grant := s.grant
+	for i := range grant {
+		grant[i] = -1
+	}
+	for m := inAny; m != 0; m &= m - 1 {
+		i := bits.TrailingZeros64(m)
+		o := GrantRot(inWon[i], int(s.inPtr[i]))
+		if o < 0 {
+			continue
+		}
+		grant[i] = o
+		s.grants++
+		s.inPtr[i] = int32(o + 1)
+		if int(s.inPtr[i]) == s.numOut {
+			s.inPtr[i] = 0
+		}
+		s.outPtr[o] = int32(i + 1)
+		if int(s.outPtr[o]) == s.numIn {
+			s.outPtr[o] = 0
+		}
+	}
+	return grant
+}
+
+// Wavefront computes a maximal matching for the request matrix req (req[i]
+// = input i's requested-output bitmask) by sweeping priority diagonals
+// starting at diagonal pri: on sweep step k, input i may claim output
+// (pri+k+i) mod numOut if both lines are free. It fills grant[i] with the
+// output matched to input i (-1 unmatched) and returns the match count.
+//
+// Wavefront allocation trades the separable allocator's two-stage
+// round-robin fairness for a denser matching (it never leaves an
+// augmenting pair of free lines on a requested crosspoint). The engine's
+// designs keep the paper's separable allocators; Wavefront is provided for
+// allocator studies and is exercised by the micro-benchmarks.
+func Wavefront(req []uint64, numOut, pri int, grant []int) int {
+	numIn := len(req)
+	if len(grant) != numIn {
+		panic("bitarb: grant slice has wrong input count")
+	}
+	for i := range grant {
+		grant[i] = -1
+	}
+	freeIn := LowMask(numIn)
+	freeOut := LowMask(numOut)
+	matched := 0
+	steps := numOut
+	if numIn > numOut {
+		steps = numIn
+	}
+	for k := 0; k < steps && freeIn != 0 && freeOut != 0; k++ {
+		for m := freeIn; m != 0; m &= m - 1 {
+			i := bits.TrailingZeros64(m)
+			o := (pri + k + i) % numOut
+			bit := uint64(1) << uint(o)
+			if freeOut&bit != 0 && req[i]&bit != 0 {
+				grant[i] = o
+				matched++
+				freeIn &^= 1 << uint(i)
+				freeOut &^= bit
+			}
+		}
+	}
+	return matched
+}

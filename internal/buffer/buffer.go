@@ -78,6 +78,10 @@ type Credits struct {
 	max       int
 	// inflight[i] credits become available after i+1 more Tick calls.
 	inflight []int
+	// pendingCnt caches the sum of inflight so Return and Tick are O(1):
+	// the tick loop runs once per counter per cycle across the whole
+	// network, and most counters are idle most cycles.
+	pendingCnt int
 }
 
 // NewCredits returns a counter with the given capacity and credit-return
@@ -88,6 +92,27 @@ func NewCredits(capacity, delay int) *Credits {
 		panic(fmt.Sprintf("buffer: invalid credits capacity=%d delay=%d", capacity, delay))
 	}
 	return &Credits{available: capacity, max: capacity, inflight: make([]int, delay)}
+}
+
+// NewCreditsSlab returns n independent counters in one contiguous
+// allocation (with one shared backing array for the delay pipelines). The
+// engine's per-cycle credit sweep and the routers' send probes touch
+// counters all over the network; packing them keeps that traffic on a
+// handful of cache lines instead of n scattered heap objects.
+func NewCreditsSlab(n, capacity, delay int) []Credits {
+	if capacity <= 0 || delay < 1 {
+		panic(fmt.Sprintf("buffer: invalid credits capacity=%d delay=%d", capacity, delay))
+	}
+	slab := make([]Credits, n)
+	backing := make([]int, n*delay)
+	for i := range slab {
+		slab[i] = Credits{
+			available: capacity,
+			max:       capacity,
+			inflight:  backing[i*delay : (i+1)*delay : (i+1)*delay],
+		}
+	}
+	return slab
 }
 
 // Available returns the number of usable credits.
@@ -109,25 +134,44 @@ func (c *Credits) Consume() {
 // delay (called by the downstream router when a buffer slot frees).
 func (c *Credits) Return() {
 	c.inflight[len(c.inflight)-1]++
-	if c.pending()+c.available > c.max {
+	c.pendingCnt++
+	if c.pendingCnt+c.available > c.max {
 		panic("buffer: credit overflow (more credits returned than consumed)")
 	}
 }
 
-// Tick advances the return pipeline by one cycle.
+// Tick advances the return pipeline by one cycle. The idle check is split
+// from the pipeline shift so Tick inlines into the engine's per-cycle
+// credit sweep — most counters are idle most cycles, and the sweep visits
+// every counter in the network.
 func (c *Credits) Tick() {
-	c.available += c.inflight[0]
+	if c.pendingCnt == 0 {
+		return
+	}
+	c.tickPending()
+}
+
+func (c *Credits) tickPending() {
+	if len(c.inflight) == 1 {
+		// The default delay-1 pipeline: everything pending matures now.
+		c.available += c.pendingCnt
+		c.pendingCnt = 0
+		c.inflight[0] = 0
+		return
+	}
+	matured := c.inflight[0]
+	c.available += matured
+	c.pendingCnt -= matured
 	copy(c.inflight, c.inflight[1:])
 	c.inflight[len(c.inflight)-1] = 0
 }
 
-func (c *Credits) pending() int {
-	n := 0
-	for _, v := range c.inflight {
-		n += v
-	}
-	return n
-}
+func (c *Credits) pending() int { return c.pendingCnt }
+
+// HasPending reports whether returned credits are still riding the delay
+// pipeline (the engine's credit sweep uses it to keep a counter on its
+// active list until the pipeline drains).
+func (c *Credits) HasPending() bool { return c.pendingCnt > 0 }
 
 // Outstanding returns credits consumed but not yet returned or in flight —
 // i.e. flits currently occupying downstream resources.
@@ -137,6 +181,7 @@ func (c *Credits) Outstanding() int { return c.max - c.available - c.pending() }
 // the return pipeline (engine reuse between runs).
 func (c *Credits) Reset() {
 	c.available = c.max
+	c.pendingCnt = 0
 	for i := range c.inflight {
 		c.inflight[i] = 0
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"errors"
+	"math/bits"
 
 	"dxbar/internal/buffer"
 	"dxbar/internal/crossbar"
@@ -47,17 +48,36 @@ type DXbar struct {
 	fair     *fairness
 	detector *faults.Detector
 
+	// table is the precomputed form of algo (shared network-wide when the
+	// factory passes a *routing.Table); portMask caches the node's link
+	// ports and adaptive the algorithm's adaptivity — the fast path's
+	// routing queries never touch the Algorithm interface or the mesh.
+	table    *routing.Table
+	portMask uint8
+	adaptive bool
+
 	// portOrder switches arbitration from age-based to static port order
 	// (an ablation of the paper's age-based priority, §II.A).
 	portOrder bool
+	// reference selects the branchy reference switching path over the
+	// bit-parallel one (the equivalence suite's oracle).
+	reference bool
 
 	// manifestSeen/detectedSeen latch the fault state machine's transitions
 	// so the flight recorder sees each exactly once.
 	manifestSeen, detectedSeen bool
 
-	// Per-Step scratch, reused across cycles.
+	// Per-Step scratch, reused across cycles. incoming/waiters serve the
+	// reference and degraded paths; ins/ws are the fast path's SoA gathers;
+	// bufMask has bit p set while input buffer p is non-empty (maintained
+	// at every Push/Pop), so the waiter gather probes only occupied FIFOs.
+	bufMask uint8
+
+	// sendable is the fast path's live CanSend bitmask.
 	incoming []inFlit
 	waiters  []waiter
+	ins, ws  PortState
+	sendable uint8
 }
 
 // inFlit pairs an arriving flit with the input port it was latched on (the
@@ -85,6 +105,11 @@ func NewDXbar(env *sim.Env, algo routing.Algorithm, threshold int, fault *faults
 // before the first Step.
 func (d *DXbar) SetPortOrderArbitration(on bool) { d.portOrder = on }
 
+// SetReferenceArbitration switches the router to its branchy reference
+// switching path (the oracle the bit-parallel fast path is proven
+// bit-identical to). Call before the first Step.
+func (d *DXbar) SetReferenceArbitration(on bool) { d.reference = on }
+
 // NewDXbarDepth is NewDXbar with a configurable per-input buffer depth
 // (buffer-depth ablations). The engine's credit BufferDepth must match.
 func NewDXbarDepth(env *sim.Env, algo routing.Algorithm, threshold, depth int, fault *faults.Detector) *DXbar {
@@ -104,6 +129,10 @@ func NewDXbarDepth(env *sim.Env, algo routing.Algorithm, threshold, depth int, f
 	for p := range d.buffers {
 		d.buffers[p] = buffer.NewFIFO(depth)
 	}
+	mesh := env.Mesh()
+	d.table = routing.NewTable(algo, mesh, mesh.Nodes())
+	d.portMask = mesh.PortMask(env.Node)
+	d.adaptive = algo.Adaptive()
 	return d
 }
 
@@ -116,11 +145,24 @@ type waiter struct {
 
 // Step implements sim.Router.
 func (d *DXbar) Step(cycle uint64) {
-	env := d.env
 	d.primary.Reset()
 	d.secondary.Reset()
+	detected := d.applyFaults(cycle)
+	if !d.reference && !(detected && (d.primary.Dead() || d.secondary.Dead())) {
+		// Healthy (or not-yet-detected / crosspoint-degraded) operation runs
+		// the bit-parallel fast path; the degraded whole-fabric modes and the
+		// reference oracle share the branchy path below.
+		d.stepFast(cycle, detected)
+		return
+	}
+	d.stepBranchy(cycle, detected)
+}
 
-	// Apply manifest faults to the fabric models.
+// applyFaults advances the fault state machine: manifest faults are applied
+// to the fabric models, detection is latched for the flight recorder. It
+// returns whether the router's fault has been detected.
+func (d *DXbar) applyFaults(cycle uint64) bool {
+	env := d.env
 	if d.detector.Manifest(cycle) {
 		f := d.detector.Fault()
 		if !d.manifestSeen {
@@ -145,6 +187,14 @@ func (d *DXbar) Step(cycle uint64) {
 		d.detectedSeen = true
 		env.Events().Record(cycle, events.FaultDetected, env.Node, flit.Invalid, 0, 0, int32(d.detector.Fault().Crossbar))
 	}
+	return detected
+}
+
+// stepBranchy is the reference switching path (and the only path for the
+// degraded whole-fabric modes, which are off the performance-critical
+// healthy operation).
+func (d *DXbar) stepBranchy(cycle uint64, detected bool) {
+	env := d.env
 
 	// Gather incoming flits (age order) and waiting flits.
 	incoming := d.incoming[:0]
@@ -154,6 +204,7 @@ func (d *DXbar) Step(cycle uint64) {
 			incoming = append(incoming, inFlit{f: f, port: p})
 		}
 	}
+	env.InMask = 0
 	if !d.portOrder {
 		sortInFlits(incoming)
 	}
@@ -196,6 +247,174 @@ func (d *DXbar) Step(cycle uint64) {
 		env.Stats().FairnessFlip(cycle)
 		env.Events().Record(cycle, events.FairnessFlip, env.Node, flit.Invalid, 0, 0, int32(d.fair.Flips()))
 	}
+}
+
+// stepFast is the bit-parallel healthy-operation path: arrivals and waiters
+// are gathered into SoA PortStates and age-sorted by permuting one byte per
+// slot, sendability is one bitmask computed per cycle, crossbar probes use
+// the enum TryConnect, and every routing query is a table load. It is
+// bit-identical to stepBranchy (the equivalence suite drives both).
+func (d *DXbar) stepFast(cycle uint64, detected bool) {
+	env := d.env
+
+	ins := &d.ins
+	ins.Reset()
+	for b := env.InMask; b != 0; b &= b - 1 {
+		p := flit.Port(bits.TrailingZeros8(b))
+		ins.Add(env.In[p], p)
+		env.In[p] = nil
+	}
+	env.InMask = 0
+	ws := &d.ws
+	ws.Reset()
+	for b := d.bufMask; b != 0; b &= b - 1 {
+		p := flit.Port(bits.TrailingZeros8(b))
+		ws.Add(d.buffers[p].Head(), p)
+	}
+	if f := env.InjectionHead(); f != nil {
+		ws.Add(f, flit.Local)
+	}
+	if !d.portOrder {
+		if ins.N > 1 {
+			ins.SortAge()
+		}
+		if ws.N > 1 {
+			ws.SortAge()
+		}
+	}
+
+	waitersExist := ws.N > 0
+	flip := d.fair.flip(waitersExist)
+	d.sendable = env.SendableMask()
+
+	var primaryWon, waiterWon bool
+	if flip {
+		waiterWon = d.allocateWaitersFast(ws, detected, cycle)
+		primaryWon = d.allocateIncomingFast(ins, cycle)
+	} else {
+		primaryWon = d.allocateIncomingFast(ins, cycle)
+		waiterWon = d.allocateWaitersFast(ws, detected, cycle)
+	}
+
+	if d.fair.observe(waitersExist, primaryWon, waiterWon) {
+		env.Stats().FairnessFlip(cycle)
+		env.Events().Record(cycle, events.FairnessFlip, env.Node, flit.Invalid, 0, 0, int32(d.fair.Flips()))
+	}
+}
+
+// allocateIncomingFast is allocateIncoming over the SoA gather: the request
+// port comes from the routing table, sendability from the cycle's bitmask,
+// and the crosspoint probe from the enum TryConnect.
+func (d *DXbar) allocateIncomingFast(ins *PortState, cycle uint64) bool {
+	env := d.env
+	won := false
+	for i := 0; i < ins.N; i++ {
+		s := ins.Order[i]
+		f, p := ins.Flits[s], ins.Src[s]
+		out := d.requestPortFast(f, int(ins.Dst[s]))
+		if out != flit.Invalid && d.sendable&(1<<uint(out)) != 0 &&
+			d.primary.TryConnect(int(p), int(out)) == crossbar.OK {
+			env.ReturnCredit(p)
+			env.Events().Record(cycle, events.PrimaryWin, env.Node, p, f.PacketID, f.ID, int32(out))
+			d.sendFast(out, f, cycle)
+			won = true
+			continue
+		}
+		d.bufferFlit(f, p, cycle)
+	}
+	return won
+}
+
+// requestPortFast is requestPort with the cached port mask and the routing
+// table in place of the mesh and Algorithm interface.
+func (d *DXbar) requestPortFast(f *flit.Flit, dst int) flit.Port {
+	if dst == d.env.Node {
+		return flit.Local
+	}
+	if r := f.Route; r.IsCardinal() && d.portMask&(1<<uint(r)) != 0 {
+		return r
+	}
+	return d.table.RequestAt(d.env.Node, dst)
+}
+
+// allocateWaitersFast is allocateWaiters over the SoA gather (same steering
+// fallback through the primary fabric after fault detection).
+func (d *DXbar) allocateWaitersFast(ws *PortState, detected bool, cycle uint64) bool {
+	won := false
+	for i := 0; i < ws.N; i++ {
+		s := ws.Order[i]
+		f, wp := ws.Flits[s], ws.Src[s]
+		ports := d.waiterPortsFast(f, int(ws.Dst[s]))
+		for k := 0; k < ports.Len(); k++ {
+			out := ports.At(k)
+			if d.sendable&(1<<uint(out)) == 0 {
+				continue
+			}
+			in := int(wp)
+			if wp == flit.Local {
+				in = secondaryInjIn
+			}
+			st := d.secondary.TryConnect(in, int(out))
+			if st != crossbar.OK {
+				// 2×2 steering fallback through the primary fabric.
+				if st != crossbar.Fault || !detected || wp == flit.Local ||
+					d.primary.TryConnect(int(wp), int(out)) != crossbar.OK {
+					// Busy column, undetected fault, or occupied fallback
+					// row: try the next productive port.
+					continue
+				}
+			}
+			d.dispatchWaiterFast(f, wp, out, cycle)
+			won = true
+			break
+		}
+	}
+	return won
+}
+
+// waiterPortsFast is waiterPorts backed by the routing table (same
+// congestion-aware two-port reorder under adaptive routing).
+func (d *DXbar) waiterPortsFast(f *flit.Flit, dst int) routing.PortList {
+	if dst == d.env.Node {
+		return routing.Ports(flit.Local)
+	}
+	ports := d.table.ProductiveAt(d.env.Node, dst)
+	if d.adaptive && ports.Len() == 2 {
+		a, b := d.env.DownstreamCredits(ports.At(0)), d.env.DownstreamCredits(ports.At(1))
+		if a != nil && b != nil && b.Available() > a.Available() {
+			return routing.Ports(ports.At(1), ports.At(0))
+		}
+	}
+	return ports
+}
+
+// dispatchWaiterFast commits a winning waiter on the fast path.
+func (d *DXbar) dispatchWaiterFast(f *flit.Flit, wp, out flit.Port, cycle uint64) {
+	if wp == flit.Local {
+		d.env.ConsumeInjection(cycle)
+	} else {
+		b := d.buffers[wp]
+		b.Pop()
+		if b.Len() == 0 {
+			d.bufMask &^= 1 << uint(wp)
+		}
+		d.env.Meter().BufferRead()
+		d.env.ReturnCredit(wp)
+	}
+	d.sendFast(out, f, cycle)
+}
+
+// sendFast is sendVia with the table look-ahead and the sendable-mask bit
+// clear.
+func (d *DXbar) sendFast(out flit.Port, f *flit.Flit, cycle uint64) {
+	env := d.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if out != flit.Local {
+		f.Route = d.table.RequestAt(env.Neighbor(out), int(f.Dst))
+	}
+	d.sendable &^= 1 << uint(out)
+	env.Send(out, f)
 }
 
 // sortInFlits sorts arrivals oldest-first (insertion sort over at most four
@@ -271,14 +490,14 @@ func (d *DXbar) allocateIncoming(incoming []inFlit, cycle uint64) bool {
 // requestPort returns the output an incoming flit asks for: its look-ahead
 // route, or Local when it has arrived.
 func (d *DXbar) requestPort(f *flit.Flit) flit.Port {
-	if f.Dst == d.env.Node {
+	if int(f.Dst) == d.env.Node {
 		return flit.Local
 	}
 	if f.Route.IsCardinal() && d.env.HasLink(f.Route) {
 		return f.Route
 	}
 	// Defensive: recompute if the look-ahead field is unusable.
-	return routing.Request(d.algo, d.env.Mesh(), d.env.Node, f.Dst)
+	return routing.Request(d.algo, d.env.Mesh(), d.env.Node, int(f.Dst))
 }
 
 // allocateWaiters runs the secondary-crossbar arbitration: buffer heads and
@@ -329,10 +548,10 @@ func (d *DXbar) allocateWaiters(ws []waiter, detected bool, cycle uint64) bool {
 // congestion-aware: the port with more downstream credits comes first, so a
 // re-directed flit heads for the less-loaded progressive direction.
 func (d *DXbar) waiterPorts(f *flit.Flit) routing.PortList {
-	if f.Dst == d.env.Node {
+	if int(f.Dst) == d.env.Node {
 		return routing.Ports(flit.Local)
 	}
-	ports := d.algo.Productive(d.env.Mesh(), d.env.Node, f.Dst)
+	ports := d.algo.Productive(d.env.Mesh(), d.env.Node, int(f.Dst))
 	if ports.Len() == 2 && d.algo.Adaptive() {
 		a, b := d.env.DownstreamCredits(ports.At(0)), d.env.DownstreamCredits(ports.At(1))
 		if a != nil && b != nil && b.Available() > a.Available() {
@@ -348,7 +567,11 @@ func (d *DXbar) dispatchWaiter(w waiter, out flit.Port, cycle uint64) {
 	if w.port == flit.Local {
 		d.env.ConsumeInjection(cycle)
 	} else {
-		d.buffers[w.port].Pop()
+		b := d.buffers[w.port]
+		b.Pop()
+		if b.Len() == 0 {
+			d.bufMask &^= 1 << uint(w.port)
+		}
 		d.env.Meter().BufferRead()
 		d.env.ReturnCredit(w.port)
 	}
@@ -414,6 +637,9 @@ func (d *DXbar) allocateDegradedPrimary(incoming []inFlit, flip bool, cycle uint
 			usedRow[p] = true
 			if cand.isWaiter {
 				d.buffers[p].Pop()
+				if d.buffers[p].Len() == 0 {
+					d.bufMask &^= 1 << uint(p)
+				}
 				d.env.Meter().BufferRead()
 				d.env.ReturnCredit(p)
 				waiterWon = true
@@ -464,6 +690,7 @@ func (d *DXbar) allocateDegradedPrimary(incoming []inFlit, flip bool, cycle uint
 // bufferFlit demuxes a losing incoming flit into its input buffer.
 func (d *DXbar) bufferFlit(f *flit.Flit, p flit.Port, cycle uint64) {
 	d.buffers[p].Push(f) // flow control guarantees space; Push panics otherwise
+	d.bufMask |= 1 << uint(p)
 	f.Buffered++
 	d.env.Meter().BufferWrite()
 	d.env.Stats().BufferingEvent(cycle)
@@ -478,7 +705,7 @@ func (d *DXbar) sendVia(out flit.Port, f *flit.Flit, cycle uint64) {
 	env.Stats().RoutedEvent(cycle)
 	if out != flit.Local {
 		next := env.Mesh().Neighbor(env.Node, out)
-		f.Route = routing.Request(d.algo, env.Mesh(), next, f.Dst)
+		f.Route = routing.Request(d.algo, env.Mesh(), next, int(f.Dst))
 	}
 	env.Send(out, f)
 }

@@ -1,8 +1,6 @@
 package core
 
 import (
-	"errors"
-
 	"dxbar/internal/arbiter"
 	"dxbar/internal/buffer"
 	"dxbar/internal/crossbar"
@@ -36,6 +34,15 @@ type Unified struct {
 	fair     *fairness
 	detector *faults.Detector
 
+	// table is the precomputed form of algo (shared network-wide when the
+	// factory passes a *routing.Table); portMask caches the node's links.
+	table    *routing.Table
+	portMask uint8
+
+	// reference selects the allocator's branchy stage-1 arbitration
+	// (DualInput.Allocate) over the bit-parallel one (AllocateFast).
+	reference bool
+
 	// manifestSeen latches the fault manifestation for the flight recorder;
 	// lastSwaps tracks the allocator's cumulative swap count so each cycle's
 	// delta can be recorded.
@@ -66,8 +73,16 @@ func NewUnified(env *sim.Env, algo routing.Algorithm, threshold int, fault *faul
 	for p := range u.buffers {
 		u.buffers[p] = buffer.NewFIFO(BufferDepth)
 	}
+	mesh := env.Mesh()
+	u.table = routing.NewTable(algo, mesh, mesh.Nodes())
+	u.portMask = mesh.PortMask(env.Node)
 	return u
 }
+
+// SetReferenceArbitration switches the router to the allocator's branchy
+// reference arbitration (the oracle AllocateFast is proven identical to).
+// Call before the first Step.
+func (u *Unified) SetReferenceArbitration(on bool) { u.reference = on }
 
 // Step implements sim.Router.
 func (u *Unified) Step(cycle uint64) {
@@ -97,6 +112,7 @@ func (u *Unified) Step(cycle uint64) {
 			arrived[p] = f
 		}
 	}
+	env.InMask = 0
 	waiters := u.collectWaiters()
 	waitersExist := len(waiters) > 0
 	flip := u.fair.flip(waitersExist)
@@ -106,6 +122,10 @@ func (u *Unified) Step(cycle uint64) {
 	// sub-input 1 (buffered, high entry) carries the buffer head's (or, on
 	// port index 4, the injection flit's) full productive set. The request
 	// slice is the router's reusable scratch.
+	// Sendability is one bitmask for the whole allocation round: no flit is
+	// launched until after Allocate, so the mask computed here equals a
+	// CanSend call at every request-build probe.
+	sendable := uint64(env.SendableMask())
 	reqs := u.reqs
 	for i := range reqs {
 		reqs[i] = arbiter.DualRequest{}
@@ -114,7 +134,7 @@ func (u *Unified) Step(cycle uint64) {
 	for p := flit.North; p <= flit.West; p++ {
 		if f := arrived[p]; f != nil {
 			out := u.requestPort(f)
-			if out != flit.Invalid && env.CanSend(out) {
+			if out != flit.Invalid && sendable&(1<<uint(out)) != 0 {
 				reqs[p].Want[arbiter.SubBufferless] = 1 << uint(out)
 				reqs[p].Age[arbiter.SubBufferless] = f.InjectionCycle
 			}
@@ -129,10 +149,9 @@ func (u *Unified) Step(cycle uint64) {
 		var mask uint64
 		ports := u.waiterPorts(w.f)
 		for k := 0; k < ports.Len(); k++ {
-			if out := ports.At(k); env.CanSend(out) {
-				mask |= 1 << uint(out)
-			}
+			mask |= 1 << uint(ports.At(k))
 		}
+		mask &= sendable
 		if mask != 0 {
 			reqs[idx].Want[arbiter.SubBuffered] = mask
 			reqs[idx].Age[arbiter.SubBuffered] = w.f.InjectionCycle
@@ -140,7 +159,12 @@ func (u *Unified) Step(cycle uint64) {
 		}
 	}
 
-	grants := u.alloc.Allocate(reqs, flip)
+	var grants []arbiter.DualGrant
+	if u.reference {
+		grants = u.alloc.Allocate(reqs, flip)
+	} else {
+		grants = u.alloc.AllocateFast(reqs, flip)
+	}
 	if swaps := u.alloc.Swaps(); swaps != u.lastSwaps {
 		env.Events().Record(cycle, events.Swap, env.Node, flit.Invalid, 0, 0, int32(swaps-u.lastSwaps))
 		u.lastSwaps = swaps
@@ -158,23 +182,19 @@ func (u *Unified) Step(cycle uint64) {
 		}
 		if gIncoming != -1 && p < flit.NumLinkPorts {
 			f := arrived[p]
-			if err := u.xbar.Connect(p, entIncoming, gIncoming); err == nil {
+			if u.xbar.TryConnect(p, entIncoming, gIncoming) == crossbar.OK {
 				env.ReturnCredit(flit.Port(p))
 				env.Events().Record(cycle, events.PrimaryWin, env.Node, flit.Port(p), f.PacketID, f.ID, int32(gIncoming))
 				u.sendVia(flit.Port(gIncoming), f, cycle)
 				arrived[p] = nil
 				primaryWon = true
-			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
-				panic(err)
 			}
 		}
 		if gBuffered != -1 && waiterAt[p] != nil {
 			w := waiterAt[p]
-			if err := u.xbar.Connect(p, entBuffered, gBuffered); err == nil {
+			if u.xbar.TryConnect(p, entBuffered, gBuffered) == crossbar.OK {
 				u.dispatchWaiter(*w, flit.Port(gBuffered), cycle)
 				waiterWon = true
-			} else if !errors.Is(err, crossbar.ErrFault) && !errors.Is(err, crossbar.ErrBusy) {
-				panic(err)
 			}
 		}
 	}
@@ -208,20 +228,20 @@ func (u *Unified) collectWaiters() []waiter {
 }
 
 func (u *Unified) requestPort(f *flit.Flit) flit.Port {
-	if f.Dst == u.env.Node {
+	if int(f.Dst) == u.env.Node {
 		return flit.Local
 	}
-	if f.Route.IsCardinal() && u.env.HasLink(f.Route) {
-		return f.Route
+	if r := f.Route; r.IsCardinal() && u.portMask&(1<<uint(r)) != 0 {
+		return r
 	}
-	return routing.Request(u.algo, u.env.Mesh(), u.env.Node, f.Dst)
+	return u.table.RequestAt(u.env.Node, int(f.Dst))
 }
 
 func (u *Unified) waiterPorts(f *flit.Flit) routing.PortList {
-	if f.Dst == u.env.Node {
+	if int(f.Dst) == u.env.Node {
 		return routing.Ports(flit.Local)
 	}
-	return u.algo.Productive(u.env.Mesh(), u.env.Node, f.Dst)
+	return u.table.ProductiveAt(u.env.Node, int(f.Dst))
 }
 
 func (u *Unified) dispatchWaiter(w waiter, out flit.Port, cycle uint64) {
@@ -248,8 +268,7 @@ func (u *Unified) sendVia(out flit.Port, f *flit.Flit, cycle uint64) {
 	env.Meter().CrossbarTraversal()
 	env.Stats().RoutedEvent(cycle)
 	if out != flit.Local {
-		next := env.Mesh().Neighbor(env.Node, out)
-		f.Route = routing.Request(u.algo, env.Mesh(), next, f.Dst)
+		f.Route = u.table.RequestAt(env.Neighbor(out), int(f.Dst))
 	}
 	env.Send(out, f)
 }

@@ -17,6 +17,11 @@
 // cycle, then Connect for every granted flit; Connect validates the request
 // against occupancy and fault state exactly the way the paper's allocator
 // probes a crosspoint (busy/free test, §III.E).
+//
+// All per-cycle occupancy and all fault state is held as uint64 bitmasks
+// (one word per input row, one word per occupancy vector), so Reset is two
+// word stores and a connection probe is a handful of bit tests — the
+// bit-parallel discipline the whole router core is built on.
 package crossbar
 
 import (
@@ -37,33 +42,59 @@ var (
 	ErrBusy = errors.New("crossbar: resource busy")
 )
 
+// Status is the allocation-free probe result of TryConnect: the same
+// three-way outcome Connect encodes as error values, as a plain enum for
+// the bit-parallel hot path (no errors.Is chain per probe).
+type Status int8
+
+// TryConnect outcomes.
+const (
+	OK Status = iota
+	Busy
+	Fault
+)
+
+// Err converts a Status to the corresponding Connect error (nil for OK).
+func (s Status) Err() error {
+	switch s {
+	case Busy:
+		return ErrBusy
+	case Fault:
+		return ErrFault
+	}
+	return nil
+}
+
 // XBar is a numIn×numOut matrix crossbar.
 type XBar struct {
 	numIn, numOut int
-	xpFault       [][]bool
-	dead          bool
-	inUse         []int // output connected per input, -1 free
-	outUse        []int // input connected per output, -1 free
-	traversals    uint64
+	// faultRow[i] has bit o set when crosspoint (i,o) is permanently
+	// faulty; anyFault caches whether any row is non-zero, so the healthy
+	// hot path skips the row load entirely. dead marks whole-crossbar
+	// failure.
+	faultRow []uint64
+	anyFault bool
+	dead     bool
+	// inMask/outMask are the per-cycle occupancy vectors (bit i / bit o set
+	// = line already driven). connected[i] is the output driven by input i,
+	// valid only where inMask has bit i (stale entries are never read).
+	inMask, outMask uint64
+	connected       []int8
+	traversals      uint64
 }
 
-// NewXBar returns a fault-free crossbar of the given radix.
+// NewXBar returns a fault-free crossbar of the given radix. Both radices
+// must fit a 64-bit occupancy word.
 func NewXBar(numIn, numOut int) *XBar {
-	if numIn <= 0 || numOut <= 0 {
+	if numIn <= 0 || numOut <= 0 || numIn > 64 || numOut > 64 {
 		panic(fmt.Sprintf("crossbar: invalid radix %dx%d", numIn, numOut))
 	}
-	x := &XBar{
-		numIn:   numIn,
-		numOut:  numOut,
-		xpFault: make([][]bool, numIn),
-		inUse:   make([]int, numIn),
-		outUse:  make([]int, numOut),
+	return &XBar{
+		numIn:     numIn,
+		numOut:    numOut,
+		faultRow:  make([]uint64, numIn),
+		connected: make([]int8, numIn),
 	}
-	for i := range x.xpFault {
-		x.xpFault[i] = make([]bool, numOut)
-	}
-	x.Reset()
-	return x
 }
 
 // NumIn returns the input radix.
@@ -74,42 +105,65 @@ func (x *XBar) NumOut() int { return x.numOut }
 
 // Reset clears all per-cycle connections (call at the start of each cycle).
 func (x *XBar) Reset() {
-	for i := range x.inUse {
-		x.inUse[i] = -1
+	x.inMask, x.outMask = 0, 0
+}
+
+// TryConnect probes and (on OK) establishes input→output for this cycle:
+// Fault if the crosspoint is faulty or the crossbar dead, Busy if either
+// line is already driven.
+func (x *XBar) TryConnect(in, out int) Status {
+	if in < 0 || in >= x.numIn || out < 0 || out >= x.numOut {
+		panic(fmt.Sprintf("crossbar: connect(%d,%d) out of range", in, out))
 	}
-	for o := range x.outUse {
-		x.outUse[o] = -1
+	outBit := uint64(1) << uint(out)
+	if x.dead || (x.anyFault && x.faultRow[in]&outBit != 0) {
+		return Fault
 	}
+	inBit := uint64(1) << uint(in)
+	if x.inMask&inBit != 0 || x.outMask&outBit != 0 {
+		return Busy
+	}
+	x.inMask |= inBit
+	x.outMask |= outBit
+	x.connected[in] = int8(out)
+	x.traversals++
+	return OK
 }
 
 // Connect establishes input→output for this cycle. It returns ErrFault if
 // the crosspoint is faulty or the crossbar is dead, ErrBusy if either line
 // is already driven.
-func (x *XBar) Connect(in, out int) error {
-	if in < 0 || in >= x.numIn || out < 0 || out >= x.numOut {
-		panic(fmt.Sprintf("crossbar: connect(%d,%d) out of range", in, out))
-	}
-	if x.dead || x.xpFault[in][out] {
-		return ErrFault
-	}
-	if x.inUse[in] != -1 || x.outUse[out] != -1 {
-		return ErrBusy
-	}
-	x.inUse[in] = out
-	x.outUse[out] = in
-	x.traversals++
-	return nil
-}
+func (x *XBar) Connect(in, out int) error { return x.TryConnect(in, out).Err() }
 
 // Connected returns the output driven by input in this cycle (-1 if none).
-func (x *XBar) Connected(in int) int { return x.inUse[in] }
+func (x *XBar) Connected(in int) int {
+	if x.inMask&(1<<uint(in)) == 0 {
+		return -1
+	}
+	return int(x.connected[in])
+}
+
+// FreeOutMask returns the bitmask of output lines not yet driven this cycle
+// (bit o set = output o free), over the crossbar's output radix.
+func (x *XBar) FreeOutMask() uint64 {
+	return ^x.outMask & (uint64(1)<<uint(x.numOut) - 1)
+}
+
+// RowUsable reports whether input row in can currently drive anything at
+// all: the crossbar is alive and the row's occupancy bit is clear.
+func (x *XBar) RowUsable(in int) bool {
+	return !x.dead && x.inMask&(1<<uint(in)) == 0
+}
 
 // Traversals returns the cumulative number of successful connections, which
 // the energy model multiplies by the per-flit crossbar energy.
 func (x *XBar) Traversals() uint64 { return x.traversals }
 
 // InjectCrosspointFault marks one crosspoint permanently faulty.
-func (x *XBar) InjectCrosspointFault(in, out int) { x.xpFault[in][out] = true }
+func (x *XBar) InjectCrosspointFault(in, out int) {
+	x.faultRow[in] |= 1 << uint(out)
+	x.anyFault = true
+}
 
 // Kill marks the whole crossbar permanently failed (§II.C fault model).
 func (x *XBar) Kill() { x.dead = true }

@@ -74,6 +74,10 @@ func (m *Meter) CrossbarTraversal() { m.crossbarTraversals++ }
 // LinkTraversal records one flit crossing an inter-router link.
 func (m *Meter) LinkTraversal() { m.linkTraversals++ }
 
+// AddLinkTraversals records n link traversals at once (the engine's link
+// phase batches its per-cycle count into one add).
+func (m *Meter) AddLinkTraversals(n uint64) { m.linkTraversals += n }
+
 // BufferWrite records one flit written into an input/secondary buffer.
 func (m *Meter) BufferWrite() { m.bufferWrites++ }
 

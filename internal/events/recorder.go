@@ -104,9 +104,17 @@ func (r *Recorder) DrainTo(dst *Recorder) {
 // returns immediately. (Staging recorders grow instead of overwriting and
 // keep no counters — amortized-zero allocation, see NewStage.)
 func (r *Recorder) Record(cycle uint64, k Kind, node int, port flit.Port, packetID, flitID uint64, detail int32) {
+	// Split so the disabled case (nil recorder / masked kind) inlines into
+	// every hook site as a compare-and-skip; the ring write stays out of
+	// line. Routers call Record millions of times per second with tracing
+	// off, so the call overhead itself is what matters here.
 	if r == nil || r.mask&(1<<uint(k)) == 0 {
 		return
 	}
+	r.record(cycle, k, node, port, packetID, flitID, detail)
+}
+
+func (r *Recorder) record(cycle uint64, k Kind, node int, port flit.Port, packetID, flitID uint64, detail int32) {
 	if r.grow {
 		r.ring = append(r.ring, Event{
 			Cycle:    cycle,

@@ -41,6 +41,17 @@ func (p *Pool) Put(f *Flit) {
 	p.free = append(p.free, f)
 }
 
+// Prime grows the free list to at least n flits. The engine primes the pool
+// from the mesh dimensions at construction so steady state is reached without
+// long warmup-time growth: in-network occupancy is bounded by per-node latch,
+// buffer and injection-slack capacity, so a capacity-proportional free list
+// absorbs the in-flight population's peaks from the first cycle.
+func (p *Pool) Prime(n int) {
+	for len(p.free) < n {
+		p.free = append(p.free, new(Flit))
+	}
+}
+
 // Outstanding returns Gets minus Puts — the number of live flits the pool
 // has handed out. After a network drains completely this must equal zero;
 // the leak regression test asserts exactly that.

@@ -50,15 +50,15 @@ func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
 		// Single-flit fast path: no pending entry ever exists.
 		return Packet{
 			PacketID:        f.PacketID,
-			Src:             f.Src,
-			Dst:             f.Dst,
+			Src:             int(f.Src),
+			Dst:             int(f.Dst),
 			Kind:            f.Kind,
 			NumFlits:        1,
 			InjectionCycle:  f.InjectionCycle,
 			CompletionCycle: cycle,
-			Hops:            f.Hops,
-			Deflections:     f.Deflections,
-			Retransmits:     f.Retransmits,
+			Hops:            int(f.Hops),
+			Deflections:     int(f.Deflections),
+			Retransmits:     int(f.Retransmits),
 		}, true
 	}
 	a, ok := r.pending[f.PacketID]
@@ -66,8 +66,8 @@ func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
 		a = r.newAssembly()
 		a.pkt = Packet{
 			PacketID:       f.PacketID,
-			Src:            f.Src,
-			Dst:            f.Dst,
+			Src:            int(f.Src),
+			Dst:            int(f.Dst),
 			Kind:           f.Kind,
 			NumFlits:       int(f.NumFlits),
 			InjectionCycle: f.InjectionCycle,
@@ -80,9 +80,9 @@ func (r *Reassembler) Accept(f *Flit, cycle uint64) (Packet, bool) {
 	}
 	a.received |= bit
 	a.count++
-	a.pkt.Hops += f.Hops
-	a.pkt.Deflections += f.Deflections
-	a.pkt.Retransmits += f.Retransmits
+	a.pkt.Hops += int(f.Hops)
+	a.pkt.Deflections += int(f.Deflections)
+	a.pkt.Retransmits += int(f.Retransmits)
 	if a.count == int(f.NumFlits) {
 		a.pkt.CompletionCycle = cycle
 		delete(r.pending, f.PacketID)

@@ -4,6 +4,7 @@ import (
 	"sync/atomic"
 
 	"dxbar/internal/arbiter"
+	"dxbar/internal/bitarb"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -38,11 +39,20 @@ type AFC struct {
 	ctrl *AFCController
 
 	fifos [flit.NumLinkPorts]*entryQueue
-	alloc *arbiter.Separable
+	// alloc is the branchy reference allocator, fast its bit-parallel twin
+	// (grant-for-grant identical; reference selects which one runs).
+	alloc     *arbiter.Separable
+	fast      *bitarb.Separable
+	reference bool
+
+	// table is the precomputed form of algo (shared network-wide when the
+	// factory passes a *routing.Table); links caches the node's link count.
+	table *routing.Table
+	links int
 
 	// Per-Step scratch, reused across cycles.
 	arrivals []*flit.Flit
-	req      [][]bool
+	req      [flit.NumPorts]uint64
 }
 
 // AFC controller states.
@@ -159,22 +169,27 @@ func (c *AFCController) tick(cycle uint64) {
 // bufferless mode every arrival is consumed in its arrival cycle, so the
 // credit loop never throttles deflection).
 func NewAFC(env *sim.Env, algo routing.Algorithm, ctrl *AFCController) *AFC {
+	mesh := env.Mesh()
 	a := &AFC{
 		env:      env,
 		algo:     algo,
 		ctrl:     ctrl,
 		alloc:    arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
+		fast:     bitarb.NewSeparable(flit.NumPorts, flit.NumPorts),
+		table:    routing.NewTable(algo, mesh, mesh.Nodes()),
+		links:    mesh.LinkCount(env.Node),
 		arrivals: make([]*flit.Flit, 0, flit.NumPorts),
-		req:      make([][]bool, flit.NumPorts),
-	}
-	for i := range a.req {
-		a.req[i] = make([]bool, flit.NumPorts)
 	}
 	for p := range a.fifos {
 		a.fifos[p] = &entryQueue{}
 	}
 	return a
 }
+
+// SetReferenceArbitration switches the router to the branchy reference
+// allocator (the oracle the bit-parallel one is proven grant-for-grant
+// identical to). Call before the first Step.
+func (a *AFC) SetReferenceArbitration(on bool) { a.reference = on }
 
 // Controller exposes the shared controller (diagnostics and tests).
 func (a *AFC) Controller() *AFCController { return a.ctrl }
@@ -203,24 +218,19 @@ func (a *AFC) Step(cycle uint64) {
 // stepBufferless is Flit-Bless switching with AFC accounting.
 func (a *AFC) stepBufferless(cycle uint64) {
 	env := a.env
-	mesh := env.Mesh()
-	node := env.Node
 
 	arrivals := a.arrivals[:0]
-	links := 0
 	for p := flit.North; p <= flit.West; p++ {
-		if mesh.HasPort(node, p) {
-			links++
-		}
 		if f := env.In[p]; f != nil {
 			env.In[p] = nil
 			env.ReturnCredit(p) // consumed this cycle, slot never used
 			arrivals = append(arrivals, f)
 		}
 	}
+	env.InMask = 0
 
 	var injectee *flit.Flit
-	if len(arrivals) < links && a.ctrl.InjectionAllowed() {
+	if len(arrivals) < a.links && a.ctrl.InjectionAllowed() {
 		if f := env.InjectionHead(); f != nil {
 			arrivals = append(arrivals, f)
 			injectee = f
@@ -228,8 +238,9 @@ func (a *AFC) stepBufferless(cycle uint64) {
 	}
 
 	flit.SortByAge(arrivals)
+	free := env.FreeOutMask()
 	for _, f := range arrivals {
-		out := a.deflectionAssign(f, cycle)
+		out := a.deflectionAssign(f, free, cycle)
 		if out == flit.Invalid {
 			panic("router: afc bufferless mode failed to assign an output")
 		}
@@ -241,26 +252,29 @@ func (a *AFC) stepBufferless(cycle uint64) {
 		if out == flit.Local {
 			a.ctrl.netFlits.Add(-1)
 		}
+		free &^= 1 << uint(out)
 		a.send(out, f, cycle)
 	}
 }
 
-// deflectionAssign picks the Flit-Bless-style output for f (never Invalid
-// for a legal candidate count, by the port-counting argument).
-func (a *AFC) deflectionAssign(f *flit.Flit, cycle uint64) flit.Port {
+// deflectionAssign picks the Flit-Bless-style output for f from the
+// free-output bitmask (never Invalid for a legal candidate count, by the
+// port-counting argument).
+func (a *AFC) deflectionAssign(f *flit.Flit, free uint8, cycle uint64) flit.Port {
 	env := a.env
-	if f.Dst == env.Node && env.OutputFree(flit.Local) {
+	node := env.Node
+	if int(f.Dst) == node && free&(1<<uint(flit.Local)) != 0 {
 		return flit.Local
 	}
-	order := routing.DeflectionOrder(a.algo, env.Mesh(), env.Node, f.Dst)
-	prod := a.algo.Productive(env.Mesh(), env.Node, f.Dst)
+	order := a.table.DeflectionAt(node, int(f.Dst))
+	prodLen := a.table.ProductiveLenAt(node, int(f.Dst))
 	for i := 0; i < order.Len(); i++ {
 		p := order.At(i)
-		if env.OutputFree(p) {
-			if f.Dst == env.Node || i >= prod.Len() {
+		if free&(1<<uint(p)) != 0 {
+			if int(f.Dst) == node || i >= prodLen {
 				f.Deflections++
 				a.ctrl.windowDeflections.Add(1)
-				env.Events().Record(cycle, events.Deflect, env.Node, p, f.PacketID, f.ID, int32(f.Deflections))
+				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p
 		}
@@ -278,6 +292,7 @@ func (a *AFC) stepBuffered(cycle uint64) {
 			continue
 		}
 		env.In[p] = nil
+		env.InMask &^= 1 << uint(p)
 		a.fifos[p].push(bufEntry{f: f, ready: cycle + 1})
 		f.Buffered++
 		env.Meter().BufferWrite()
@@ -285,25 +300,26 @@ func (a *AFC) stepBuffered(cycle uint64) {
 		env.Events().Record(cycle, events.Buffered, env.Node, p, f.PacketID, f.ID, int32(a.fifos[p].len()))
 	}
 
-	req := a.req
-	for i := range req {
-		for o := range req[i] {
-			req[i][o] = false
-		}
+	// Request matrix: one output-mask word per input. Sendability is one
+	// bitmask for the whole round — nothing launches before allocation, so
+	// it equals a CanSend call per probe.
+	for i := range a.req {
+		a.req[i] = 0
 	}
+	sendable := uint64(env.SendableMask())
 	heads := [flit.NumPorts]*flit.Flit{}
 
 	desired := func(f *flit.Flit) routing.PortList {
-		if f.Dst == env.Node {
+		if int(f.Dst) == env.Node {
 			return routing.Ports(flit.Local)
 		}
-		return a.algo.Productive(env.Mesh(), env.Node, f.Dst)
+		return a.table.ProductiveAt(env.Node, int(f.Dst))
 	}
 	request := func(i int, f *flit.Flit) {
 		ports := desired(f)
 		for k := 0; k < ports.Len(); k++ {
-			if out := ports.At(k); env.CanSend(out) {
-				req[i][out] = true
+			if bit := uint64(1) << uint(ports.At(k)); sendable&bit != 0 {
+				a.req[i] |= bit
 			}
 		}
 	}
@@ -322,7 +338,12 @@ func (a *AFC) stepBuffered(cycle uint64) {
 		}
 	}
 
-	grants := a.alloc.Allocate(req)
+	var grants []int
+	if a.reference {
+		grants = a.alloc.AllocateMask(a.req[:])
+	} else {
+		grants = a.fast.Allocate(a.req[:])
+	}
 	for i, o := range grants {
 		if o == -1 || heads[i] == nil {
 			continue
@@ -349,8 +370,7 @@ func (a *AFC) send(p flit.Port, f *flit.Flit, cycle uint64) {
 	env.Meter().CrossbarTraversal()
 	env.Stats().RoutedEvent(cycle)
 	if p != flit.Local {
-		next := env.Mesh().Neighbor(env.Node, p)
-		f.Route = routing.Request(a.algo, env.Mesh(), next, f.Dst)
+		f.Route = a.table.RequestAt(env.Neighbor(p), int(f.Dst))
 	}
 	env.Send(p, f)
 }

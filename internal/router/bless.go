@@ -15,6 +15,7 @@
 package router
 
 import (
+	"dxbar/internal/core"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -30,16 +31,40 @@ type Bless struct {
 	env  *sim.Env
 	algo routing.Algorithm
 
-	arrivals []*flit.Flit // per-Step scratch, reused across cycles
+	// table precomputes algo (shared network-wide when the factory passes a
+	// *routing.Table); links caches the node's link count; reference selects
+	// the branchy oracle path over the bit-parallel one.
+	table     *routing.Table
+	links     int
+	reference bool
+
+	arrivals []*flit.Flit   // per-Step scratch, reused across cycles
+	cands    core.PortState // fast-path SoA gather, reused across cycles
 }
 
 // NewBless builds a Flit-Bless router for the Env's node.
 func NewBless(env *sim.Env, algo routing.Algorithm) *Bless {
-	return &Bless{env: env, algo: algo, arrivals: make([]*flit.Flit, 0, flit.NumPorts)}
+	mesh := env.Mesh()
+	return &Bless{
+		env:      env,
+		algo:     algo,
+		table:    routing.NewTable(algo, mesh, mesh.Nodes()),
+		links:    mesh.LinkCount(env.Node),
+		arrivals: make([]*flit.Flit, 0, flit.NumPorts),
+	}
 }
+
+// SetReferenceArbitration switches the router to its branchy reference path
+// (the oracle the bit-parallel fast path is proven bit-identical to). Call
+// before the first Step.
+func (b *Bless) SetReferenceArbitration(on bool) { b.reference = on }
 
 // Step implements sim.Router.
 func (b *Bless) Step(cycle uint64) {
+	if !b.reference {
+		b.stepFast(cycle)
+		return
+	}
 	env := b.env
 	mesh := env.Mesh()
 	node := env.Node
@@ -56,6 +81,7 @@ func (b *Bless) Step(cycle uint64) {
 			arrivals = append(arrivals, f)
 		}
 	}
+	env.InMask = 0
 
 	// Injection rule: a free input slot this cycle admits one new flit,
 	// which then competes as the youngest candidate.
@@ -90,17 +116,17 @@ func (b *Bless) assign(f *flit.Flit, cycle uint64) flit.Port {
 	env := b.env
 	mesh := env.Mesh()
 	node := env.Node
-	if f.Dst == node && env.OutputFree(flit.Local) {
+	if int(f.Dst) == node && env.OutputFree(flit.Local) {
 		return flit.Local
 	}
-	order := routing.DeflectionOrder(b.algo, mesh, node, f.Dst)
-	prod := b.algo.Productive(mesh, node, f.Dst)
+	order := routing.DeflectionOrder(b.algo, mesh, node, int(f.Dst))
+	prod := b.algo.Productive(mesh, node, int(f.Dst))
 	for i := 0; i < order.Len(); i++ {
 		p := order.At(i)
 		if env.OutputFree(p) {
 			// Ports beyond the productive prefix are deflections; a flit
 			// that has arrived but lost ejection is also deflected.
-			if f.Dst == node || i >= prod.Len() {
+			if int(f.Dst) == node || i >= prod.Len() {
 				f.Deflections++
 				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
@@ -120,6 +146,79 @@ func (b *Bless) send(p flit.Port, f *flit.Flit, cycle uint64) {
 	}
 	// Look-ahead: compute the flit's request at the downstream router.
 	next := env.Mesh().Neighbor(env.Node, p)
-	f.Route = routing.Request(b.algo, env.Mesh(), next, f.Dst)
+	f.Route = routing.Request(b.algo, env.Mesh(), next, int(f.Dst))
+	env.Send(p, f)
+}
+
+// stepFast is the bit-parallel path: candidates gathered into an SoA
+// PortState, output availability tracked as one bitmask, every routing query
+// a table load. Bit-identical to the reference Step (the equivalence suite
+// drives both).
+func (b *Bless) stepFast(cycle uint64) {
+	env := b.env
+	ps := &b.cands
+	ps.Reset()
+	for p := flit.North; p <= flit.West; p++ {
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			ps.Add(f, p)
+		}
+	}
+	env.InMask = 0
+	var injectee *flit.Flit
+	if ps.N < b.links {
+		if f := env.InjectionHead(); f != nil {
+			injectee = f
+			ps.Add(f, flit.Local)
+		}
+	}
+	ps.SortAge()
+
+	free := env.FreeOutMask()
+	for i := 0; i < ps.N; i++ {
+		s := ps.Order[i]
+		f := ps.Flits[s]
+		assigned := b.assignFast(f, int(ps.Dst[s]), free, cycle)
+		if assigned == flit.Invalid {
+			panic("router: bless failed to assign an output port")
+		}
+		if f == injectee {
+			env.ConsumeInjection(cycle)
+		}
+		free &^= 1 << uint(assigned)
+		b.sendFast(assigned, f, cycle)
+	}
+}
+
+// assignFast is assign over the free-output bitmask and the routing table.
+func (b *Bless) assignFast(f *flit.Flit, dst int, free uint8, cycle uint64) flit.Port {
+	env := b.env
+	node := env.Node
+	if dst == node && free&(1<<uint(flit.Local)) != 0 {
+		return flit.Local
+	}
+	order := b.table.DeflectionAt(node, dst)
+	prodLen := b.table.ProductiveLenAt(node, dst)
+	for i := 0; i < order.Len(); i++ {
+		p := order.At(i)
+		if free&(1<<uint(p)) != 0 {
+			if dst == node || i >= prodLen {
+				f.Deflections++
+				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
+			}
+			return p
+		}
+	}
+	return flit.Invalid
+}
+
+// sendFast is send with the table look-ahead.
+func (b *Bless) sendFast(p flit.Port, f *flit.Flit, cycle uint64) {
+	env := b.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if p != flit.Local {
+		f.Route = b.table.RequestAt(env.Neighbor(p), int(f.Dst))
+	}
 	env.Send(p, f)
 }

@@ -2,6 +2,7 @@ package router
 
 import (
 	"dxbar/internal/arbiter"
+	"dxbar/internal/bitarb"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -66,11 +67,23 @@ type Buffered struct {
 	// (the split design steers arrivals round-robin; it falls back to the
 	// other FIFO only when the preferred one is full).
 	nextFIFO [flit.NumLinkPorts]int
-	alloc    *arbiter.Separable
+	// alloc is the branchy reference allocator, fast its bit-parallel twin
+	// (grant-for-grant identical; reference selects which one runs).
+	alloc     *arbiter.Separable
+	fast      *bitarb.Separable
+	reference bool
 
-	// Per-Step allocator scratch, cleared and reused every cycle.
-	req  [][]bool
-	cand [flit.NumPorts][flit.NumPorts]candidate
+	// table is the precomputed form of algo (shared network-wide when the
+	// factory passes a *routing.Table).
+	table *routing.Table
+
+	// Per-Step allocator scratch, reused every cycle: the request matrix as
+	// one output-mask word per input, the sendable-output mask, and the
+	// candidate behind each set request bit (stale entries are never read —
+	// a grant only lands on a bit set this cycle).
+	req      [flit.NumPorts]uint64
+	sendable uint64
+	cand     [flit.NumPorts][flit.NumPorts]candidate
 }
 
 // candidate is the flit (and its source queue; nil = injection port) behind
@@ -84,15 +97,14 @@ type candidate struct {
 // router. The engine must be configured with BufferDepth 4 or 8
 // respectively so credits match buffer capacity.
 func NewBuffered(env *sim.Env, algo routing.Algorithm, split bool) *Buffered {
+	mesh := env.Mesh()
 	b := &Buffered{
 		env:   env,
 		algo:  algo,
 		split: split,
 		alloc: arbiter.NewSeparable(flit.NumPorts, flit.NumPorts),
-		req:   make([][]bool, flit.NumPorts),
-	}
-	for i := range b.req {
-		b.req[i] = make([]bool, flit.NumPorts)
+		fast:  bitarb.NewSeparable(flit.NumPorts, flit.NumPorts),
+		table: routing.NewTable(algo, mesh, mesh.Nodes()),
 	}
 	for p := range b.fifos {
 		if split {
@@ -103,6 +115,11 @@ func NewBuffered(env *sim.Env, algo routing.Algorithm, split bool) *Buffered {
 	}
 	return b
 }
+
+// SetReferenceArbitration switches the router to the branchy reference
+// allocator (the oracle the bit-parallel one is proven grant-for-grant
+// identical to). Call before the first Step.
+func (b *Buffered) SetReferenceArbitration(on bool) { b.reference = on }
 
 // fifoDepth is the per-FIFO capacity (4 flits, paper §III.A).
 const fifoDepth = 4
@@ -118,6 +135,7 @@ func (b *Buffered) Step(cycle uint64) {
 			continue
 		}
 		env.In[p] = nil
+		env.InMask &^= 1 << uint(p)
 		q := b.pickQueue(p)
 		if q == nil {
 			panic("router: buffered input overflow (credit violation)")
@@ -130,14 +148,14 @@ func (b *Buffered) Step(cycle uint64) {
 	}
 
 	// Build the request matrix: inputs 0..3 are the link FIFOs, input 4 is
-	// the PE injection port. The matrix and candidate table live on the
-	// router and are cleared in place each cycle.
+	// the PE injection port. One mask word per input; candidate entries are
+	// only written under freshly set bits, so no clearing pass is needed.
+	// Sendability is one bitmask for the whole round — nothing launches
+	// before allocation, so it equals a CanSend call per probe.
 	for i := range b.req {
-		for o := range b.req[i] {
-			b.req[i][o] = false
-			b.cand[i][o] = candidate{}
-		}
+		b.req[i] = 0
 	}
+	b.sendable = uint64(env.SendableMask())
 
 	for p := flit.North; p <= flit.West; p++ {
 		for _, q := range b.fifos[p] {
@@ -151,7 +169,12 @@ func (b *Buffered) Step(cycle uint64) {
 	}
 
 	// Switch allocation and traversal.
-	grants := b.alloc.Allocate(b.req)
+	var grants []int
+	if b.reference {
+		grants = b.alloc.AllocateMask(b.req[:])
+	} else {
+		grants = b.fast.Allocate(b.req[:])
+	}
 	for i, o := range grants {
 		if o == -1 {
 			continue
@@ -192,12 +215,13 @@ func (b *Buffered) requestPorts(i int, q *entryQueue, f *flit.Flit) {
 	ports := b.desiredPorts(f)
 	for k := 0; k < ports.Len(); k++ {
 		p := ports.At(k)
-		if !b.env.CanSend(p) {
+		bit := uint64(1) << uint(p)
+		if b.sendable&bit == 0 {
 			continue
 		}
 		o := int(p)
-		if !b.req[i][o] || (b.cand[i][o].f != nil && f.Older(b.cand[i][o].f)) {
-			b.req[i][o] = true
+		if b.req[i]&bit == 0 || (b.cand[i][o].f != nil && f.Older(b.cand[i][o].f)) {
+			b.req[i] |= bit
 			b.cand[i][o] = candidate{q: q, f: f}
 		}
 	}
@@ -207,10 +231,10 @@ func (b *Buffered) requestPorts(i int, q *entryQueue, f *flit.Flit) {
 // when arrived, otherwise the algorithm's productive set (all of it for the
 // adaptive WF, the single DOR port otherwise).
 func (b *Buffered) desiredPorts(f *flit.Flit) routing.PortList {
-	if f.Dst == b.env.Node {
+	if int(f.Dst) == b.env.Node {
 		return routing.Ports(flit.Local)
 	}
-	return b.algo.Productive(b.env.Mesh(), b.env.Node, f.Dst)
+	return b.table.ProductiveAt(b.env.Node, int(f.Dst))
 }
 
 func (b *Buffered) send(p flit.Port, f *flit.Flit, cycle uint64) {
@@ -218,8 +242,7 @@ func (b *Buffered) send(p flit.Port, f *flit.Flit, cycle uint64) {
 	env.Meter().CrossbarTraversal()
 	env.Stats().RoutedEvent(cycle)
 	if p != flit.Local {
-		next := env.Mesh().Neighbor(env.Node, p)
-		f.Route = routing.Request(b.algo, env.Mesh(), next, f.Dst)
+		f.Route = b.table.RequestAt(env.Neighbor(p), int(f.Dst))
 	}
 	env.Send(p, f)
 }

@@ -1,6 +1,7 @@
 package router
 
 import (
+	"dxbar/internal/core"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
 	"dxbar/internal/routing"
@@ -15,15 +16,44 @@ import (
 type Scarab struct {
 	env *sim.Env
 
-	arrivals []*flit.Flit // per-Step scratch, reused across cycles
+	// table is the precomputed minimal-adaptive routing (shared network-wide
+	// when built by the factory); links caches the node's link count;
+	// reference selects the branchy oracle path over the bit-parallel one.
+	table     *routing.Table
+	links     int
+	reference bool
+
+	arrivals []*flit.Flit   // per-Step scratch, reused across cycles
+	cands    core.PortState // fast-path SoA gather, reused across cycles
 }
 
 // NewScarab builds a SCARAB router. SCARAB's routing is minimal adaptive
 // without turn restrictions (bufferless networks cannot deadlock), so no
 // routing.Algorithm parameter exists.
 func NewScarab(env *sim.Env) *Scarab {
-	return &Scarab{env: env, arrivals: make([]*flit.Flit, 0, flit.NumPorts)}
+	return NewScarabTable(env, nil)
 }
+
+// NewScarabTable is NewScarab with a shared precomputed minimal-adaptive
+// routing table (nil builds a private one — fine for single routers and
+// small test meshes; network factories share one table across all routers).
+func NewScarabTable(env *sim.Env, table *routing.Table) *Scarab {
+	mesh := env.Mesh()
+	if table == nil {
+		table = routing.NewTable(routing.MinimalAdaptive{}, mesh, mesh.Nodes())
+	}
+	return &Scarab{
+		env:      env,
+		table:    table,
+		links:    mesh.LinkCount(env.Node),
+		arrivals: make([]*flit.Flit, 0, flit.NumPorts),
+	}
+}
+
+// SetReferenceArbitration switches the router to its branchy reference path
+// (the oracle the bit-parallel fast path is proven bit-identical to). Call
+// before the first Step.
+func (s *Scarab) SetReferenceArbitration(on bool) { s.reference = on }
 
 // minimalPorts returns the (up to two) minimal directions toward dst,
 // larger-offset dimension first — SCARAB's fully adaptive minimal set.
@@ -64,6 +94,10 @@ func minimalPorts(env *sim.Env, at, dst int) routing.PortList {
 
 // Step implements sim.Router.
 func (s *Scarab) Step(cycle uint64) {
+	if !s.reference {
+		s.stepFast(cycle)
+		return
+	}
 	env := s.env
 	mesh := env.Mesh()
 	node := env.Node
@@ -79,10 +113,11 @@ func (s *Scarab) Step(cycle uint64) {
 			arrivals = append(arrivals, f)
 		}
 	}
+	env.InMask = 0
 	flit.SortByAge(arrivals)
 
 	for _, f := range arrivals {
-		if f.Dst == node {
+		if int(f.Dst) == node {
 			if env.OutputFree(flit.Local) {
 				s.send(flit.Local, f, cycle)
 			} else {
@@ -102,7 +137,7 @@ func (s *Scarab) Step(cycle uint64) {
 	// are taken — the source never drops.
 	if len(arrivals) < links {
 		if f := env.InjectionHead(); f != nil {
-			if f.Dst == node {
+			if int(f.Dst) == node {
 				// Patterns never map a node to itself; defensive.
 				if env.OutputFree(flit.Local) {
 					env.ConsumeInjection(cycle)
@@ -118,8 +153,89 @@ func (s *Scarab) Step(cycle uint64) {
 	}
 }
 
+// stepFast is the bit-parallel path: arrivals gathered into an SoA
+// PortState, output availability one bitmask, routing queries table loads.
+// Bit-identical to the reference Step (the equivalence suite drives both).
+func (s *Scarab) stepFast(cycle uint64) {
+	env := s.env
+	node := env.Node
+
+	ps := &s.cands
+	ps.Reset()
+	for p := flit.North; p <= flit.West; p++ {
+		if f := env.In[p]; f != nil {
+			env.In[p] = nil
+			ps.Add(f, p)
+		}
+	}
+	env.InMask = 0
+	ps.SortAge()
+
+	free := env.FreeOutMask()
+	for i := 0; i < ps.N; i++ {
+		k := ps.Order[i]
+		f := ps.Flits[k]
+		dst := int(ps.Dst[k])
+		out := flit.Invalid
+		if dst == node {
+			if free&(1<<uint(flit.Local)) != 0 {
+				out = flit.Local
+			}
+		} else {
+			out = s.freeProductiveFast(dst, free)
+		}
+		if out == flit.Invalid {
+			s.drop(f, cycle)
+			continue
+		}
+		free &^= 1 << uint(out)
+		s.sendFast(out, f, cycle)
+	}
+
+	// Injection: permitted when an input slot was free (arrivals counted
+	// before injection, as in the reference path).
+	if ps.N < s.links {
+		if f := env.InjectionHead(); f != nil {
+			if int(f.Dst) == node {
+				if free&(1<<uint(flit.Local)) != 0 {
+					env.ConsumeInjection(cycle)
+					s.sendFast(flit.Local, f, cycle)
+				}
+				return
+			}
+			if p := s.freeProductiveFast(int(f.Dst), free); p != flit.Invalid {
+				env.ConsumeInjection(cycle)
+				s.sendFast(p, f, cycle)
+			}
+		}
+	}
+}
+
+// freeProductiveFast is freeProductive over the routing table and the
+// free-output bitmask.
+func (s *Scarab) freeProductiveFast(dst int, free uint8) flit.Port {
+	ports := s.table.ProductiveAt(s.env.Node, dst)
+	for i := 0; i < ports.Len(); i++ {
+		if p := ports.At(i); free&(1<<uint(p)) != 0 {
+			return p
+		}
+	}
+	return flit.Invalid
+}
+
+// sendFast is send with the table look-ahead.
+func (s *Scarab) sendFast(p flit.Port, f *flit.Flit, cycle uint64) {
+	env := s.env
+	env.Meter().CrossbarTraversal()
+	env.Stats().RoutedEvent(cycle)
+	if p != flit.Local {
+		f.Route = s.table.RequestAt(env.Neighbor(p), int(f.Dst))
+	}
+	env.Send(p, f)
+}
+
 func (s *Scarab) freeProductive(f *flit.Flit) flit.Port {
-	ports := minimalPorts(s.env, s.env.Node, f.Dst)
+	ports := minimalPorts(s.env, s.env.Node, int(f.Dst))
 	for i := 0; i < ports.Len(); i++ {
 		if p := ports.At(i); s.env.OutputFree(p) {
 			return p
@@ -134,7 +250,7 @@ func (s *Scarab) send(p flit.Port, f *flit.Flit, cycle uint64) {
 	env.Stats().RoutedEvent(cycle)
 	if p != flit.Local {
 		next := env.Mesh().Neighbor(env.Node, p)
-		ports := minimalPorts(env, next, f.Dst)
+		ports := minimalPorts(env, next, int(f.Dst))
 		if ports.Len() == 0 {
 			f.Route = flit.Local
 		} else {
@@ -149,7 +265,7 @@ func (s *Scarab) send(p flit.Port, f *flit.Flit, cycle uint64) {
 // hop back, then the source re-injects.
 func (s *Scarab) drop(f *flit.Flit, cycle uint64) {
 	env := s.env
-	dist := env.Mesh().Distance(env.Node, f.Src)
+	dist := env.Mesh().Distance(env.Node, int(f.Src))
 	env.Stats().DroppedFlit(cycle, env.Node)
 	env.Events().Record(cycle, events.Drop, env.Node, flit.Invalid, f.PacketID, f.ID, int32(dist))
 	env.Meter().NackHops(dist)

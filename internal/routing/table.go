@@ -1,0 +1,160 @@
+package routing
+
+import (
+	"fmt"
+
+	"dxbar/internal/flit"
+)
+
+// MinimalAdaptive is fully-adaptive minimal routing without turn
+// restrictions: both minimal directions toward the destination, the
+// larger-offset dimension first. SCARAB uses it (bufferless drop networks
+// cannot deadlock, so no turn model is needed).
+type MinimalAdaptive struct{}
+
+// Name implements Algorithm.
+func (MinimalAdaptive) Name() string { return "MIN" }
+
+// Adaptive implements Algorithm.
+func (MinimalAdaptive) Adaptive() bool { return true }
+
+// Productive implements Algorithm.
+func (MinimalAdaptive) Productive(m Mesh, at, dst int) PortList {
+	ax, ay := m.XY(at)
+	dx, dy := m.XY(dst)
+	var xPort, yPort flit.Port = flit.Invalid, flit.Invalid
+	if dx > ax {
+		xPort = flit.East
+	} else if dx < ax {
+		xPort = flit.West
+	}
+	if dy > ay {
+		yPort = flit.South
+	} else if dy < ay {
+		yPort = flit.North
+	}
+	xd, yd := abs(dx-ax), abs(dy-ay)
+	var ports PortList
+	if xd >= yd {
+		if xPort != flit.Invalid {
+			ports.Add(xPort)
+		}
+		if yPort != flit.Invalid {
+			ports.Add(yPort)
+		}
+	} else {
+		if yPort != flit.Invalid {
+			ports.Add(yPort)
+		}
+		if xPort != flit.Invalid {
+			ports.Add(xPort)
+		}
+	}
+	return ports
+}
+
+// Table is a routing algorithm precomputed over every (node, destination)
+// pair of one mesh: the data-oriented form of the Algorithm interface. The
+// productive set and the deflection order are packed into one uint16 each
+// (four 3-bit port entries plus a 3-bit length), so a routing query on the
+// cycle hot path is a single table load and a few shifts instead of
+// coordinate arithmetic behind an interface call.
+//
+// A Table is itself an Algorithm (the mesh argument of the interface methods
+// is ignored — the table was built for one mesh), so it drops into every
+// router constructor unchanged. It is immutable after construction and safe
+// to share across all routers of a network and across shard workers.
+type Table struct {
+	algo  Algorithm
+	nodes int
+	prod  []uint16 // packed Productive, indexed at*nodes+dst
+	defl  []uint16 // packed DeflectionOrder
+}
+
+// packList packs a PortList into 16 bits: length in bits 12..14, entry i in
+// bits 3i..3i+2. Lists only ever hold cardinal ports (values 0..3).
+func packList(l PortList) uint16 {
+	v := uint16(l.n) << 12
+	for i := 0; i < l.n; i++ {
+		v |= uint16(l.ports[i]) << uint(3*i)
+	}
+	return v
+}
+
+func unpackList(v uint16) PortList {
+	// Branch-free decode: mask the packed word down to its n live 3-bit
+	// fields first, then unpack all four slots unconditionally — dead slots
+	// decode from masked-off zero bits, reproducing the zero-initialized
+	// tail the loop version left behind.
+	var l PortList
+	n := int(v >> 12)
+	w := uint32(v) & (0xFFF >> uint(12-3*n))
+	l.n = n
+	l.ports[0] = flit.Port(w & 7)
+	l.ports[1] = flit.Port(w >> 3 & 7)
+	l.ports[2] = flit.Port(w >> 6 & 7)
+	l.ports[3] = flit.Port(w >> 9 & 7)
+	return l
+}
+
+// NewTable precomputes algo over all nodes² pairs of m. If algo is already a
+// *Table it is returned as-is, so constructors may wrap unconditionally.
+func NewTable(algo Algorithm, m Mesh, nodes int) *Table {
+	if t, ok := algo.(*Table); ok {
+		return t
+	}
+	if nodes <= 0 {
+		panic(fmt.Sprintf("routing: table needs a positive node count, got %d", nodes))
+	}
+	t := &Table{
+		algo:  algo,
+		nodes: nodes,
+		prod:  make([]uint16, nodes*nodes),
+		defl:  make([]uint16, nodes*nodes),
+	}
+	for at := 0; at < nodes; at++ {
+		row := at * nodes
+		for dst := 0; dst < nodes; dst++ {
+			t.prod[row+dst] = packList(algo.Productive(m, at, dst))
+			t.defl[row+dst] = packList(DeflectionOrder(algo, m, at, dst))
+		}
+	}
+	return t
+}
+
+// Name implements Algorithm (the underlying algorithm's name).
+func (t *Table) Name() string { return t.algo.Name() }
+
+// Adaptive implements Algorithm.
+func (t *Table) Adaptive() bool { return t.algo.Adaptive() }
+
+// Productive implements Algorithm; the mesh argument is ignored.
+func (t *Table) Productive(_ Mesh, at, dst int) PortList {
+	return unpackList(t.prod[at*t.nodes+dst])
+}
+
+// ProductiveAt is the table-native productive query (no interface, no mesh).
+func (t *Table) ProductiveAt(at, dst int) PortList {
+	return unpackList(t.prod[at*t.nodes+dst])
+}
+
+// RequestAt is the look-ahead routing decision at node `at`: the preferred
+// productive port, or Local when the flit has arrived.
+func (t *Table) RequestAt(at, dst int) flit.Port {
+	v := t.prod[at*t.nodes+dst]
+	if v>>12 == 0 {
+		return flit.Local
+	}
+	return flit.Port(v & 7)
+}
+
+// DeflectionAt is the table-native deflection-order query.
+func (t *Table) DeflectionAt(at, dst int) PortList {
+	return unpackList(t.defl[at*t.nodes+dst])
+}
+
+// ProductiveLenAt returns the size of the productive set without unpacking
+// the list (deflection routers compare a rank against it).
+func (t *Table) ProductiveLenAt(at, dst int) int {
+	return int(t.prod[at*t.nodes+dst] >> 12)
+}

@@ -1,0 +1,116 @@
+package routing_test
+
+import (
+	"testing"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/routing"
+	"dxbar/internal/topology"
+)
+
+func portsEqual(a, b routing.PortList) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.At(i) != b.At(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTableMatchesAlgorithm verifies every precomputed entry against the
+// direct computation, for all three algorithms on square and rectangular
+// meshes — the table is a pure cache, so any divergence is a packing bug.
+func TestTableMatchesAlgorithm(t *testing.T) {
+	meshes := []*topology.Mesh{
+		topology.MustMesh(2, 2),
+		topology.MustMesh(8, 8),
+		topology.MustMesh(4, 7),
+	}
+	algos := []routing.Algorithm{routing.DOR{}, routing.WestFirst{}, routing.MinimalAdaptive{}}
+	for _, m := range meshes {
+		for _, a := range algos {
+			tab := routing.NewTable(a, m, m.Nodes())
+			if tab.Name() != a.Name() || tab.Adaptive() != a.Adaptive() {
+				t.Fatalf("%s: table metadata mismatch", a.Name())
+			}
+			for at := 0; at < m.Nodes(); at++ {
+				for dst := 0; dst < m.Nodes(); dst++ {
+					wantProd := a.Productive(m, at, dst)
+					if got := tab.ProductiveAt(at, dst); !portsEqual(got, wantProd) {
+						t.Fatalf("%s %dx%d at=%d dst=%d: productive %v, want %v",
+							a.Name(), m.Width, m.Height, at, dst, got.Slice(), wantProd.Slice())
+					}
+					if got := tab.Productive(m, at, dst); !portsEqual(got, wantProd) {
+						t.Fatalf("%s: interface Productive diverges at (%d,%d)", a.Name(), at, dst)
+					}
+					if got, want := tab.RequestAt(at, dst), routing.Request(a, m, at, dst); got != want {
+						t.Fatalf("%s at=%d dst=%d: request %v, want %v", a.Name(), at, dst, got, want)
+					}
+					wantDefl := routing.DeflectionOrder(a, m, at, dst)
+					if got := tab.DeflectionAt(at, dst); !portsEqual(got, wantDefl) {
+						t.Fatalf("%s at=%d dst=%d: deflection %v, want %v",
+							a.Name(), at, dst, got.Slice(), wantDefl.Slice())
+					}
+					if got := tab.ProductiveLenAt(at, dst); got != wantProd.Len() {
+						t.Fatalf("%s at=%d dst=%d: productive len %d, want %d",
+							a.Name(), at, dst, got, wantProd.Len())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestTableIdempotentWrap: wrapping a table returns the same table.
+func TestTableIdempotentWrap(t *testing.T) {
+	m := topology.MustMesh(4, 4)
+	tab := routing.NewTable(routing.DOR{}, m, m.Nodes())
+	if again := routing.NewTable(tab, m, m.Nodes()); again != tab {
+		t.Fatal("NewTable(table) built a copy")
+	}
+}
+
+// TestMinimalAdaptiveProperties: the minimal set is nonempty off-destination,
+// contains only minimal directions, and orders the larger offset first.
+func TestMinimalAdaptiveProperties(t *testing.T) {
+	m := topology.MustMesh(8, 8)
+	a := routing.MinimalAdaptive{}
+	for at := 0; at < m.Nodes(); at++ {
+		for dst := 0; dst < m.Nodes(); dst++ {
+			ports := a.Productive(m, at, dst)
+			if at == dst {
+				if ports.Len() != 0 {
+					t.Fatalf("at==dst but %v", ports.Slice())
+				}
+				continue
+			}
+			if ports.Len() == 0 {
+				t.Fatalf("no minimal port from %d to %d", at, dst)
+			}
+			d0 := m.Distance(at, dst)
+			for i := 0; i < ports.Len(); i++ {
+				nb := m.Neighbor(at, ports.At(i))
+				if nb == -1 || m.Distance(nb, dst) != d0-1 {
+					t.Fatalf("port %v from %d to %d is not minimal", ports.At(i), at, dst)
+				}
+			}
+			ax, ay := m.XY(at)
+			dx, dy := m.XY(dst)
+			xd, yd := dx-ax, dy-ay
+			if xd < 0 {
+				xd = -xd
+			}
+			if yd < 0 {
+				yd = -yd
+			}
+			if xd >= yd && xd > 0 {
+				if p := ports.At(0); p != flit.East && p != flit.West {
+					t.Fatalf("larger X offset but first port %v", p)
+				}
+			}
+		}
+	}
+}

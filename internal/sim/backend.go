@@ -75,13 +75,20 @@ func (b seqBackend) routerPhase(c uint64) {
 
 // checkConsumed panics if a router left an input latch occupied — the
 // Router contract requires every latched flit to be consumed during Step.
+// A router that consumes its inputs through InMask clears the mask, making
+// the check one byte test; a router that scans In directly leaves the mask
+// set and pays the full latch scan here (the mask is reset either way).
 func checkConsumed(env *Env, node int, c uint64) {
+	if env.InMask == 0 {
+		return
+	}
 	for p := 0; p < flit.NumLinkPorts; p++ {
 		if env.In[p] != nil {
 			panic(fmt.Sprintf("sim: router %d left input %s unconsumed at cycle %d: %v",
 				node, flit.Port(p), c, env.In[p]))
 		}
 	}
+	env.InMask = 0
 }
 
 // stagedRetx is one retransmission a router scheduled during the parallel
@@ -89,6 +96,12 @@ func checkConsumed(env *Env, node int, c uint64) {
 // engine's event wheel in node order (the wheel's slot order is delivery
 // order at the retransmit cycle, so insertion order must match the
 // sequential engine's).
+// stagedCredit is one deferred ReturnCredit call (sharded mode).
+type stagedCredit struct {
+	env  *Env
+	port flit.Port
+}
+
 type stagedRetx struct {
 	f     *flit.Flit
 	delay uint64
@@ -109,13 +122,13 @@ type shard struct {
 	meter *energy.Meter
 	coll  *stats.Collector
 
-	// creditReturns stages upstream credit-return closures. A returned
-	// credit enters the counter's delay pipeline and is invisible until the
+	// creditReturns stages upstream credit returns. A returned credit
+	// enters the counter's delay pipeline and is invisible until the
 	// engine ticks the pipelines after the link phase, so applying returns
 	// at the barrier instead of mid-phase is observationally identical —
 	// staging exists to keep one shard from writing a neighbour shard's
 	// counter concurrently.
-	creditReturns []func()
+	creditReturns []stagedCredit
 
 	// retx counts retransmissions staged across the shard's envs this
 	// cycle, so the barrier can skip the env scan entirely in the common
@@ -268,8 +281,8 @@ func (b *shardedBackend) merge(c uint64) {
 	}
 
 	for _, s := range b.shards {
-		for _, fn := range s.creditReturns {
-			fn()
+		for _, cr := range s.creditReturns {
+			cr.env.applyReturn(cr.port)
 		}
 		s.creditReturns = s.creditReturns[:0]
 		e.meter.Absorb(s.meter)

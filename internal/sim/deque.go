@@ -1,6 +1,9 @@
 package sim
 
-import "dxbar/internal/flit"
+import (
+	"dxbar/internal/flit"
+	"dxbar/internal/traffic"
+)
 
 // flitDeque is a growable ring deque backing the per-node injection queue.
 // Generation pushes at the back, retransmissions push at the front, routers
@@ -64,6 +67,56 @@ func (q *flitDeque) grow() {
 		size = 16
 	}
 	next := make([]*flit.Flit, size)
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+// specDeque is a growable ring of packet specs awaiting materialization.
+// Generated packets are queued as compact specs and turned into pooled flits
+// only when the injection deque runs low (Env.topUpInjection), so the live
+// flit population is bounded by the in-network capacity plus a small slack —
+// not by the injection backlog, which grows without bound above saturation.
+type specDeque struct {
+	buf  []traffic.PacketSpec
+	head int
+	n    int
+	// flits is the total flit count across queued specs (injectionLen and
+	// the engine's drain condition count unmaterialized flits too).
+	flits int
+}
+
+func (q *specDeque) len() int { return q.n }
+
+func (q *specDeque) pushBack(s traffic.PacketSpec) {
+	if q.n == len(q.buf) {
+		q.growSpec()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = s
+	q.n++
+	q.flits += int(s.NumFlits)
+}
+
+func (q *specDeque) popFront() traffic.PacketSpec {
+	s := q.buf[q.head]
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	q.flits -= int(s.NumFlits)
+	return s
+}
+
+func (q *specDeque) clear() {
+	q.head, q.n, q.flits = 0, 0, 0
+}
+
+func (q *specDeque) growSpec() {
+	size := len(q.buf) * 2
+	if size == 0 {
+		size = 16
+	}
+	next := make([]traffic.PacketSpec, size)
 	for i := 0; i < q.n; i++ {
 		next[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
 	}

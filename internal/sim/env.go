@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 
 	"dxbar/internal/buffer"
 	"dxbar/internal/energy"
@@ -9,6 +10,7 @@ import (
 	"dxbar/internal/flit"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
+	"dxbar/internal/traffic"
 )
 
 // Env is a router's complete view of the network: its input latches, output
@@ -20,21 +22,58 @@ type Env struct {
 	// Node is this router's node index.
 	Node int
 	// In holds the flit latched on each cardinal input port this cycle
-	// (nil = none). The router must consume every entry during Step.
-	In [flit.NumLinkPorts]*flit.Flit
+	// (nil = none). The router must consume every entry during Step. InMask
+	// mirrors it (bit p set = In[p] != nil, maintained by the engine's land
+	// loop) so gather loops visit only occupied latches; a router that
+	// consumes In through the mask clears it.
+	In     [flit.NumLinkPorts]*flit.Flit
+	InMask uint8
 
-	out [flit.NumPorts]*flit.Flit
+	// out holds the flits launched this cycle; outMask mirrors it as a
+	// bitmask (bit p set = out[p] != nil) so the engine's link phase can skip
+	// idle routers with one load instead of five.
+	out     [flit.NumPorts]*flit.Flit
+	outMask uint8
+
+	// portMask caches the node's cardinal link bitmask; blockedMask tracks
+	// output ports whose downstream credits are exhausted (bit maintained at
+	// Consume time in Send and at maturation time in tickCredits, the only
+	// two places Available changes mid-run); creditTickMask tracks counters
+	// with returns in flight (set by the upstream Return closure), so the
+	// per-cycle credit sweep touches only live pipelines.
+	portMask       uint8
+	blockedMask    uint8
+	creditTickMask uint8
+
+	// neighbors caches the node reached through each cardinal output port
+	// (-1 = no link), so look-ahead sends skip the mesh arithmetic.
+	neighbors [flit.NumLinkPorts]int32
 
 	// downCredits[p] tracks free buffer space at the neighbour reached
 	// through output port p (nil when bufferless or no link).
 	downCredits [flit.NumLinkPorts]*buffer.Credits
-	// upCredit[p] returns one credit to the neighbour that feeds input
-	// port p (wired by the engine; nil when bufferless or no link).
-	upCredit [flit.NumLinkPorts]func()
+	// upCredits[p] is the neighbour counter replenished when a flit that
+	// arrived through input port p frees its slot (nil when bufferless or no
+	// link); upOwner/upBit locate the bit to set in that neighbour's
+	// creditTickMask. Plain data instead of a closure keeps ReturnCredit
+	// direct-call inlinable on the hot path.
+	upCredits [flit.NumLinkPorts]*buffer.Credits
+	upOwner   [flit.NumLinkPorts]*Env
+	upBit     [flit.NumLinkPorts]uint8
 
-	injection   flitDeque
-	bufferDepth int
-	creditDelay int
+	// nbrEnv[p] is the Env reached through output port p (nil when the link
+	// does not exist), and nbrIn[p] the input-port index there — the land
+	// loop's per-link lookups resolved once at wiring time instead of two
+	// dependent slice indexes per landed flit per cycle.
+	nbrEnv [flit.NumLinkPorts]*Env
+	nbrIn  [flit.NumLinkPorts]flit.Port
+
+	injection flitDeque
+	// pendingSpecs holds generated packets not yet materialized into flits
+	// (see specDeque / topUpInjection).
+	pendingSpecs specDeque
+	bufferDepth  int
+	creditDelay  int
 
 	// meter, coll and rec are what this node's router writes through: the
 	// engine's masters in sequential mode, or the owning shard's scratch
@@ -55,8 +94,20 @@ type Env struct {
 }
 
 func newEnv(e *Engine, node, bufferDepth, creditDelay int) *Env {
-	return &Env{engine: e, Node: node, bufferDepth: bufferDepth, creditDelay: creditDelay}
+	env := &Env{
+		engine: e, Node: node,
+		bufferDepth: bufferDepth, creditDelay: creditDelay,
+		portMask: e.mesh.PortMask(node),
+	}
+	for p := flit.North; p <= flit.West; p++ {
+		env.neighbors[p] = int32(e.mesh.Neighbor(node, p))
+	}
+	return env
 }
+
+// Neighbor returns the node reached through cardinal output port p (-1 when
+// the link does not exist) — a cached-array load, for router hot paths.
+func (env *Env) Neighbor(p flit.Port) int { return int(env.neighbors[p]) }
 
 // createCredits instantiates this node's downstream credit counters (first
 // wiring pass — must run for every env before wireCredits).
@@ -65,9 +116,10 @@ func (env *Env) createCredits() {
 		return
 	}
 	m := env.engine.mesh
+	slab := env.engine.creditSlab
 	for p := flit.North; p <= flit.West; p++ {
 		if m.HasPort(env.Node, p) {
-			env.downCredits[p] = buffer.NewCredits(env.bufferDepth, env.creditDelay)
+			env.downCredits[p] = &slab[env.Node*flit.NumLinkPorts+int(p)]
 		}
 	}
 }
@@ -89,8 +141,9 @@ func (env *Env) wireCredits() {
 		// counter.
 		counter := env.engine.envs[nb].downCredits[p.Opposite()]
 		if counter != nil {
-			port := p
-			env.upCredit[port] = counter.Return
+			env.upCredits[p] = counter
+			env.upOwner[p] = env.engine.envs[nb]
+			env.upBit[p] = uint8(1) << uint(p.Opposite())
 		}
 	}
 }
@@ -143,7 +196,7 @@ func (env *Env) CanSend(p flit.Port) bool {
 // credited links and computes the flit's look-ahead route for the next
 // router via the caller-provided route (already stored in f.Route).
 func (env *Env) Send(p flit.Port, f *flit.Flit) {
-	if !env.HasLink(p) {
+	if p != flit.Local && env.portMask&(1<<uint(p)) == 0 {
 		panic(fmt.Sprintf("sim: node %d sending through missing port %s", env.Node, p))
 	}
 	if env.out[p] != nil {
@@ -152,9 +205,38 @@ func (env *Env) Send(p flit.Port, f *flit.Flit) {
 	if p != flit.Local {
 		if c := env.downCredits[p]; c != nil {
 			c.Consume()
+			if !c.CanSend() {
+				env.blockedMask |= 1 << uint(p)
+			}
 		}
 	}
 	env.out[p] = f
+	env.outMask |= 1 << uint(p)
+}
+
+// SendableMask returns the bitmask of output ports the router may launch
+// through this cycle — bit p set means CanSend(p) — over all five ports.
+// Routers compute it once at the start of their Step and clear bits as they
+// send, replacing a CanSend call (link test, latch test, credit test) per
+// arbitration attempt with one bit test.
+func (env *Env) SendableMask() uint8 {
+	m := env.portMask &^ (env.outMask | env.blockedMask)
+	if env.out[flit.Local] == nil {
+		m |= 1 << uint(flit.Local)
+	}
+	return m
+}
+
+// FreeOutMask returns the bitmask of output ports that exist and are still
+// undriven this cycle (bit p set = HasLink(p) && OutputFree(p), plus Local) —
+// the credit-blind companion of SendableMask for deflection paths, which may
+// use a link regardless of downstream buffer space.
+func (env *Env) FreeOutMask() uint8 {
+	m := env.portMask &^ env.outMask
+	if env.out[flit.Local] == nil {
+		m |= 1 << uint(flit.Local)
+	}
+	return m
 }
 
 // OutputFree reports whether output latch p is still undriven this cycle.
@@ -169,15 +251,23 @@ func (env *Env) OutputFree(p flit.Port) bool { return env.out[p] == nil }
 // barrier-time application is observationally identical to the sequential
 // engine's mid-phase application.
 func (env *Env) ReturnCredit(p flit.Port) {
-	fn := env.upCredit[p]
-	if fn == nil {
+	c := env.upCredits[p]
+	if c == nil {
 		return
 	}
 	if s := env.shard; s != nil {
-		s.creditReturns = append(s.creditReturns, fn)
+		s.creditReturns = append(s.creditReturns, stagedCredit{env: env, port: p})
 		return
 	}
-	fn()
+	c.Return()
+	env.upOwner[p].creditTickMask |= env.upBit[p]
+}
+
+// applyReturn performs the staged credit return for input port p (barrier
+// replay in sharded mode — same effect as the sequential direct path).
+func (env *Env) applyReturn(p flit.Port) {
+	env.upCredits[p].Return()
+	env.upOwner[p].creditTickMask |= env.upBit[p]
 }
 
 // DownstreamCredits exposes the credit counter for output port p (nil when
@@ -222,7 +312,7 @@ func (env *Env) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 	if delay == 0 {
 		delay = 1
 	}
-	env.rec.Record(env.engine.cycle, events.Retransmit, f.Src, flit.Invalid,
+	env.rec.Record(env.engine.cycle, events.Retransmit, int(f.Src), flit.Invalid,
 		f.PacketID, f.ID, int32(delay))
 	env.pendingRetx = append(env.pendingRetx, stagedRetx{f: f, delay: delay})
 	env.shard.retx++
@@ -230,7 +320,28 @@ func (env *Env) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 
 func (env *Env) pushBackInjection(f *flit.Flit)  { env.injection.pushBack(f) }
 func (env *Env) pushFrontInjection(f *flit.Flit) { env.injection.pushFront(f) }
-func (env *Env) injectionLen() int               { return env.injection.len() }
+func (env *Env) pushSpec(s traffic.PacketSpec)   { env.pendingSpecs.pushBack(s) }
+func (env *Env) injectionLen() int               { return env.injection.len() + env.pendingSpecs.flits }
+
+// injectionSlack is the minimum number of materialized flits topUpInjection
+// keeps at the front of the injection deque while specs are pending. Routers
+// inject at most one flit per cycle, so any value >= 1 preserves behaviour;
+// a little slack keeps the top-up loop off most cycles.
+const injectionSlack = 8
+
+// topUpInjection materializes queued packet specs (whole packets, FIFO)
+// until the injection deque holds at least injectionSlack flits or no specs
+// remain. It runs in the engine's single-threaded generation phase, so the
+// shared flit pool is never touched concurrently by the parallel router
+// phase — routers only ever pop already-materialized flits.
+func (env *Env) topUpInjection(pool *flit.Pool) {
+	for env.injection.len() < injectionSlack && env.pendingSpecs.len() > 0 {
+		spec := env.pendingSpecs.popFront()
+		for i := uint16(0); i < spec.NumFlits; i++ {
+			env.injection.pushBack(spec.MaterializeFlit(pool, i))
+		}
+	}
+}
 
 // creditOccupancy returns the number of downstream buffer slots this node's
 // flow control currently holds: for each credited output link, the credits
@@ -247,11 +358,20 @@ func (env *Env) creditOccupancy() int {
 }
 
 func (env *Env) tickCredits() {
-	for _, c := range env.downCredits {
-		if c != nil {
-			c.Tick()
+	m := env.creditTickMask
+	var still uint8
+	for b := m; b != 0; b &= b - 1 {
+		p := bits.TrailingZeros8(b)
+		c := env.downCredits[p]
+		c.Tick()
+		if c.CanSend() {
+			env.blockedMask &^= uint8(1) << uint(p)
+		}
+		if c.HasPending() {
+			still |= uint8(1) << uint(p)
 		}
 	}
+	env.creditTickMask = still
 }
 
 // reset clears all per-run state: latches, the injection queue and the
@@ -264,7 +384,12 @@ func (env *Env) reset() {
 	for p := range env.out {
 		env.out[p] = nil
 	}
+	env.outMask = 0
+	env.blockedMask = 0
+	env.InMask = 0
+	env.creditTickMask = 0
 	env.injection.clear()
+	env.pendingSpecs.clear()
 	env.pendingRetx = env.pendingRetx[:0]
 	for _, c := range env.downCredits {
 		if c != nil {

@@ -22,8 +22,10 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"time"
 
+	"dxbar/internal/buffer"
 	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
@@ -106,8 +108,11 @@ type Engine struct {
 	envs    []*Env
 
 	// linkStage[n][p] holds the flit traversing the link out of node n's
-	// port p during the current cycle (the LT stage).
+	// port p during the current cycle (the LT stage); linkMask[n] mirrors the
+	// row as a bitmask so the land loop touches only nodes with in-flight
+	// flits — one byte load per idle node instead of four pointer loads.
 	linkStage [][]*flit.Flit
+	linkMask  []uint8
 
 	reasm []*flit.Reassembler
 
@@ -121,9 +126,6 @@ type Engine struct {
 	// rec is the flight recorder (nil when tracing is off).
 	rec *events.Recorder
 
-	// genScratch is the per-cycle staging slice for freshly generated flits.
-	genScratch []*flit.Flit
-
 	preCycle func(cycle uint64)
 
 	// backend runs the router phase: sequential, or sharded over worker
@@ -134,6 +136,11 @@ type Engine struct {
 
 	bufferDepth int
 	creditDelay int
+
+	// creditSlab backs every env's downstream credit counters (node-major,
+	// NumLinkPorts per node; entries for absent links stay unused) so the
+	// whole network's flow-control state is contiguous.
+	creditSlab []buffer.Credits
 
 	// telemetry is the optional live-metrics publication handle (see
 	// Config.Telemetry); retransmits counts scheduled retransmissions across
@@ -165,6 +172,7 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		source:      cfg.Source,
 		sink:        cfg.Sink,
 		linkStage:   make([][]*flit.Flit, n),
+		linkMask:    make([]uint8, n),
 		reasm:       make([]*flit.Reassembler, n),
 		wheel:       newEventWheel(64),
 		pool:        flit.NewPool(),
@@ -173,6 +181,9 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		preCycle:    cfg.PreCycle,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
+	}
+	if cfg.BufferDepth > 0 {
+		e.creditSlab = buffer.NewCreditsSlab(n*flit.NumLinkPorts, cfg.BufferDepth, cfg.CreditDelay)
 	}
 	e.envs = make([]*Env, n)
 	for i := 0; i < n; i++ {
@@ -183,11 +194,25 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 	// Two-pass credit wiring: every env's counters must exist before any
 	// return closure captures a neighbour's counter.
 	for i := 0; i < n; i++ {
-		e.envs[i].createCredits()
+		env := e.envs[i]
+		for p := flit.North; p <= flit.West; p++ {
+			if nb := env.neighbors[p]; nb >= 0 {
+				env.nbrEnv[p] = e.envs[nb]
+				env.nbrIn[p] = p.Opposite()
+			}
+		}
+		env.createCredits()
 	}
 	for i := 0; i < n; i++ {
 		e.envs[i].wireCredits()
 	}
+	// Size the flit pool from the topology: per node, up to NumPorts input
+	// latches + NumPorts output latches, the link stage, a router's internal
+	// buffering (bounded by 4*BufferDepth or the secondary-crossbar deque),
+	// and the materialized injection slack. Above-saturation backlog is
+	// queued as specs, not flits, so this bound holds at any load.
+	perNode := 2*flit.NumPorts + flit.NumLinkPorts + 4*cfg.BufferDepth + 16
+	e.pool.Prime(n * perNode)
 	e.shards = ResolveShards(cfg.Shards, cfg.Mesh.Width)
 	if e.shards > 1 {
 		e.backend = newShardedBackend(e, e.shards)
@@ -273,7 +298,7 @@ func (e *Engine) ScheduleRetransmit(f *flit.Flit, delay uint64) {
 		delay = 1
 	}
 	e.retransmits++
-	e.rec.Record(e.cycle, events.Retransmit, f.Src, flit.Invalid, f.PacketID, f.ID, int32(delay))
+	e.rec.Record(e.cycle, events.Retransmit, int(f.Src), flit.Invalid, f.PacketID, f.ID, int32(delay))
 	e.wheel.schedule(e.cycle, e.cycle+delay, f)
 }
 
@@ -291,18 +316,20 @@ func (e *Engine) Step() {
 		e.envs[f.Src].pushFrontInjection(f)
 	}
 
-	// Generation. Flits come out of the pool; the staging slice is reused
-	// across cycles so the steady-state path never allocates.
+	// Generation. Packets are queued as compact specs; flits materialize
+	// out of the pool only when a node's injection deque runs low, so the
+	// live flit population tracks the in-network load, not the injection
+	// backlog (which grows without bound above saturation and would
+	// otherwise force a fresh allocation for every backlog increment).
 	if e.source != nil {
-		for nIdx := range e.envs {
+		for nIdx, env := range e.envs {
 			for _, spec := range e.source.Generate(nIdx, c) {
-				fs := spec.AppendFlits(e.genScratch[:0], e.pool)
 				e.coll.PacketInjected(c)
-				e.coll.GeneratedFlits(c, len(fs))
-				for _, f := range fs {
-					e.envs[nIdx].pushBackInjection(f)
-				}
-				e.genScratch = fs[:0]
+				e.coll.GeneratedFlits(c, int(spec.NumFlits))
+				env.pushSpec(*spec)
+			}
+			if env.pendingSpecs.len() > 0 {
+				env.topUpInjection(e.pool)
 			}
 		}
 	}
@@ -313,44 +340,63 @@ func (e *Engine) Step() {
 	e.backend.routerPhase(c)
 
 	// Link phase: first land the flits that spent this cycle on the wire,
-	// then launch the freshly switched ones onto the wire.
+	// then launch the freshly switched ones onto the wire. Both loops walk
+	// activity bitmasks (linkMask / env.outMask) and visit ports in
+	// ascending bit order — the same order the dense loops used — so idle
+	// nodes cost one byte test and event ordering is unchanged.
 	for u := range e.envs {
-		for p := flit.North; p <= flit.West; p++ {
-			f := e.linkStage[u][p]
-			if f == nil {
-				continue
+		m := e.linkMask[u]
+		if m == 0 {
+			continue
+		}
+		e.linkMask[u] = 0
+		row := e.linkStage[u]
+		uenv := e.envs[u]
+		for b := m; b != 0; b &= b - 1 {
+			p := flit.Port(bits.TrailingZeros8(b))
+			f := row[p]
+			nb, q := uenv.nbrEnv[p], uenv.nbrIn[p]
+			if nb.In[q] != nil {
+				panic(fmt.Sprintf("sim: input latch collision at node %d port %s cycle %d", nb.Node, q, c))
 			}
-			v := e.mesh.Neighbor(u, p)
-			q := p.Opposite()
-			if e.envs[v].In[q] != nil {
-				panic(fmt.Sprintf("sim: input latch collision at node %d port %s cycle %d", v, q, c))
-			}
-			e.envs[v].In[q] = f
-			e.linkStage[u][p] = nil
+			nb.In[q] = f
+			nb.InMask |= 1 << uint(q)
+			row[p] = nil
 		}
 	}
+	launched := 0
 	for u, env := range e.envs {
+		m := env.outMask
+		if m == 0 {
+			continue
+		}
+		env.outMask = 0
 		// Ejection.
-		if f := env.out[flit.Local]; f != nil {
+		if m&(1<<uint(flit.Local)) != 0 {
+			f := env.out[flit.Local]
 			env.out[flit.Local] = nil
 			e.eject(u, f, c)
+			m &^= 1 << uint(flit.Local)
 		}
-		for p := flit.North; p <= flit.West; p++ {
+		for b := m; b != 0; b &= b - 1 {
+			p := flit.Port(bits.TrailingZeros8(b))
 			f := env.out[p]
-			if f == nil {
-				continue
-			}
 			env.out[p] = nil
 			f.Hops++
-			e.meter.LinkTraversal()
 			e.coll.LinkEvent(u, p, c)
 			e.linkStage[u][p] = f
 		}
+		launched += bits.OnesCount8(m)
+		e.linkMask[u] |= m
 	}
+	e.meter.AddLinkTraversals(uint64(launched))
 
-	// Credit pipelines.
+	// Credit pipelines. The mask check is hoisted out of the call so idle
+	// envs (no credits in flight) cost one load per cycle, not a call.
 	for _, env := range e.envs {
-		env.tickCredits()
+		if env.creditTickMask != 0 {
+			env.tickCredits()
+		}
 	}
 
 	// Time-series sampling: when the collector's sampler is due, hand it
@@ -467,7 +513,7 @@ func (e *Engine) bufferedFlits() int {
 }
 
 func (e *Engine) eject(node int, f *flit.Flit, c uint64) {
-	if f.Dst != node {
+	if int(f.Dst) != node {
 		panic(fmt.Sprintf("sim: flit %v ejected at wrong node %d", f, node))
 	}
 	e.coll.EjectedFlit(c)
@@ -533,6 +579,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 		for p := range e.linkStage[i] {
 			e.linkStage[i][p] = nil
 		}
+		e.linkMask[i] = 0
 		e.routers[i] = factory(e.envs[i])
 	}
 	return nil

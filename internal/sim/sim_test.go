@@ -23,7 +23,7 @@ func (r *passthrough) Step(cycle uint64) {
 			continue
 		}
 		env.In[p] = nil
-		if f.Dst == env.Node {
+		if int(f.Dst) == env.Node {
 			env.Send(flit.Local, f)
 			continue
 		}
@@ -183,7 +183,7 @@ func TestScheduleRetransmitReinjects(t *testing.T) {
 						continue
 					}
 					env.In[p] = nil
-					if f.Dst == env.Node {
+					if int(f.Dst) == env.Node {
 						env.Send(flit.Local, f)
 					} else if env.CanSend(flit.East) {
 						env.Send(flit.East, f)

@@ -87,7 +87,7 @@ func (r *passthroughXY) forward(f *flit.Flit) {
 func (r *passthroughXY) route(f *flit.Flit) flit.Port {
 	m := r.env.Mesh()
 	x, y := m.XY(r.env.Node)
-	dx, dy := m.XY(f.Dst)
+	dx, dy := m.XY(int(f.Dst))
 	switch {
 	case dx > x:
 		return flit.East

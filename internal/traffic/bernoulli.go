@@ -42,14 +42,22 @@ func (p PacketSpec) AppendFlits(dst []*flit.Flit, pool *flit.Pool) []*flit.Flit 
 	return dst
 }
 
+// MaterializeFlit builds flit seq of the packet out of the pool (the
+// engine's lazy injection path materializes one packet at a time this way).
+func (p PacketSpec) MaterializeFlit(pool *flit.Pool, seq uint16) *flit.Flit {
+	f := pool.Get()
+	p.fill(f, seq)
+	return f
+}
+
 func (p PacketSpec) fill(f *flit.Flit, seq uint16) {
 	*f = flit.Flit{
 		ID:             p.ID*uint64(p.NumFlits) + uint64(seq),
 		PacketID:       p.ID,
 		Seq:            seq,
 		NumFlits:       p.NumFlits,
-		Src:            p.Src,
-		Dst:            p.Dst,
+		Src:            int32(p.Src),
+		Dst:            int32(p.Dst),
 		Kind:           p.Kind,
 		InjectionCycle: p.Cycle,
 	}

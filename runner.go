@@ -199,6 +199,7 @@ func (r *runner) run(c Config) (Result, error) {
 		BufferDepth:          cfg.BufferDepth,
 		CreditDelay:          cfg.CreditDelay,
 		PortOrderArbitration: cfg.PortOrderArbitration,
+		ReferenceArbitration: cfg.ReferenceArbitration,
 		Events:               rec,
 		Shards:               cfg.Shards,
 		Telemetry:            tel,
