@@ -21,8 +21,11 @@
 //	dxbar-bench -tolerance 0.15     # allow 15% ns/cycle regression
 //	dxbar-bench -shards 4           # run the sharded engine (see Config.Shards)
 //	dxbar-bench -scale              # sharded-engine scaling study: sequential
-//	                                # vs sharded ns/cycle on 16×16 and 32×32,
-//	                                # written to bench/SCALE_<date>.json
+//	                                # vs sharded ns/cycle on 16×16, 32×32 and
+//	                                # 64×64, written to bench/SCALE_<date>.json
+//	dxbar-bench -scale -scale-gate  # same, failing if sharding loses to
+//	                                # sequential on a >=1024-node mesh with
+//	                                # >=2 effective shards
 //
 // The exit status is 1 when any design regresses beyond the tolerance, so
 // the tool can gate CI. When the baseline was measured under a different
@@ -111,7 +114,8 @@ func main() {
 		baseline  = flag.String("baseline", "", "explicit baseline record to compare against (default: latest earlier record in -out)")
 		noWrite   = flag.Bool("no-write", false, "measure and compare without writing a record")
 		shards    = flag.Int("shards", 0, "router-phase shards (0/1 sequential, -1 = GOMAXPROCS)")
-		scale     = flag.Bool("scale", false, "sharded-engine scaling study (16x16 and 32x32, sequential vs -shards) instead of the regression suite")
+		scale     = flag.Bool("scale", false, "sharded-engine scaling study (16x16, 32x32 and 64x64 at per-size below-saturation loads, sequential vs -shards) instead of the regression suite")
+		scaleGate = flag.Bool("scale-gate", false, "with -scale: exit 1 if any >=1024-node point with >=2 effective shards runs slower than sequential")
 	)
 	flag.Parse()
 
@@ -120,7 +124,10 @@ func main() {
 	}
 
 	if *scale {
-		runScale(*outDir, *label, *designsCS, *load, *pattern, *seed, *warmup, *cycles, *shards, *noWrite)
+		// The study picks its own per-size loads (see scaleSizes); -load is
+		// ignored here because one global load is either above saturation on
+		// the big meshes or idle on the small ones.
+		runScale(*outDir, *label, *designsCS, *pattern, *seed, *warmup, *cycles, *shards, *noWrite, *scaleGate)
 		return
 	}
 

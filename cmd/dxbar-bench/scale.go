@@ -2,27 +2,49 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strings"
 	"time"
 
 	"dxbar"
+	"dxbar/internal/sim"
 )
+
+// ScaleSchema is the JSON schema version of the SCALE_* record, independent
+// of the BENCH_* schema. Schema 2 records the requested and effective shard
+// counts separately, carries a per-point offered load, and omits the speedup
+// entirely when the sharded run degenerated to one effective shard — schema 1
+// silently wrote "shards": 1 next to a bogus speedup ratio on single-core
+// hosts.
+const ScaleSchema = 2
 
 // ScalePoint is one mesh-size measurement of the scaling study: the same
 // workload timed on the sequential engine and on the sharded engine.
 type ScalePoint struct {
 	Width  int `json:"width"`
 	Height int `json:"height"`
-	// Shards is the effective shard count of the sharded measurement.
-	Shards             int     `json:"shards"`
+	// Load is the offered load of this point. The study picks a
+	// below-saturation load per mesh size: above saturation the injection
+	// backlog grows without bound, the spec rings double forever, and the
+	// allocs/cycle column measures backlog growth instead of engine churn.
+	Load float64 `json:"load"`
+	// ShardsRequested is the -shards request (AutoShards = -1 as given);
+	// ShardsEffective is what sim.ResolveShards turned it into on this host
+	// and mesh. They differ on hosts with fewer CPUs than requested shards
+	// and on meshes too small for the requested grid.
+	ShardsRequested    int     `json:"shards_requested"`
+	ShardsEffective    int     `json:"shards_effective"`
 	NsPerCycleSeq      float64 `json:"ns_per_cycle_seq"`
 	NsPerCycleSharded  float64 `json:"ns_per_cycle_sharded"`
 	AllocsPerCycleSeq  float64 `json:"allocs_per_cycle_seq"`
 	AllocsPerCycleShrd float64 `json:"allocs_per_cycle_sharded"`
 	// Speedup is sequential ns/cycle over sharded ns/cycle (>1 = faster).
-	Speedup float64 `json:"speedup"`
+	// Null when ShardsEffective == 1: a "sharded" run on one shard is the
+	// sequential engine plus barrier overhead, and a ratio would compare
+	// nothing.
+	Speedup *float64 `json:"speedup,omitempty"`
 }
 
 // ScaleFile is the on-disk scaling record (bench/SCALE_<date>.json — a name
@@ -38,20 +60,31 @@ type ScaleFile struct {
 	GOMAXPROCS int          `json:"gomaxprocs"`
 	Design     string       `json:"design"`
 	Pattern    string       `json:"pattern"`
-	Load       float64      `json:"load"`
 	Points     []ScalePoint `json:"points"`
 }
 
 // scaleSizes are the large-mesh points of the scaling study — the sizes
-// where the router phase is wide enough for sharding to pay off.
-var scaleSizes = [][2]int{{16, 16}, {32, 32}}
+// where the router phase is wide enough for sharding to pay off — each with
+// its below-saturation offered load (larger meshes saturate at lower loads;
+// see ScalePoint.Load).
+var scaleSizes = []struct {
+	w, h int
+	load float64
+}{
+	{16, 16, 0.15},
+	{32, 32, 0.10},
+	{64, 64, 0.05},
+}
 
 // runScale measures the sharded engine against the sequential one on the
-// large meshes and writes bench/SCALE_<date>.json. The study is
-// informational (exit 0 regardless of speedup): on a single-core host the
-// sharded engine cannot beat sequential, and the record says so via the
-// recorded NumCPU/GOMAXPROCS.
-func runScale(outDir, label, designsCS string, load float64, pattern string, seed int64, warmup, cycles uint64, shards int, noWrite bool) {
+// large meshes and writes bench/SCALE_<date>.json. Without -scale-gate the
+// study is informational (exit 0 regardless of speedup); with it, any point
+// of ≥ 1024 nodes that runs ≥ 2 effective shards slower than sequential
+// fails the run — the CI guard for the large-mesh sharding regression.
+// Degenerate points (one effective shard, e.g. on a single-core host) never
+// report a speedup and never gate: the record documents the degeneracy
+// instead of inventing a comparison.
+func runScale(outDir, label, designsCS, pattern string, seed int64, warmup, cycles uint64, shards int, noWrite, gate bool) {
 	design := dxbar.DesignDXbar
 	if designsCS != "" {
 		design = dxbar.Design(strings.TrimSpace(strings.Split(designsCS, ",")[0]))
@@ -61,7 +94,7 @@ func runScale(outDir, label, designsCS string, load float64, pattern string, see
 	}
 
 	rec := ScaleFile{
-		Schema:     Schema,
+		Schema:     ScaleSchema,
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Label:      label,
 		GoVersion:  runtime.Version(),
@@ -69,14 +102,14 @@ func runScale(outDir, label, designsCS string, load float64, pattern string, see
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Design:     string(design),
 		Pattern:    pattern,
-		Load:       load,
 	}
-	fmt.Printf("dxbar-bench -scale: design=%s %s load=%.2f warmup=%d cycles=%d cpus=%d\n",
-		design, pattern, load, warmup, cycles, rec.NumCPU)
+	fmt.Printf("dxbar-bench -scale: design=%s %s warmup=%d cycles=%d cpus=%d shards=%d\n",
+		design, pattern, warmup, cycles, rec.NumCPU, shards)
 
+	gateFailed := false
 	for _, size := range scaleSizes {
 		cfg := BenchConfig{
-			Width: size[0], Height: size[1], Pattern: pattern, Load: load,
+			Width: size.w, Height: size.h, Pattern: pattern, Load: size.load,
 			Seed: seed, Warmup: warmup, Cycles: cycles, FlitsPkt: 1,
 		}
 		seq, err := measure(design, cfg)
@@ -89,42 +122,48 @@ func runScale(outDir, label, designsCS string, load float64, pattern string, see
 			fatal(err)
 		}
 		p := ScalePoint{
-			Width: size[0], Height: size[1],
-			Shards:             effectiveShards(shards, size[0]),
+			Width: size.w, Height: size.h, Load: size.load,
+			ShardsRequested:    shards,
+			ShardsEffective:    sim.ResolveShards(shards, size.w, size.h),
 			NsPerCycleSeq:      seq.NsPerCycle,
 			NsPerCycleSharded:  sh.NsPerCycle,
 			AllocsPerCycleSeq:  seq.AllocsPerCycle,
 			AllocsPerCycleShrd: sh.AllocsPerCycle,
-			Speedup:            seq.NsPerCycle / sh.NsPerCycle,
+		}
+		if p.ShardsEffective > 1 {
+			s := seq.NsPerCycle / sh.NsPerCycle
+			p.Speedup = &s
 		}
 		rec.Points = append(rec.Points, p)
-		fmt.Printf("%2dx%-2d seq %9.1f ns/cycle  sharded(%d) %9.1f ns/cycle  speedup %.2fx\n",
-			p.Width, p.Height, p.NsPerCycleSeq, p.Shards, p.NsPerCycleSharded, p.Speedup)
+
+		if p.Speedup != nil {
+			fmt.Printf("%2dx%-2d load %.2f  seq %9.1f ns/cycle  sharded(%d/%d) %9.1f ns/cycle  speedup %.2fx\n",
+				p.Width, p.Height, p.Load, p.NsPerCycleSeq, p.ShardsEffective, p.ShardsRequested,
+				p.NsPerCycleSharded, *p.Speedup)
+			if gate && size.w*size.h >= 1024 && *p.Speedup < 1.0 {
+				fmt.Fprintf(os.Stderr, "dxbar-bench: SCALE GATE: %dx%d sharded (%d shards) is %.2fx vs sequential, want >= 1.0x\n",
+					p.Width, p.Height, p.ShardsEffective, *p.Speedup)
+				gateFailed = true
+			}
+		} else {
+			fmt.Printf("%2dx%-2d load %.2f  seq %9.1f ns/cycle  sharded %9.1f ns/cycle  speedup n/a\n",
+				p.Width, p.Height, p.Load, p.NsPerCycleSeq, p.NsPerCycleSharded)
+			fmt.Fprintf(os.Stderr,
+				"dxbar-bench: WARNING: shards request %d resolved to 1 effective shard on this host "+
+					"(%d CPUs, GOMAXPROCS %d) — the \"sharded\" column is the sequential engine and no "+
+					"speedup is recorded\n",
+				shards, rec.NumCPU, rec.GOMAXPROCS)
+		}
 	}
 
-	if noWrite {
-		return
+	if !noWrite {
+		path := filepath.Join(outDir, "SCALE_"+time.Now().UTC().Format("2006-01-02")+".json")
+		if err := writeRecord(path, rec); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", path)
 	}
-	path := filepath.Join(outDir, "SCALE_"+time.Now().UTC().Format("2006-01-02")+".json")
-	if err := writeRecord(path, rec); err != nil {
-		fatal(err)
+	if gateFailed {
+		os.Exit(1)
 	}
-	fmt.Printf("\nwrote %s\n", path)
-}
-
-// effectiveShards mirrors sim.ResolveShards for reporting.
-func effectiveShards(n, width int) int {
-	if n == 0 || n == 1 {
-		return 1
-	}
-	if n < 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if n > width {
-		n = width
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
 }

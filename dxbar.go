@@ -142,13 +142,21 @@ type Config struct {
 	// records every kind.
 	EventKinds []string
 	// Shards runs the router phase of every cycle on that many parallel
-	// workers, each owning a column strip of the mesh. 0 or 1 selects the
-	// sequential engine; AutoShards (-1) sizes to the available CPUs; any
-	// value is clamped to the mesh width. Results are bit-identical to the
-	// sequential engine for every design, shard count and seed — sharding
-	// only changes wall-clock time, and only pays off on large meshes
-	// (16×16 and up).
+	// workers, each owning a rectangular tile of the mesh (a 2D grid chosen
+	// to minimize boundary links). 0 or 1 selects the sequential engine;
+	// AutoShards (-1) sizes to the available CPUs; an infeasible value is
+	// reduced to the largest grid factorization that fits the mesh. Results
+	// are bit-identical to the sequential engine for every design, shard
+	// count and seed — sharding only changes wall-clock time, and only pays
+	// off on large meshes (16×16 and up).
 	Shards int
+	// RebalanceInterval paces the sharded engine's dynamic tile rebalancing:
+	// every that many cycles the backend compares the per-shard router-phase
+	// times and migrates a boundary row or column from the hottest tile
+	// toward a cooler neighbour. 0 uses the engine default (1024); a
+	// negative value disables rebalancing. Migration never changes results —
+	// only which worker steps which node.
+	RebalanceInterval int
 	// Metrics attaches a live telemetry registry: the engine publishes flit
 	// and packet counters every cycle and gauges, the latency histogram and
 	// the per-shard execution profile at the metrics publish interval. Serve
@@ -217,9 +225,16 @@ type Result struct {
 	ShardProfile []sim.ShardProfile
 	// ShardImbalance is the max/mean cumulative router-phase time across
 	// shards (1.0 = perfectly balanced; 0 when ShardProfile is nil). A high
-	// ratio means the column-strip tiling is uneven for this workload and
-	// faster shards burn their surplus in BarrierWait.
+	// ratio means the tile grid is uneven for this workload and faster
+	// shards burn their surplus in BarrierWait — sustained imbalance is what
+	// dynamic rebalancing erodes.
 	ShardImbalance float64
+	// ShardRebalances and ShardNodesMigrated count the dynamic rebalancing
+	// passes that moved work and the total nodes they migrated between
+	// shards (populated only with Config.ShardProfile, like ShardProfile —
+	// migration activity is wall-clock-driven and varies run to run).
+	ShardRebalances    uint64
+	ShardNodesMigrated uint64
 }
 
 func (c *Config) withDefaults() Config {
@@ -408,6 +423,9 @@ type NetworkOptions struct {
 	Events *events.Recorder
 	// Shards parallelizes the router phase (see Config.Shards).
 	Shards int
+	// RebalanceInterval paces dynamic tile rebalancing (see
+	// Config.RebalanceInterval).
+	RebalanceInterval int
 	// Telemetry attaches a live-metrics publication handle (see
 	// Config.Metrics; built with metrics.NewSimTelemetry). Nil disables
 	// publication at zero cost.
@@ -471,17 +489,18 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		}
 	}
 	return sim.Config{
-		Mesh:        o.Mesh,
-		Meter:       meter,
-		Stats:       o.Stats,
-		Source:      o.Source,
-		Sink:        o.Sink,
-		BufferDepth: depth,
-		CreditDelay: o.CreditDelay,
-		PreCycle:    preCycle,
-		Events:      o.Events,
-		Telemetry:   o.Telemetry,
-		Shards:      o.Shards,
+		Mesh:              o.Mesh,
+		Meter:             meter,
+		Stats:             o.Stats,
+		Source:            o.Source,
+		Sink:              o.Sink,
+		BufferDepth:       depth,
+		CreditDelay:       o.CreditDelay,
+		PreCycle:          preCycle,
+		Events:            o.Events,
+		Telemetry:         o.Telemetry,
+		Shards:            o.Shards,
+		RebalanceInterval: o.RebalanceInterval,
 	}, factory, meter, nil
 }
 

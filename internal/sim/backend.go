@@ -9,6 +9,7 @@ import (
 	"dxbar/internal/energy"
 	"dxbar/internal/flit"
 	"dxbar/internal/stats"
+	"dxbar/internal/topology"
 )
 
 // backend executes the router phase (SA/ST for every node) of one cycle.
@@ -34,24 +35,47 @@ type backend interface {
 	resetProfile()
 }
 
+// DefaultRebalanceInterval is the default number of cycles between dynamic
+// shard-rebalancing checks (Config.RebalanceInterval = 0). Long enough that
+// each window's busy times average over thousands of router phases, short
+// enough that a shifting hotspot is chased within a fraction of a typical
+// measurement run.
+const DefaultRebalanceInterval = 1024
+
+// rebalanceThreshold is the minimum window imbalance ratio (max/mean
+// per-shard router-phase time) that triggers a boundary migration. Below it
+// the partition is considered balanced: migrating a row or column has a
+// rewiring cost and jitters the profile, so the engine only moves work when
+// at least one shard is clearly hotter than the mean.
+const rebalanceThreshold = 1.15
+
+// resolveRebalanceInterval maps Config.RebalanceInterval onto the backend's
+// check period: 0 = DefaultRebalanceInterval, negative = disabled.
+func resolveRebalanceInterval(n int) uint64 {
+	switch {
+	case n == 0:
+		return DefaultRebalanceInterval
+	case n < 0:
+		return 0
+	}
+	return uint64(n)
+}
+
 // ResolveShards maps a Config.Shards request onto an effective shard count
-// for a mesh of the given width: 0 or 1 selects the sequential engine, a
-// negative value auto-sizes to GOMAXPROCS, and any result is clamped to the
-// mesh width (a column-strip tile must own at least one column).
-func ResolveShards(n, width int) int {
+// for a width×height mesh: 0 or 1 selects the sequential engine, a negative
+// value auto-sizes to GOMAXPROCS, and any larger request is resolved to the
+// tile count of the boundary-minimizing 2D grid (topology.Grid2D) — the
+// largest feasible factorization at most the request, where every tile owns
+// at least one column and one row.
+func ResolveShards(n, width, height int) int {
 	if n == 0 || n == 1 {
 		return 1
 	}
 	if n < 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
-	if n > width {
-		n = width
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
+	gx, gy := topology.Grid2D(width, height, n)
+	return gx * gy
 }
 
 // seqBackend is the single-threaded router phase: every router steps on the
@@ -114,8 +138,11 @@ type stagedRetx struct {
 // order at the barrier (events, retransmits), which is what preserves
 // bit-identity with the sequential engine.
 type shard struct {
-	id    int
-	nodes []int // ascending node indices of the tile
+	id int
+	// nodes lists the tile's node indices in ascending order. Rebalancing
+	// rewrites it between cycles; capacity is preallocated to the whole mesh
+	// so migrations never allocate.
+	nodes []int
 
 	// meter and coll are the shard-local scratch the tile's routers write
 	// through their Env; the barrier absorbs both into the master.
@@ -136,9 +163,9 @@ type shard struct {
 	retx int
 }
 
-// shardedBackend runs the router phase tile-parallel. Each cycle it spawns
-// one goroutine per extra shard (shard 0 runs inline on the caller),
-// barriers on a WaitGroup, then merges the staged side effects:
+// shardedBackend runs the router phase tile-parallel over a 2D tile grid.
+// Each cycle it spawns one goroutine per extra shard (shard 0 runs inline on
+// the caller), barriers on a WaitGroup, then merges the staged side effects:
 //
 //  1. per-env event stages drain into the master recorder, and staged
 //     retransmissions enter the event wheel, both in ascending node order —
@@ -147,6 +174,12 @@ type shard struct {
 //     the credit delay pipeline and only become visible at Tick);
 //  3. shard scratch meters and collectors are absorbed into the masters
 //     (order-insensitive: pure counter sums).
+//
+// Because every cross-shard effect is staged and replayed in a
+// partition-independent order, the *shape* of the partition never leaks into
+// results — which is what makes dynamic rebalancing safe: the backend may
+// migrate boundary rows and columns between tiles at any barrier and stay
+// bit-identical to the sequential engine.
 //
 // Goroutine spawn per cycle costs well under a microsecond against router
 // phases that run hundreds of microseconds on the large meshes sharding
@@ -165,7 +198,8 @@ type shardedBackend struct {
 	// safe. The profiler observes the phase without feeding any simulation
 	// state, so it cannot perturb bit-identity, and its cost — two time.Now
 	// calls per shard per cycle — is noise against router phases that run for
-	// tens of microseconds; it is therefore always on.
+	// tens of microseconds; it is therefore always on. It doubles as the
+	// input signal for dynamic rebalancing below.
 	busy   []time.Duration
 	wait   []time.Duration
 	finish []time.Time
@@ -179,19 +213,63 @@ type shardedBackend struct {
 	// closure every call — which would break the engine's zero-alloc
 	// steady state.
 	workers []func()
+
+	// Partition state. The mesh is divided into gy horizontal bands of rows;
+	// band j spans rows [ycuts[j], ycuts[j+1]) and is divided into gx column
+	// ranges of its own: tile (i, j) — shard j*gx+i — spans columns
+	// [xcuts[j][i], xcuts[j][i+1]). Bands keep private x-cuts so column
+	// migrations in one band never disturb another; every tile stays a
+	// rectangle, so TileOf-style reasoning (and the boundary-link accounting
+	// of topology.BoundaryLinks) holds throughout a run.
+	gx, gy int
+	ycuts  []int
+	xcuts  [][]int
+	// nodeCounts mirrors len(shards[i].nodes) for telemetry (published as the
+	// dxbar_shard_nodes gauge without touching shard internals).
+	nodeCounts []int
+
+	// Dynamic rebalancing: every interval cycles the backend compares the
+	// shards' router-phase times over the window just ended and, when the
+	// hottest shard exceeds rebalanceThreshold times the mean, migrates one
+	// boundary row or column from it toward its coolest neighbour.
+	// interval <= 0 disables the checks (Engine.RebalanceShards still forces
+	// passes manually).
+	interval   uint64
+	lastBusy   []time.Duration
+	winBusy    []time.Duration
+	rebalances uint64
+	migrated   uint64
 }
 
-func newShardedBackend(e *Engine, n int) *shardedBackend {
-	tiles := e.mesh.Tiles(n)
+func newShardedBackend(e *Engine, n, rebalanceInterval int) *shardedBackend {
+	m := e.mesh
+	gx, gy := m.Grid2D(n)
+	count := gx * gy
 	b := &shardedBackend{
-		e:      e,
-		shards: make([]*shard, len(tiles)),
-		busy:   make([]time.Duration, len(tiles)),
-		wait:   make([]time.Duration, len(tiles)),
-		finish: make([]time.Time, len(tiles)),
+		e:          e,
+		shards:     make([]*shard, count),
+		busy:       make([]time.Duration, count),
+		wait:       make([]time.Duration, count),
+		finish:     make([]time.Time, count),
+		gx:         gx,
+		gy:         gy,
+		ycuts:      topology.SplitEven(m.Height, gy),
+		xcuts:      make([][]int, gy),
+		nodeCounts: make([]int, count),
+		lastBusy:   make([]time.Duration, count),
+		winBusy:    make([]time.Duration, count),
 	}
-	for i, t := range tiles {
-		b.shards[i] = &shard{id: i, nodes: t.Nodes}
+	b.interval = resolveRebalanceInterval(rebalanceInterval)
+	for j := 0; j < gy; j++ {
+		b.xcuts[j] = topology.SplitEven(m.Width, gx)
+	}
+	for i := range b.shards {
+		b.shards[i] = &shard{id: i, nodes: make([]int, 0, m.Nodes())}
+	}
+	for j := 0; j < gy; j++ {
+		for i := 0; i < gx; i++ {
+			b.rebuildShard(i, j)
+		}
 	}
 	for i := 1; i < len(b.shards); i++ {
 		s := b.shards[i]
@@ -201,6 +279,33 @@ func newShardedBackend(e *Engine, n int) *shardedBackend {
 		})
 	}
 	return b
+}
+
+// rebuildShard regenerates tile (i, j)'s node list from its rectangle and
+// rewires the migrated envs to the owning shard's scratch collectors. It
+// never allocates: node capacity is the whole mesh, and the env stages /
+// retransmit buffers are per-env, so they follow the node wherever it goes.
+func (b *shardedBackend) rebuildShard(i, j int) {
+	s := b.shards[j*b.gx+i]
+	w := b.e.mesh.Width
+	s.nodes = s.nodes[:0]
+	for y := b.ycuts[j]; y < b.ycuts[j+1]; y++ {
+		for x := b.xcuts[j][i]; x < b.xcuts[j][i+1]; x++ {
+			n := y*w + x
+			s.nodes = append(s.nodes, n)
+			// At construction the scratch collectors do not exist yet —
+			// wireCollectors runs right after and wires every env. During a
+			// mid-run migration they do, and only the env's ownership
+			// changes.
+			if s.meter != nil {
+				env := b.e.envs[n]
+				env.shard = s
+				env.meter = s.meter
+				env.coll = s.coll
+			}
+		}
+	}
+	b.nodeCounts[s.id] = len(s.nodes)
 }
 
 func (b *shardedBackend) shardCount() int { return len(b.shards) }
@@ -215,6 +320,9 @@ func (b *shardedBackend) routerPhase(c uint64) {
 	b.wg.Wait()
 	b.settleWaits()
 	b.merge(c)
+	if b.interval > 0 && (c+1)%b.interval == 0 {
+		b.rebalance(false)
+	}
 }
 
 func (b *shardedBackend) runShard(s *shard, c uint64) {
@@ -251,7 +359,10 @@ func (b *shardedBackend) resetProfile() {
 	for i := range b.busy {
 		b.busy[i] = 0
 		b.wait[i] = 0
+		b.lastBusy[i] = 0
 	}
+	b.rebalances = 0
+	b.migrated = 0
 }
 
 // merge applies every staged side effect of the finished router phase to
@@ -288,4 +399,124 @@ func (b *shardedBackend) merge(c uint64) {
 		e.meter.Absorb(s.meter)
 		e.coll.AbsorbRouterPhase(s.coll)
 	}
+}
+
+// Migration kinds of one rebalancing move, ordered by preference when a
+// forced pass finds no profitable candidate.
+const (
+	moveColWest  = iota // hot tile's westmost column -> western neighbour
+	moveColEast         // hot tile's eastmost column -> eastern neighbour
+	moveRowNorth        // hot band's top row -> band above (all its tiles)
+	moveRowSouth        // hot band's bottom row -> band below
+	moveNone
+)
+
+// rebalance runs one rebalancing pass: it reads the per-shard router-phase
+// profile over the window since the last pass and migrates one boundary
+// column (between the hottest tile and its in-band neighbour) or one
+// boundary row (between the hottest tile's band and an adjacent band) from
+// hot to cold. It runs on the coordinating goroutine between cycles, so the
+// partition is stable for the whole of every router phase. force skips the
+// imbalance threshold and, when no candidate is profitable, executes the
+// first feasible move anyway (tests force deterministic migrations with it).
+// It reports whether a migration happened. Bit-identity is unaffected either
+// way: the partition only decides which worker steps which node, never what
+// the step computes.
+func (b *shardedBackend) rebalance(force bool) bool {
+	var total, max time.Duration
+	hot := 0
+	for i, cum := range b.busy {
+		w := cum - b.lastBusy[i]
+		b.lastBusy[i] = cum
+		b.winBusy[i] = w
+		total += w
+		if w > b.winBusy[hot] {
+			hot = i
+		}
+	}
+	max = b.winBusy[hot]
+	if !force && (total == 0 || float64(max)*float64(len(b.shards)) <= rebalanceThreshold*float64(total)) {
+		return false
+	}
+
+	// Per-node busy rates decide where work should flow. A column move
+	// helps when the hot tile's rate exceeds its in-band neighbour's; a row
+	// move compares whole bands, because shifting a y-cut migrates a full
+	// mesh row across every tile pair of the two bands.
+	rate := func(id int) float64 {
+		if b.nodeCounts[id] == 0 {
+			return 0
+		}
+		return float64(b.winBusy[id]) / float64(b.nodeCounts[id])
+	}
+	bandRate := func(j int) float64 {
+		var busy time.Duration
+		nodes := 0
+		for i := 0; i < b.gx; i++ {
+			busy += b.winBusy[j*b.gx+i]
+			nodes += b.nodeCounts[j*b.gx+i]
+		}
+		if nodes == 0 {
+			return 0
+		}
+		return float64(busy) / float64(nodes)
+	}
+
+	hi, hj := hot%b.gx, hot/b.gx
+	tileWidth := b.xcuts[hj][hi+1] - b.xcuts[hj][hi]
+	bandHeight := b.ycuts[hj+1] - b.ycuts[hj]
+
+	// Candidate moves, scored by the rate gap work would flow down. A forced
+	// pass keeps the first feasible move even at zero gain (kind order is the
+	// tie-break); an unforced pass requires a strictly positive gap.
+	best, bestGain := moveNone, 0.0
+	consider := func(kind int, gain float64) {
+		if gain > bestGain || (force && best == moveNone) {
+			best, bestGain = kind, gain
+		}
+	}
+	if hi > 0 && tileWidth > 1 {
+		consider(moveColWest, rate(hot)-rate(hot-1))
+	}
+	if hi < b.gx-1 && tileWidth > 1 {
+		consider(moveColEast, rate(hot)-rate(hot+1))
+	}
+	if hj > 0 && bandHeight > 1 {
+		consider(moveRowNorth, bandRate(hj)-bandRate(hj-1))
+	}
+	if hj < b.gy-1 && bandHeight > 1 {
+		consider(moveRowSouth, bandRate(hj)-bandRate(hj+1))
+	}
+	if best == moveNone || (!force && bestGain <= 0) {
+		return false
+	}
+
+	switch best {
+	case moveColWest:
+		b.xcuts[hj][hi]++
+		b.migrated += uint64(bandHeight)
+		b.rebuildShard(hi-1, hj)
+		b.rebuildShard(hi, hj)
+	case moveColEast:
+		b.xcuts[hj][hi+1]--
+		b.migrated += uint64(bandHeight)
+		b.rebuildShard(hi, hj)
+		b.rebuildShard(hi+1, hj)
+	case moveRowNorth:
+		b.ycuts[hj]++
+		b.migrated += uint64(b.e.mesh.Width)
+		for i := 0; i < b.gx; i++ {
+			b.rebuildShard(i, hj-1)
+			b.rebuildShard(i, hj)
+		}
+	case moveRowSouth:
+		b.ycuts[hj+1]--
+		b.migrated += uint64(b.e.mesh.Width)
+		for i := 0; i < b.gx; i++ {
+			b.rebuildShard(i, hj)
+			b.rebuildShard(i, hj+1)
+		}
+	}
+	b.rebalances++
+	return true
 }

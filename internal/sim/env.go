@@ -102,6 +102,12 @@ func newEnv(e *Engine, node, bufferDepth, creditDelay int) *Env {
 	for p := flit.North; p <= flit.West; p++ {
 		env.neighbors[p] = int32(e.mesh.Neighbor(node, p))
 	}
+	// Prime the spec ring past the depths a below-saturation backlog reaches:
+	// without this, rare backlog spikes double the ring mid-run (the residual
+	// fraction-of-an-alloc per cycle the zero-alloc tests would flag). Above
+	// saturation the backlog is unbounded and the ring grows regardless —
+	// that regime is outside the steady-state guarantee.
+	env.pendingSpecs.prime(64)
 	return env
 }
 

@@ -89,12 +89,22 @@ type Config struct {
 	// results are bit-identical with telemetry on or off.
 	Telemetry *metrics.SimTelemetry
 	// Shards selects the cycle-engine backend: 0 or 1 runs the sequential
-	// engine, n > 1 partitions the mesh into n column-strip tiles stepped
-	// by parallel worker goroutines with a two-phase barrier per cycle, and
-	// a negative value auto-sizes to GOMAXPROCS. The effective count is
-	// clamped to the mesh width (ResolveShards). Results are bit-identical
-	// to the sequential engine for every design and shard count.
+	// engine, n > 1 partitions the mesh into a boundary-minimizing 2D grid
+	// of rectangular tiles stepped by parallel worker goroutines with a
+	// two-phase barrier per cycle, and a negative value auto-sizes to
+	// GOMAXPROCS. The effective count is the largest feasible grid
+	// factorization at most the request (ResolveShards). Results are
+	// bit-identical to the sequential engine for every design, shard count
+	// and rebalancing schedule.
 	Shards int
+	// RebalanceInterval is the period, in cycles, of the sharded backend's
+	// dynamic rebalancing checks: every interval cycles it compares the
+	// per-shard router-phase times over the window just ended and migrates a
+	// boundary row or column from the hottest tile toward a cooler
+	// neighbour. 0 selects DefaultRebalanceInterval; a negative value
+	// disables automatic rebalancing (Engine.RebalanceShards still forces
+	// passes manually). Ignored by the sequential engine.
+	RebalanceInterval int
 }
 
 // Engine drives one network.
@@ -213,9 +223,9 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 	// queued as specs, not flits, so this bound holds at any load.
 	perNode := 2*flit.NumPorts + flit.NumLinkPorts + 4*cfg.BufferDepth + 16
 	e.pool.Prime(n * perNode)
-	e.shards = ResolveShards(cfg.Shards, cfg.Mesh.Width)
+	e.shards = ResolveShards(cfg.Shards, cfg.Mesh.Width, cfg.Mesh.Height)
 	if e.shards > 1 {
-		e.backend = newShardedBackend(e, e.shards)
+		e.backend = newShardedBackend(e, e.shards, cfg.RebalanceInterval)
 	} else {
 		e.backend = seqBackend{e}
 	}
@@ -283,6 +293,32 @@ func (e *Engine) Pool() *flit.Pool { return e.pool }
 // Shards returns the resolved shard count of the engine's router-phase
 // backend (1 = sequential).
 func (e *Engine) Shards() int { return e.backend.shardCount() }
+
+// RebalanceShards forces one shard-rebalancing pass right now, between
+// cycles, regardless of the configured interval or the imbalance threshold:
+// the first feasible boundary migration executes even at zero measured gain.
+// It reports whether a migration happened (false on a sequential engine or
+// when the partition is down to single-row, single-column tiles). Tests use
+// it to force deterministic migrations mid-run; results are bit-identical
+// whether or when it is called.
+func (e *Engine) RebalanceShards() bool {
+	sb, ok := e.backend.(*shardedBackend)
+	if !ok {
+		return false
+	}
+	return sb.rebalance(true)
+}
+
+// ShardRebalances reports the dynamic-rebalancing totals so far: the number
+// of passes that migrated work, and the total mesh nodes moved between
+// shards. Zero on a sequential engine.
+func (e *Engine) ShardRebalances() (rebalances, nodesMigrated uint64) {
+	sb, ok := e.backend.(*shardedBackend)
+	if !ok {
+		return 0, 0
+	}
+	return sb.rebalances, sb.migrated
+}
 
 // ScheduleRetransmit re-enqueues f at the front of its source's injection
 // queue after delay cycles (SCARAB NACK path, fault recovery). The flit's
@@ -449,6 +485,9 @@ func (e *Engine) publishGauges(c uint64) {
 		QueuedFlits:   e.QueuedFlits(),
 		BufferedFlits: e.bufferedFlits(),
 	}, busy, wait)
+	if sb, ok := e.backend.(*shardedBackend); ok {
+		e.telemetry.OnShardState(sb.rebalances, sb.migrated, sb.nodeCounts)
+	}
 	if h := e.telemetry.Latency(); h != nil {
 		e.coll.PublishLatency(h)
 	}
@@ -557,7 +596,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 		return fmt.Errorf("sim: Reset requires BufferDepth=%d CreditDelay=%d (got %d, %d)",
 			e.bufferDepth, e.creditDelay, cfg.BufferDepth, cfg.CreditDelay)
 	}
-	if got := ResolveShards(cfg.Shards, e.mesh.Width); got != e.shards {
+	if got := ResolveShards(cfg.Shards, e.mesh.Width, e.mesh.Height); got != e.shards {
 		return fmt.Errorf("sim: Reset requires Shards resolving to %d (got %d)", e.shards, got)
 	}
 	e.meter = cfg.Meter
@@ -570,6 +609,12 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.cycle = 0
 	e.retransmits = 0
 	e.backend.resetProfile()
+	if sb, ok := e.backend.(*shardedBackend); ok {
+		// The rebalance schedule may change between runs; the partition
+		// itself carries over (it only decides worker assignment, never
+		// results, so a reused engine keeps its learned balance).
+		sb.interval = resolveRebalanceInterval(cfg.RebalanceInterval)
+	}
 	e.wheel.reset()
 	e.pool.DropOutstanding()
 	e.wireCollectors()

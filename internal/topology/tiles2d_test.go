@@ -1,0 +1,196 @@
+package topology
+
+import "testing"
+
+// TestTiles2DPartition mirrors TestTilesPartition for the 2D grid: exact
+// cover, ascending node order, TileOf agreement, and rectangle bounds that
+// tile the mesh with near-equal column/row splits.
+func TestTiles2DPartition(t *testing.T) {
+	for _, dims := range [][2]int{{8, 4}, {8, 8}, {5, 7}, {16, 2}} {
+		m := MustMesh(dims[0], dims[1])
+		for n := -1; n <= 12; n++ {
+			tiles := m.Tiles2D(n)
+			gx, gy := m.Grid2D(n)
+			if len(tiles) != gx*gy {
+				t.Fatalf("%dx%d Tiles2D(%d): %d tiles, want gx*gy = %d", dims[0], dims[1], n, len(tiles), gx*gy)
+			}
+			want := n
+			if want < 1 {
+				want = 1
+			}
+			if len(tiles) > want {
+				t.Fatalf("%dx%d Tiles2D(%d): %d tiles exceeds request", dims[0], dims[1], n, len(tiles))
+			}
+			seen := make([]bool, m.Nodes())
+			for i, tile := range tiles {
+				if tile.Index != i {
+					t.Errorf("Tiles2D(%d): tile %d has Index %d", n, i, tile.Index)
+				}
+				if tile.X0 >= tile.X1 || tile.Y0 >= tile.Y1 {
+					t.Errorf("Tiles2D(%d): tile %d has empty rectangle [%d,%d)x[%d,%d)",
+						n, i, tile.X0, tile.X1, tile.Y0, tile.Y1)
+				}
+				wantLen := (tile.X1 - tile.X0) * (tile.Y1 - tile.Y0)
+				if len(tile.Nodes) != wantLen {
+					t.Errorf("Tiles2D(%d): tile %d has %d nodes, rectangle holds %d", n, i, len(tile.Nodes), wantLen)
+				}
+				prev := -1
+				for _, node := range tile.Nodes {
+					if node <= prev {
+						t.Fatalf("Tiles2D(%d): tile %d nodes not ascending: %v", n, i, tile.Nodes)
+					}
+					prev = node
+					if seen[node] {
+						t.Fatalf("Tiles2D(%d): node %d in two tiles", n, node)
+					}
+					seen[node] = true
+					if !tile.Contains(m, node) {
+						t.Errorf("Tiles2D(%d): tile %d lists node %d outside its rectangle", n, i, node)
+					}
+					if got := m.TileOf(tiles, node); got != i {
+						t.Errorf("Tiles2D(%d): TileOf(%d) = %d, want %d", n, node, got, i)
+					}
+				}
+			}
+			for node, ok := range seen {
+				if !ok {
+					t.Errorf("Tiles2D(%d): node %d unowned", n, node)
+				}
+			}
+			// Tile sizes must stay near-equal: SplitEven guarantees column and
+			// row spans within one of each other.
+			for _, tile := range tiles {
+				if w := tile.X1 - tile.X0; w < m.Width/gx || w > m.Width/gx+1 {
+					t.Errorf("Tiles2D(%d): tile %d spans %d columns, want %d or %d", n, tile.Index, w, m.Width/gx, m.Width/gx+1)
+				}
+				if h := tile.Y1 - tile.Y0; h < m.Height/gy || h > m.Height/gy+1 {
+					t.Errorf("Tiles2D(%d): tile %d spans %d rows, want %d or %d", n, tile.Index, h, m.Height/gy, m.Height/gy+1)
+				}
+			}
+		}
+	}
+}
+
+// TestGrid2DFeasibility pins the factorization rules: exact grids only, both
+// dimensions clamped to the mesh, infeasible counts reduced to the largest
+// feasible one.
+func TestGrid2DFeasibility(t *testing.T) {
+	cases := []struct {
+		w, h, n, gx, gy int
+	}{
+		{8, 8, 1, 1, 1},
+		{8, 8, 4, 2, 2},       // square grid beats 4 or 1x4 strips
+		{8, 8, 16, 4, 4},      // square again
+		{8, 8, 8, 4, 2},       // cost 3*8+1*8 = 32 beats 8x1 (56) and 2x4 (32, tie -> wider)
+		{8, 8, 13, 4, 3},      // 13 is infeasible; falls back to 12 = 4x3
+		{8, 2, 4, 4, 1},       // only 2 rows: 2x2 (cost 2+8=10) loses to 4x1 (3*2=6)
+		{2, 8, 4, 1, 4},       // transposed
+		{4, 4, 32, 4, 4},      // clamped to the 16-node mesh
+		{8, 8, 1 << 20, 8, 8}, // clamped to 64 single-node tiles
+	}
+	for _, c := range cases {
+		gx, gy := Grid2D(c.w, c.h, c.n)
+		if gx != c.gx || gy != c.gy {
+			t.Errorf("Grid2D(%d, %d, %d) = %dx%d, want %dx%d", c.w, c.h, c.n, gx, gy, c.gx, c.gy)
+		}
+	}
+}
+
+// TestTiles2DBoundaryLinks checks BoundaryLinks for grids with vertical
+// cuts: a 2-band split of an 8×4 mesh cuts only North/South links (Width
+// links per direction), and a 2×2 grid cuts both orientations.
+func TestTiles2DBoundaryLinks(t *testing.T) {
+	m := MustMesh(8, 4)
+
+	// Force a pure horizontal cut: 1x2 grid (2 tiles on an 8-wide, 4-tall
+	// mesh resolves to 1 vertical band x 2 horizontal bands: cost 1*8=8
+	// beats 2x1's 1*4=4... so build the bands explicitly via Tiles2D on a
+	// transposed-need mesh instead).
+	tall := MustMesh(4, 8)
+	tiles := tall.Tiles2D(2) // 1x2: a horizontal cut of 4 vertical link pairs
+	if gx, gy := tall.Grid2D(2); gx != 1 || gy != 2 {
+		t.Fatalf("Grid2D(4, 8, 2) = %dx%d, want 1x2", gx, gy)
+	}
+	cross := tall.BoundaryLinks(tiles)
+	if want := 2 * tall.Width; len(cross) != want {
+		t.Fatalf("1x2 grid: %d boundary links, want %d", len(cross), want)
+	}
+	for _, l := range cross {
+		fx, fy := tall.XY(l.From)
+		tx, ty := tall.XY(l.To)
+		if fx != tx {
+			t.Errorf("boundary link %d->%d is horizontal; a horizontal band cut severs only vertical links", l.From, l.To)
+		}
+		if d := fy - ty; d != 1 && d != -1 {
+			t.Errorf("boundary link %d->%d spans %d rows", l.From, l.To, d)
+		}
+	}
+
+	// 2x2 grid on 6x4 (on 8x4 four column strips tie with 2x2 at 12 cut
+	// pairs and the tie-break keeps the wider grid): one vertical cut (4
+	// rows x 2 dirs) + one horizontal cut (6 columns x 2 dirs).
+	m = MustMesh(6, 4)
+	tiles = m.Tiles2D(4)
+	if gx, gy := m.Grid2D(4); gx != 2 || gy != 2 {
+		t.Fatalf("Grid2D(6, 4, 4) = %dx%d, want 2x2", gx, gy)
+	}
+	if got, want := len(m.BoundaryLinks(tiles)), 2*m.Height+2*m.Width; got != want {
+		t.Errorf("2x2 grid: %d boundary links, want %d", got, want)
+	}
+}
+
+// TestTiles2DMinimality is the tentpole's raison d'etre: on a square mesh
+// the 2D grid must beat column strips. 8×8 over 4 tiles: a 2×2 grid cuts 32
+// directed links, 4 column strips cut 48.
+func TestTiles2DMinimality(t *testing.T) {
+	m := MustMesh(8, 8)
+	grid := len(m.BoundaryLinks(m.Tiles2D(4)))
+	strips := len(m.BoundaryLinks(m.Tiles(4)))
+	if grid != 32 || strips != 48 {
+		t.Fatalf("boundary links: grid %d (want 32), strips %d (want 48)", grid, strips)
+	}
+	if grid >= strips {
+		t.Errorf("2x2 grid (%d cut links) must beat 4 column strips (%d)", grid, strips)
+	}
+
+	// And the chosen factorization must be optimal over all feasible grids,
+	// measured by the real BoundaryLinks count, for a spread of meshes and
+	// tile counts.
+	for _, dims := range [][2]int{{8, 8}, {8, 4}, {6, 9}} {
+		mm := MustMesh(dims[0], dims[1])
+		for n := 2; n <= 8; n++ {
+			got := len(mm.BoundaryLinks(mm.Tiles2D(n)))
+			gx, gy := mm.Grid2D(n)
+			for d := 1; d <= gx*gy; d++ {
+				if (gx*gy)%d != 0 || d > mm.Width || (gx*gy)/d > mm.Height {
+					continue
+				}
+				alt := len(mm.BoundaryLinks(tilesForGrid(mm, d, (gx*gy)/d)))
+				if alt < got {
+					t.Errorf("%dx%d Tiles2D(%d) picked %dx%d with %d cut links; %dx%d cuts only %d",
+						dims[0], dims[1], n, gx, gy, got, d, (gx*gy)/d, alt)
+				}
+			}
+		}
+	}
+}
+
+// tilesForGrid builds the Tiles2D partition for an explicit grid shape (test
+// helper for comparing factorizations).
+func tilesForGrid(m *Mesh, gx, gy int) []Tile {
+	xcuts := SplitEven(m.Width, gx)
+	ycuts := SplitEven(m.Height, gy)
+	tiles := make([]Tile, 0, gx*gy)
+	for j := 0; j < gy; j++ {
+		for i := 0; i < gx; i++ {
+			t := Tile{Index: j*gx + i, X0: xcuts[i], X1: xcuts[i+1], Y0: ycuts[j], Y1: ycuts[j+1]}
+			for y := t.Y0; y < t.Y1; y++ {
+				for x := t.X0; x < t.X1; x++ {
+					t.Nodes = append(t.Nodes, m.Node(x, y))
+				}
+			}
+			tiles = append(tiles, t)
+		}
+	}
+	return tiles
+}

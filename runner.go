@@ -29,7 +29,7 @@ func newTelemetry(cfg Config, mesh *topology.Mesh) *metrics.SimTelemetry {
 		return nil
 	}
 	opts := metrics.SimTelemetryOptions{
-		Shards:   sim.ResolveShards(cfg.Shards, mesh.Width),
+		Shards:   sim.ResolveShards(cfg.Shards, mesh.Width, mesh.Height),
 		Progress: cfg.Progress,
 	}
 	if cfg.Metrics != nil {
@@ -118,7 +118,7 @@ func (r *runner) network(o NetworkOptions) (*Network, error) {
 		height:      o.Mesh.Height,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
-		shards:      sim.ResolveShards(cfg.Shards, o.Mesh.Width),
+		shards:      sim.ResolveShards(cfg.Shards, o.Mesh.Width, o.Mesh.Height),
 	}
 	if key.creditDelay == 0 {
 		key.creditDelay = 1
@@ -202,6 +202,7 @@ func (r *runner) run(c Config) (Result, error) {
 		ReferenceArbitration: cfg.ReferenceArbitration,
 		Events:               rec,
 		Shards:               cfg.Shards,
+		RebalanceInterval:    cfg.RebalanceInterval,
 		Telemetry:            tel,
 	})
 	if err != nil {
@@ -241,6 +242,7 @@ func (r *runner) run(c Config) (Result, error) {
 	if cfg.ShardProfile {
 		res.ShardProfile = net.Engine.ShardProfiles()
 		res.ShardImbalance = shardImbalance(res.ShardProfile)
+		res.ShardRebalances, res.ShardNodesMigrated = net.Engine.ShardRebalances()
 	}
 	if res.Packets > 0 {
 		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)

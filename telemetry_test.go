@@ -32,7 +32,7 @@ func steadyTelemeteredNetwork(t *testing.T, shards int) (*Network, *metrics.Regi
 	coll.EnableTimeSeries(64, 32)
 	reg := metrics.NewRegistry()
 	tel := metrics.NewSimTelemetry(reg, metrics.SimTelemetryOptions{
-		Shards:        sim.ResolveShards(shards, mesh.Width),
+		Shards:        sim.ResolveShards(shards, mesh.Width, mesh.Height),
 		LatencyBounds: stats.LatencyBucketUppers(),
 		Progress:      metrics.NewProgress("cycles", 0),
 	})
