@@ -6,7 +6,7 @@ GO ?= go
 # example never requires touching this file.
 EXAMPLES := $(notdir $(wildcard examples/*))
 
-.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke clean
+.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke diag-smoke clean
 
 all: build test
 
@@ -79,5 +79,10 @@ examples-smoke:
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
 
+# Force an anomaly on a saturated run and SIGQUIT a live one; assert both
+# leave complete post-mortem bundles under diag-artifacts/.
+diag-smoke:
+	sh scripts/diag_smoke.sh diag-artifacts
+
 clean:
-	rm -rf results flightrecorder_trace.json
+	rm -rf results flightrecorder_trace.json diag-artifacts

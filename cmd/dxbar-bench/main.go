@@ -37,6 +37,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"log/slog"
 	"math"
 	"os"
 	"path/filepath"
@@ -46,11 +47,16 @@ import (
 	"time"
 
 	"dxbar"
+	"dxbar/internal/diag"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
 	"dxbar/internal/traffic"
 )
+
+// logger is the tool-wide structured logger, configured from -v and
+// -log-format before anything can fail.
+var logger *slog.Logger
 
 // Schema is the JSON schema version of the bench record.
 const Schema = 1
@@ -116,8 +122,17 @@ func main() {
 		shards    = flag.Int("shards", 0, "router-phase shards (0/1 sequential, -1 = GOMAXPROCS)")
 		scale     = flag.Bool("scale", false, "sharded-engine scaling study (16x16, 32x32 and 64x64 at per-size below-saturation loads, sequential vs -shards) instead of the regression suite")
 		scaleGate = flag.Bool("scale-gate", false, "with -scale: exit 1 if any >=1024-node point with >=2 effective shards runs slower than sequential")
+
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
+		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = diag.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *quick {
 		*cycles = 2000
@@ -323,6 +338,10 @@ func compare(old, cur BenchFile, tol float64) bool {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dxbar-bench:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "dxbar-bench:", err)
+	}
 	os.Exit(1)
 }

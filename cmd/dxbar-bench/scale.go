@@ -141,18 +141,17 @@ func runScale(outDir, label, designsCS, pattern string, seed int64, warmup, cycl
 				p.Width, p.Height, p.Load, p.NsPerCycleSeq, p.ShardsEffective, p.ShardsRequested,
 				p.NsPerCycleSharded, *p.Speedup)
 			if gate && size.w*size.h >= 1024 && *p.Speedup < 1.0 {
-				fmt.Fprintf(os.Stderr, "dxbar-bench: SCALE GATE: %dx%d sharded (%d shards) is %.2fx vs sequential, want >= 1.0x\n",
-					p.Width, p.Height, p.ShardsEffective, *p.Speedup)
+				logger.Error("SCALE GATE: sharded engine slower than sequential",
+					"mesh", fmt.Sprintf("%dx%d", p.Width, p.Height),
+					"shards", p.ShardsEffective, "speedup", *p.Speedup, "want", ">= 1.0x")
 				gateFailed = true
 			}
 		} else {
 			fmt.Printf("%2dx%-2d load %.2f  seq %9.1f ns/cycle  sharded %9.1f ns/cycle  speedup n/a\n",
 				p.Width, p.Height, p.Load, p.NsPerCycleSeq, p.NsPerCycleSharded)
-			fmt.Fprintf(os.Stderr,
-				"dxbar-bench: WARNING: shards request %d resolved to 1 effective shard on this host "+
-					"(%d CPUs, GOMAXPROCS %d) — the \"sharded\" column is the sequential engine and no "+
-					"speedup is recorded\n",
-				shards, rec.NumCPU, rec.GOMAXPROCS)
+			logger.Warn("shards request resolved to 1 effective shard on this host; "+
+				"the \"sharded\" column is the sequential engine and no speedup is recorded",
+				"requested", shards, "cpus", rec.NumCPU, "gomaxprocs", rec.GOMAXPROCS)
 		}
 	}
 

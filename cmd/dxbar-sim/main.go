@@ -12,13 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	"dxbar"
+	"dxbar/internal/diag"
 	"dxbar/internal/metrics"
 	"dxbar/internal/report"
 )
+
+// logger is the tool-wide structured logger, configured from -v and
+// -log-format before anything can fail.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -44,8 +50,22 @@ func main() {
 		shards   = flag.Int("shards", 0, "parallel router-phase shards (0/1 sequential, -1 auto-sizes to CPUs; bit-identical results)")
 		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
 		profile  = flag.Bool("shard-profile", false, "print the per-shard execution profile after the run (requires -shards > 1)")
+
+		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
+		logFormat  = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
+		diagDir    = flag.String("diag-dir", "", "directory for post-mortem diagnostic bundles (anomaly, SIGQUIT, panic); empty disables bundles (detectors still run)")
+		diagStall  = flag.Uint64("diag-stall", 0, "stall-watchdog threshold in cycles without an ejection while flits are in flight (0 = default)")
+		diagMaxAge = flag.Uint64("diag-max-age", 0, "starvation threshold: max in-flight flit age in cycles (0 = default)")
+		diagWindow = flag.Uint64("diag-window", 0, "anomaly-detector window in cycles (0 = default)")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = diag.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer diag.InstallSignalHandlers(logger)()
 
 	var kinds []string
 	if *traceEv != "" {
@@ -67,7 +87,23 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "dxbar-sim: telemetry on http://%s/metrics\n", srv.Addr())
+		logger.Info("telemetry server up", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	}
+	if *diagDir != "" && reg == nil {
+		// Bundles include a metrics snapshot; give the run a registry even
+		// when no live telemetry server was requested.
+		reg = metrics.NewRegistry()
+	}
+	if *diagDir != "" {
+		// A crash mid-run still leaves a post-mortem behind.
+		defer func() {
+			if r := recover(); r != nil {
+				if path, err := diag.WritePanicBundle(*diagDir, reg, r); err == nil {
+					logger.Error("panic bundle written", "dir", path)
+				}
+				panic(r)
+			}
+		}()
 	}
 
 	res, err := dxbar.Run(dxbar.Config{
@@ -96,10 +132,20 @@ func main() {
 		Metrics:          reg,
 		Progress:         prog,
 		ShardProfile:     *profile,
+		DiagDir:          *diagDir,
+		Diag: &diag.Config{
+			StallCycles: *diagStall,
+			MaxFlitAge:  *diagMaxAge,
+			Window:      *diagWindow,
+			Logger:      logger,
+			Registry:    reg,
+		},
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if res.Interrupted {
+		logger.Warn("run interrupted; reporting partial results", "reason", "signal")
 	}
 
 	fmt.Printf("design          %s (%s)\n", res.Design, res.Routing)
@@ -123,6 +169,10 @@ func main() {
 	fmt.Printf("buffering prob  %.4f\n", res.BufferingProbability)
 	fmt.Printf("dropped flits   %d\n", res.DroppedFlits)
 	fmt.Printf("total power     %.1f mW (buffers %.0f%%)\n", res.Power.TotalMW, res.Power.BufferShareOfTot*100)
+	if len(res.Anomalies) > 0 {
+		fmt.Println()
+		fmt.Print(dxbar.AnomaliesText(res))
+	}
 	if *trace > 0 {
 		fmt.Printf("trace events    %d recorded (%d overwritten, ring %d)\n",
 			res.EventsRecorded, res.EventsOverwritten, *trace)
@@ -195,6 +245,10 @@ func writeFile(dir, name string, fill func(*os.File) error) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "dxbar-sim:", err)
+	}
 	os.Exit(1)
 }

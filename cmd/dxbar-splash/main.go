@@ -12,10 +12,16 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 
 	"dxbar"
+	"dxbar/internal/diag"
 )
+
+// logger is the tool-wide structured logger, configured from -v and
+// -log-format before anything can fail.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -27,8 +33,17 @@ func main() {
 		record  = flag.String("record", "", "record the workload's trace to this file")
 		replay  = flag.String("replay", "", "replay a recorded trace instead of a benchmark")
 		detail  = flag.Bool("detailed", false, "use real set-associative L1/L2 caches instead of profile hit rates")
+
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
+		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = diag.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *list {
 		for _, b := range dxbar.SplashBenchmarks() {
@@ -65,8 +80,7 @@ func main() {
 				DetailedCaches: *detail,
 			})
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
-				os.Exit(1)
+				fatal(err)
 			}
 			fmt.Printf("%-10s %-10s %-4s %10d %10d %10.1f %8d %8d %12.4f\n",
 				b, d, res.Routing, res.ExecutionCycles, res.Packets, res.AvgLatency,
@@ -78,13 +92,11 @@ func main() {
 func runRecord(bench string, seed int64, path string) {
 	f, err := os.Create(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer f.Close()
 	if err := dxbar.RecordSplash(dxbar.SplashConfig{Benchmark: bench, Seed: seed}, f); err != nil {
-		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("recorded %s trace to %s\n", bench, path)
 }
@@ -95,15 +107,22 @@ func runReplay(path, design, routing string) {
 	}
 	f, err := os.Open(path)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	defer f.Close()
 	res, err := dxbar.RunTrace(dxbar.Design(design), routing, f, 0)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("replay on %s (%s): completed in %d cycles, %d packets, lat %.1f, %.4f nJ/packet\n",
 		res.Design, res.Routing, res.CompletionCycles, res.Packets, res.AvgLatency, res.AvgEnergyNJ)
+}
+
+func fatal(err error) {
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "dxbar-splash:", err)
+	}
+	os.Exit(1)
 }

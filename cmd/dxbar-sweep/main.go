@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -24,9 +25,14 @@ import (
 	"time"
 
 	"dxbar"
+	"dxbar/internal/diag"
 	"dxbar/internal/metrics"
 	"dxbar/internal/report"
 )
+
+// logger is the tool-wide structured logger, configured from -v and
+// -log-format before anything can fail.
+var logger *slog.Logger
 
 func main() {
 	var (
@@ -44,8 +50,19 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+
+		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
+		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
+		diagDir   = flag.String("diag-dir", "", "directory for post-mortem diagnostic bundles (anomaly, SIGQUIT, panic); empty disables bundles (detectors still run)")
 	)
 	flag.Parse()
+
+	var err error
+	logger, err = diag.NewLogger(os.Stderr, *logFormat, *verbose)
+	if err != nil {
+		fatal(err)
+	}
+	defer diag.InstallSignalHandlers(logger)()
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -118,7 +135,28 @@ func main() {
 			fatal(err)
 		}
 		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "dxbar-sweep: telemetry on http://%s/metrics\n", srv.Addr())
+		logger.Info("telemetry server up", "url", fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	}
+	if *diagDir != "" && reg == nil {
+		// Bundles include a metrics snapshot; give the runs a registry even
+		// when no live telemetry server was requested.
+		reg = metrics.NewRegistry()
+	}
+	// The figure functions carry no diagnostics knobs in their signatures;
+	// package-level defaults give every run they trigger the shared logger,
+	// registry and bundle directory.
+	dxbar.SetDiagDefaults(&diag.Config{Logger: logger, Registry: reg}, *diagDir)
+	defer dxbar.SetDiagDefaults(nil, "")
+	if *diagDir != "" {
+		// A crash mid-sweep still leaves a post-mortem behind.
+		defer func() {
+			if r := recover(); r != nil {
+				if path, err := diag.WritePanicBundle(*diagDir, reg, r); err == nil {
+					logger.Error("panic bundle written", "dir", path)
+				}
+				panic(r)
+			}
+		}()
 	}
 	if !*quiet {
 		stop := make(chan struct{})
@@ -131,7 +169,7 @@ func main() {
 				case <-stop:
 					return
 				case <-t.C:
-					fmt.Fprintln(os.Stderr, "dxbar-sweep:", prog.Snapshot())
+					logger.Info("progress", "points", prog.Snapshot())
 				}
 			}
 		}()
@@ -174,11 +212,18 @@ func main() {
 		if !want(id) || done[id] {
 			continue
 		}
+		if diag.Interrupted() {
+			logger.Warn("interrupted; stopping before figure", "fig", id)
+			break
+		}
 		fig, err := figs[id](q, *seed)
 		if err != nil {
 			fatal(err)
 		}
 		emitFigure(fig, *outDir, *svg, *md)
+	}
+	if diag.Interrupted() {
+		logger.Warn("sweep interrupted; figures emitted so far are complete, the rest were skipped")
 	}
 }
 
@@ -214,7 +259,11 @@ func emitTraces(pts []dxbar.SweepPoint, outDir string) {
 }
 
 func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dxbar-sweep:", err)
+	if logger != nil {
+		logger.Error("fatal", "err", err)
+	} else {
+		fmt.Fprintln(os.Stderr, "dxbar-sweep:", err)
+	}
 	os.Exit(1)
 }
 

@@ -28,6 +28,7 @@ import (
 	"os"
 
 	"dxbar/internal/core"
+	"dxbar/internal/diag"
 	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/faults"
@@ -174,6 +175,25 @@ type Config struct {
 	// profile is wall-clock measurement: it varies run to run and would
 	// break bit-identity comparisons of whole Results.
 	ShardProfile bool
+	// Diag overrides the run-health monitor's configuration (detector
+	// windows, thresholds, logger, callback). Nil uses the package defaults
+	// (SetDiagDefaults, else diag's built-ins) — the monitor itself is on by
+	// default: every Run carries the progress watchdog, the flit-age
+	// watermark, the storm detectors and the fault-detection-latency tracker
+	// at zero allocations per cycle, and detectors only observe, so results
+	// are bit-identical with diagnostics on or off. The monitor's metrics
+	// default into Config.Metrics when Diag.Registry is nil.
+	Diag *diag.Config
+	// DiagDir, when non-empty, is the directory post-mortem bundles are
+	// written under: on the run's first anomaly, on SIGQUIT
+	// (diag.RequestDump), and at the end of an interrupted run. Empty falls
+	// back to the SetDiagDefaults directory; empty both ways disables bundle
+	// writing (detectors still run and Result.Anomalies is still populated).
+	DiagDir string
+	// DisableDiag turns the run-health monitor off entirely (benchmark
+	// harnesses measuring the engine alone, or A/B-testing the detectors
+	// themselves, as TestDiagBitIdentity does).
+	DisableDiag bool
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.
@@ -235,6 +255,19 @@ type Result struct {
 	// migration activity is wall-clock-driven and varies run to run).
 	ShardRebalances    uint64
 	ShardNodesMigrated uint64
+	// Anomalies holds the run-health monitor's anomaly records in firing
+	// order (nil on a healthy run, or with Config.DisableDiag). Detector
+	// inputs are deterministic simulation state, so the records are
+	// deterministic too — identical across sequential/sharded runs of the
+	// same config and seed. AnomaliesDropped counts records beyond the
+	// monitor's cap (their dxbar_anomaly_total increments still happened).
+	Anomalies        []diag.Anomaly
+	AnomaliesDropped uint64
+	// Interrupted reports that the run was stopped early by a graceful
+	// interrupt (diag.Interrupt — the CLIs' SIGINT/SIGTERM path). The
+	// metrics above then cover only the cycles actually simulated: partial
+	// results, flagged rather than discarded.
+	Interrupted bool
 }
 
 func (c *Config) withDefaults() Config {
@@ -430,6 +463,11 @@ type NetworkOptions struct {
 	// Config.Metrics; built with metrics.NewSimTelemetry). Nil disables
 	// publication at zero cost.
 	Telemetry *metrics.SimTelemetry
+	// Diag attaches a run-health monitor (built with diag.NewMonitor). Nil
+	// disables the detectors at zero cost. Unlike Run, NewNetwork does not
+	// create one by default — callers driving their own engine own the
+	// monitor's lifecycle (and its Detach).
+	Diag *diag.Monitor
 }
 
 // prepare validates the options and resolves them into an engine config, a
@@ -499,6 +537,7 @@ func prepare(o NetworkOptions) (sim.Config, sim.RouterFactory, *energy.Meter, er
 		PreCycle:          preCycle,
 		Events:            o.Events,
 		Telemetry:         o.Telemetry,
+		Diag:              o.Diag,
 		Shards:            o.Shards,
 		RebalanceInterval: o.RebalanceInterval,
 	}, factory, meter, nil

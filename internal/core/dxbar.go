@@ -168,6 +168,7 @@ func (d *DXbar) applyFaults(cycle uint64) bool {
 		if !d.manifestSeen {
 			d.manifestSeen = true
 			env.Events().Record(cycle, events.FaultManifest, env.Node, flit.Invalid, 0, 0, int32(f.Crossbar))
+			env.DiagFaultManifest(cycle)
 		}
 		target := d.primary
 		if f.Crossbar == faults.Secondary {
@@ -186,6 +187,7 @@ func (d *DXbar) applyFaults(cycle uint64) bool {
 	if detected && !d.detectedSeen {
 		d.detectedSeen = true
 		env.Events().Record(cycle, events.FaultDetected, env.Node, flit.Invalid, 0, 0, int32(d.detector.Fault().Crossbar))
+		env.DiagFaultDetected(cycle)
 	}
 	return detected
 }

@@ -98,6 +98,10 @@ func (u *Unified) Step(cycle uint64) {
 		if !u.manifestSeen {
 			u.manifestSeen = true
 			env.Events().Record(cycle, events.FaultManifest, env.Node, flit.Invalid, 0, 0, int32(u.detector.Fault().Crossbar))
+			// The unified design has no detection path (§II.C studies
+			// fault tolerance on the dual-crossbar only), so only the
+			// manifest side of the diag latency window is reported.
+			env.DiagFaultManifest(cycle)
 		}
 		if !u.xbar.Dead() {
 			u.xbar.Kill()

@@ -1,0 +1,155 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"dxbar/internal/metrics"
+)
+
+// BundleEntry is one file of a post-mortem bundle: a name and a writer that
+// produces its contents. Entry writers run on the dumping goroutine and may
+// allocate freely — bundles are written on the anomaly/signal/panic path,
+// never in steady state.
+type BundleEntry struct {
+	Name  string
+	Write func(io.Writer) error
+}
+
+// JSONEntry returns an entry that marshals v as indented JSON.
+func JSONEntry(name string, v any) BundleEntry {
+	return BundleEntry{Name: name, Write: func(w io.Writer) error {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		return enc.Encode(v)
+	}}
+}
+
+// TextEntry returns an entry with fixed contents.
+func TextEntry(name, contents string) BundleEntry {
+	return BundleEntry{Name: name, Write: func(w io.Writer) error {
+		_, err := io.WriteString(w, contents)
+		return err
+	}}
+}
+
+// GoroutinesEntry returns an entry dumping every goroutine's stack — the
+// post-mortem answer to "what was the process doing".
+func GoroutinesEntry() BundleEntry {
+	return BundleEntry{Name: "goroutines.txt", Write: func(w io.Writer) error {
+		buf := make([]byte, 1<<20)
+		for {
+			n := runtime.Stack(buf, true)
+			if n < len(buf) {
+				_, err := w.Write(buf[:n])
+				return err
+			}
+			buf = make([]byte, len(buf)*2)
+		}
+	}}
+}
+
+// MetricsEntry returns an entry with the registry's Prometheus text
+// exposition (the final metrics snapshot). A nil registry writes a comment
+// line, keeping the bundle's file set stable.
+func MetricsEntry(r *metrics.Registry) BundleEntry {
+	return BundleEntry{Name: "metrics.prom", Write: func(w io.Writer) error {
+		if r == nil {
+			_, err := io.WriteString(w, "# no metrics registry attached to this run\n")
+			return err
+		}
+		return r.WritePrometheus(w)
+	}}
+}
+
+// bundleManifest is manifest.json: the machine-readable index of a bundle.
+// It is written last, so its presence marks the bundle complete — readers
+// (and the golden test) key off it.
+type bundleManifest struct {
+	Schema  int      `json:"schema"`
+	Reason  string   `json:"reason"`
+	Cycle   uint64   `json:"cycle"`
+	Created string   `json:"created"`
+	Files   []string `json:"files"`
+}
+
+// ManifestSchema is the bundle manifest's schema version.
+const ManifestSchema = 1
+
+// WriteBundle writes a post-mortem bundle: a fresh uniquely-named directory
+// under dir holding every entry plus a trailing manifest.json. reason tags
+// the directory name ("anomaly-stall", "signal", "panic", "interrupt") and
+// the manifest; cycle is the simulation cycle the dump was taken at (0 when
+// unknown). Returns the bundle directory. Safe to call from concurrent runs:
+// each call gets its own directory.
+func WriteBundle(dir, reason string, cycle uint64, entries []BundleEntry) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	bdir, err := os.MkdirTemp(dir, "dxbar-diag-"+sanitize(reason)+"-")
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if err := writeEntry(bdir, e); err != nil {
+			return bdir, fmt.Errorf("diag: bundle entry %s: %w", e.Name, err)
+		}
+		names = append(names, e.Name)
+	}
+	m := bundleManifest{
+		Schema:  ManifestSchema,
+		Reason:  reason,
+		Cycle:   cycle,
+		Created: time.Now().UTC().Format(time.RFC3339),
+		Files:   names,
+	}
+	if err := writeEntry(bdir, JSONEntry("manifest.json", m)); err != nil {
+		return bdir, fmt.Errorf("diag: bundle manifest: %w", err)
+	}
+	return bdir, nil
+}
+
+func writeEntry(dir string, e BundleEntry) error {
+	f, err := os.Create(filepath.Join(dir, e.Name))
+	if err != nil {
+		return err
+	}
+	werr := e.Write(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	return cerr
+}
+
+// sanitize keeps reason strings path-safe.
+func sanitize(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+		default:
+			b[i] = '-'
+		}
+	}
+	return string(b)
+}
+
+// WritePanicBundle writes the minimal bundle available from a deferred
+// recover: the panic value + stack, the metrics snapshot, and all goroutine
+// stacks. The CLIs call it from a top-level defer and then re-panic.
+func WritePanicBundle(dir string, r *metrics.Registry, recovered any) (string, error) {
+	stack := make([]byte, 64<<10)
+	stack = stack[:runtime.Stack(stack, false)]
+	return WriteBundle(dir, "panic", 0, []BundleEntry{
+		TextEntry("panic.txt", fmt.Sprintf("panic: %v\n\n%s", recovered, stack)),
+		MetricsEntry(r),
+		GoroutinesEntry(),
+	})
+}

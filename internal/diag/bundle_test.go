@@ -1,0 +1,134 @@
+package diag
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"dxbar/internal/metrics"
+)
+
+func readManifest(t *testing.T, dir string) bundleManifest {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		t.Fatalf("bundle has no manifest (incomplete): %v", err)
+	}
+	var m bundleManifest
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("manifest.json invalid: %v", err)
+	}
+	return m
+}
+
+// TestWriteBundle: a bundle is a fresh directory holding every entry plus a
+// trailing manifest that indexes them; concurrent bundles never collide.
+func TestWriteBundle(t *testing.T) {
+	dir := t.TempDir()
+	entries := []BundleEntry{
+		TextEntry("a.txt", "alpha\n"),
+		JSONEntry("b.json", map[string]int{"x": 1}),
+		GoroutinesEntry(),
+		MetricsEntry(nil),
+	}
+	bdir, err := WriteBundle(dir, "anomaly-stall", 4242, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(filepath.Base(bdir), "anomaly-stall") {
+		t.Errorf("bundle dir %q does not carry its reason", bdir)
+	}
+
+	m := readManifest(t, bdir)
+	if m.Schema != ManifestSchema || m.Reason != "anomaly-stall" || m.Cycle != 4242 {
+		t.Errorf("manifest header %+v", m)
+	}
+	want := []string{"a.txt", "b.json", "goroutines.txt", "metrics.prom"}
+	got := append([]string(nil), m.Files...)
+	sort.Strings(got)
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("manifest files %v, want %v", got, want)
+	}
+	for _, name := range want {
+		if _, err := os.Stat(filepath.Join(bdir, name)); err != nil {
+			t.Errorf("manifest lists %s but the file is missing: %v", name, err)
+		}
+	}
+
+	body, err := os.ReadFile(filepath.Join(bdir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(body), "#") {
+		t.Errorf("nil-registry metrics.prom should be a comment, got %q", body)
+	}
+	if stacks, _ := os.ReadFile(filepath.Join(bdir, "goroutines.txt")); !strings.Contains(string(stacks), "goroutine") {
+		t.Error("goroutines.txt has no stacks")
+	}
+
+	// A second bundle under the same directory and reason is distinct.
+	bdir2, err := WriteBundle(dir, "anomaly-stall", 4243, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bdir2 == bdir {
+		t.Fatal("two bundles shared a directory")
+	}
+}
+
+// TestBundleReasonSanitized: reason strings with path-hostile characters stay
+// inside the bundle directory.
+func TestBundleReasonSanitized(t *testing.T) {
+	dir := t.TempDir()
+	bdir, err := WriteBundle(dir, "../sig/quit !", 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := filepath.Rel(dir, bdir)
+	if err != nil || strings.Contains(rel, "..") || strings.ContainsRune(rel, filepath.Separator) {
+		t.Fatalf("bundle escaped its directory: %q (rel %q)", bdir, rel)
+	}
+}
+
+// TestWritePanicBundle: the recover-path bundle carries the panic value, the
+// originating stack and the metrics snapshot.
+func TestWritePanicBundle(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("dxbar_test_total", "test counter").Add(7)
+
+	dir := t.TempDir()
+	var bdir string
+	func() {
+		defer func() {
+			r := recover()
+			var err error
+			bdir, err = WritePanicBundle(dir, reg, r)
+			if err != nil {
+				t.Errorf("WritePanicBundle: %v", err)
+			}
+		}()
+		panic("boom at cycle 9")
+	}()
+
+	m := readManifest(t, bdir)
+	if m.Reason != "panic" {
+		t.Errorf("manifest reason %q, want panic", m.Reason)
+	}
+	body, err := os.ReadFile(filepath.Join(bdir, "panic.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(body), "boom at cycle 9") || !strings.Contains(string(body), "TestWritePanicBundle") {
+		t.Errorf("panic.txt missing the panic value or stack:\n%s", body)
+	}
+	prom, err := os.ReadFile(filepath.Join(bdir, "metrics.prom"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "dxbar_test_total 7") {
+		t.Errorf("metrics.prom missing the snapshot:\n%s", prom)
+	}
+}

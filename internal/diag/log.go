@@ -1,0 +1,33 @@
+package diag
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// Log formats accepted by NewLogger (the CLIs' -log-format flag).
+const (
+	LogText = "text"
+	LogJSON = "json"
+)
+
+// NewLogger builds the structured logger shared by the cmd tools: leveled
+// (verbose enables Debug, otherwise Info), text or JSON, writing to w
+// (conventionally os.Stderr, keeping stdout for results). Unknown formats
+// are an error so a typo'd flag fails loudly instead of logging nothing.
+func NewLogger(w io.Writer, format string, verbose bool) (*slog.Logger, error) {
+	level := slog.LevelInfo
+	if verbose {
+		level = slog.LevelDebug
+	}
+	opts := &slog.HandlerOptions{Level: level}
+	switch format {
+	case LogText, "":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case LogJSON:
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("diag: unknown log format %q (want %s or %s)", format, LogText, LogJSON)
+	}
+}

@@ -1,0 +1,83 @@
+package diag
+
+import (
+	"log/slog"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+)
+
+// Process-wide run-control flags. They are global — not per-Monitor — because
+// a signal arrives for the process, and a sweep may have many runs in flight
+// plus more queued: every current and future monitor must see the interrupt,
+// and exactly one window boundary should consume a dump request.
+var (
+	interruptFlag atomic.Bool
+	dumpFlag      atomic.Bool
+)
+
+// Interrupt asks every current and future run to stop at its next cycle
+// boundary (the graceful SIGINT/SIGTERM path). Runs finish their cycle,
+// flush telemetry, and return partial results.
+func Interrupt() { interruptFlag.Store(true) }
+
+// ClearInterrupt resets the process-wide interrupt flag (tests, or a CLI
+// that wants to survive an interrupted batch).
+func ClearInterrupt() { interruptFlag.Store(false) }
+
+// Interrupted reports whether Interrupt has been called.
+func Interrupted() bool { return interruptFlag.Load() }
+
+// RequestDump asks the next run to write a post-mortem bundle at its next
+// detector-window boundary (the SIGQUIT path).
+func RequestDump() { dumpFlag.Store(true) }
+
+// consumeDumpRequest atomically claims a pending dump request, so exactly
+// one monitor dumps per request even with concurrent runs.
+func consumeDumpRequest() bool {
+	return dumpFlag.Load() && dumpFlag.CompareAndSwap(true, false)
+}
+
+// InstallSignalHandlers wires graceful shutdown for a CLI:
+//
+//   - first SIGINT/SIGTERM sets the process-wide interrupt flag — live runs
+//     stop at their next cycle, flush metrics, and report partial results;
+//   - a second SIGINT/SIGTERM exits immediately (status 130);
+//   - SIGQUIT requests a post-mortem bundle from the next live run and the
+//     run continues (the stdlib's stack-dump-and-exit default is replaced).
+//
+// logger may be nil. Returns a function that uninstalls the handler.
+func InstallSignalHandlers(logger *slog.Logger) func() {
+	ch := make(chan os.Signal, 4)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	go func() {
+		interrupts := 0
+		for s := range ch {
+			if s == syscall.SIGQUIT {
+				if logger != nil {
+					logger.Info("SIGQUIT received: post-mortem bundle requested from the live run")
+				}
+				RequestDump()
+				continue
+			}
+			interrupts++
+			if interrupts == 1 {
+				if logger != nil {
+					logger.Warn("interrupt: stopping gracefully — flushing metrics and writing partial results (interrupt again to exit immediately)",
+						"signal", s.String())
+				}
+				Interrupt()
+				continue
+			}
+			if logger != nil {
+				logger.Error("second interrupt: exiting immediately")
+			}
+			os.Exit(130)
+		}
+	}()
+	return func() {
+		signal.Stop(ch)
+		close(ch)
+	}
+}

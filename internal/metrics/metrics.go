@@ -240,6 +240,48 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels []Label) *s
 	return s
 }
 
+// FamilyInfo describes one registered metric family: its name, exposition
+// type, help string, and the label keys its series carry (sorted, deduped).
+// It backs the METRICS.md coverage test and any other registry introspection.
+type FamilyInfo struct {
+	Name   string
+	Kind   string // "counter", "gauge" or "histogram"
+	Help   string
+	Labels []string
+}
+
+// Families returns a snapshot of the registered families in registration
+// order. Nil-safe (returns nil on a nil or empty registry).
+func (r *Registry) Families() []FamilyInfo {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]FamilyInfo, 0, len(r.families))
+	for _, f := range r.families {
+		info := FamilyInfo{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		seen := map[string]bool{}
+		for _, s := range f.series {
+			if s.labels == "" {
+				continue
+			}
+			for _, kv := range strings.Split(s.labels, ",") {
+				if eq := strings.IndexByte(kv, '='); eq > 0 {
+					key := kv[:eq]
+					if !seen[key] {
+						seen[key] = true
+						info.Labels = append(info.Labels, key)
+					}
+				}
+			}
+		}
+		sort.Strings(info.Labels)
+		out = append(out, info)
+	}
+	return out
+}
+
 // Counter returns the counter for (name, labels), registering it on first
 // use. Returns nil (a valid no-op handle) on a nil registry.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {

@@ -1,0 +1,114 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestProgressZeroRateETA: with no completions yet the rate is zero and the
+// ETA must be omitted (0), not a division blow-up.
+func TestProgressZeroRateETA(t *testing.T) {
+	p := NewProgress("cycles", 1000)
+	s := p.Snapshot()
+	if s.PerSecond != 0 {
+		t.Errorf("PerSecond = %v with zero completions", s.PerSecond)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("ETASeconds = %v with zero rate, want 0 (unknown)", s.ETASeconds)
+	}
+	if s.Percent != 0 {
+		t.Errorf("Percent = %v at start", s.Percent)
+	}
+	// The rendered line must stay finite and well-formed.
+	if line := s.String(); strings.Contains(line, "NaN") || strings.Contains(line, "Inf") {
+		t.Errorf("snapshot renders a non-finite value: %q", line)
+	}
+}
+
+// TestProgressUnknownTotal: a zero total means "unknown" — done counts, but
+// percent and ETA are suppressed everywhere including the rendered line.
+func TestProgressUnknownTotal(t *testing.T) {
+	p := NewProgress("points", 0)
+	p.Add(37)
+	s := p.Snapshot()
+	if s.Done != 37 || s.Total != 0 {
+		t.Fatalf("snapshot %+v, want done 37 of unknown total", s)
+	}
+	if s.Percent != 0 || s.ETASeconds != 0 {
+		t.Errorf("percent/ETA leaked for an unknown total: %+v", s)
+	}
+	if line := s.String(); strings.Contains(line, "%") || strings.Contains(line, "eta") {
+		t.Errorf("unknown-total line shows percent or eta: %q", line)
+	}
+}
+
+// TestProgressDoneExceedsTotal: overshoot (a run that retired more units than
+// estimated) must not produce a negative ETA or a panic; percent may exceed
+// 100 but everything stays finite.
+func TestProgressDoneExceedsTotal(t *testing.T) {
+	p := NewProgress("cycles", 100)
+	p.Set(250)
+	s := p.Snapshot()
+	if s.Done != 250 || s.Total != 100 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Percent != 250 {
+		t.Errorf("Percent = %v, want 250", s.Percent)
+	}
+	if s.ETASeconds != 0 {
+		t.Errorf("ETASeconds = %v past completion, want 0", s.ETASeconds)
+	}
+	if line := s.String(); strings.Contains(line, "-") && strings.Contains(line, "eta") {
+		t.Errorf("overshoot rendered a negative eta: %q", line)
+	}
+}
+
+// TestProgressConcurrentSetSnapshot hammers writers (Add, Set, SetTotal)
+// against snapshot readers — the race-detector guard for the /progress
+// endpoint reading while the engine publishes.
+func TestProgressConcurrentSetSnapshot(t *testing.T) {
+	p := NewProgress("cycles", 1_000_000)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 10_000; i++ {
+				switch i % 3 {
+				case 0:
+					p.Add(1)
+				case 1:
+					p.Set(uint64(i))
+				default:
+					p.SetTotal(uint64(1_000_000 + i))
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10_000; i++ {
+			s := p.Snapshot()
+			if s.Unit != "cycles" {
+				t.Errorf("unit corrupted: %q", s.Unit)
+				return
+			}
+			_ = s.String()
+		}
+	}()
+	wg.Wait()
+}
+
+// TestProgressNilSafety: every method is nil-safe, matching the engine's
+// optional-attachment contract.
+func TestProgressNilSafety(t *testing.T) {
+	var p *Progress
+	p.Add(1)
+	p.Set(2)
+	p.SetTotal(3)
+	if s := p.Snapshot(); s != (ProgressSnapshot{}) {
+		t.Errorf("nil snapshot = %+v, want zero", s)
+	}
+}

@@ -14,6 +14,7 @@ const (
 	MetricEjectedFlits    = "dxbar_flits_ejected_total"
 	MetricDroppedFlits    = "dxbar_flits_dropped_total"
 	MetricRetransmits     = "dxbar_flits_retransmitted_total"
+	MetricDeflectedFlits  = "dxbar_flits_deflected_total"
 	MetricPacketsIn       = "dxbar_packets_injected_total"
 	MetricPacketsOut      = "dxbar_packets_delivered_total"
 	MetricInFlight        = "dxbar_in_flight_flits"
@@ -60,6 +61,7 @@ type SimCounters struct {
 	EjectedFlits     uint64
 	DroppedFlits     uint64
 	RetransmitFlits  uint64
+	DeflectedFlits   uint64
 	PacketsInjected  uint64
 	PacketsDelivered uint64
 }
@@ -89,6 +91,7 @@ type SimTelemetry struct {
 	progress *Progress
 
 	cycles, injected, ejected, dropped, retransmitted *Counter
+	deflected                                         *Counter
 	packetsIn, packetsOut                             *Counter
 	inFlight, queued, buffered                        *Gauge
 	cyclesPerSec                                      *FloatGauge
@@ -128,6 +131,7 @@ func NewSimTelemetry(r *Registry, o SimTelemetryOptions) *SimTelemetry {
 	t.ejected = r.Counter(MetricEjectedFlits, "Flits delivered at their destination.")
 	t.dropped = r.Counter(MetricDroppedFlits, "Flits dropped in the network (SCARAB, fault casualties).")
 	t.retransmitted = r.Counter(MetricRetransmits, "Source retransmissions scheduled (NACKs, fault recovery).")
+	t.deflected = r.Counter(MetricDeflectedFlits, "Flits deflected away from a productive output port (bufferless designs).")
 	t.packetsIn = r.Counter(MetricPacketsIn, "Packets injected into the network.")
 	t.packetsOut = r.Counter(MetricPacketsOut, "Packets fully delivered (reassembled).")
 	t.inFlight = r.Gauge(MetricInFlight, "Live flits anywhere in the network (pool outstanding).")
@@ -177,6 +181,7 @@ func (t *SimTelemetry) OnCycle(now SimCounters) {
 	t.ejected.Add(now.EjectedFlits - t.last.EjectedFlits)
 	t.dropped.Add(now.DroppedFlits - t.last.DroppedFlits)
 	t.retransmitted.Add(now.RetransmitFlits - t.last.RetransmitFlits)
+	t.deflected.Add(now.DeflectedFlits - t.last.DeflectedFlits)
 	t.packetsIn.Add(now.PacketsInjected - t.last.PacketsInjected)
 	t.packetsOut.Add(now.PacketsDelivered - t.last.PacketsDelivered)
 	t.last = now

@@ -274,6 +274,7 @@ func (a *AFC) deflectionAssign(f *flit.Flit, free uint8, cycle uint64) flit.Port
 			if int(f.Dst) == node || i >= prodLen {
 				f.Deflections++
 				a.ctrl.windowDeflections.Add(1)
+				env.Stats().DeflectedFlit()
 				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p

@@ -128,6 +128,7 @@ func (b *Bless) assign(f *flit.Flit, cycle uint64) flit.Port {
 			// that has arrived but lost ejection is also deflected.
 			if int(f.Dst) == node || i >= prod.Len() {
 				f.Deflections++
+				env.Stats().DeflectedFlit()
 				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p
@@ -204,6 +205,7 @@ func (b *Bless) assignFast(f *flit.Flit, dst int, free uint8, cycle uint64) flit
 		if free&(1<<uint(p)) != 0 {
 			if dst == node || i >= prodLen {
 				f.Deflections++
+				env.Stats().DeflectedFlit()
 				env.Events().Record(cycle, events.Deflect, node, p, f.PacketID, f.ID, int32(f.Deflections))
 			}
 			return p

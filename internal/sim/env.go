@@ -172,6 +172,20 @@ func (env *Env) Stats() *stats.Collector { return env.coll }
 // stage, drained into the master recorder in node order at the barrier.
 func (env *Env) Events() *events.Recorder { return env.rec }
 
+// DiagFaultManifest notifies the run-health monitor that this node's
+// injected fault manifested at the given cycle — the start of the BIST
+// detection-latency window. No-op without a monitor; safe from the router
+// phase (shard workers write disjoint per-node state).
+func (env *Env) DiagFaultManifest(cycle uint64) {
+	env.engine.mon.FaultManifested(env.Node, cycle)
+}
+
+// DiagFaultDetected notifies the run-health monitor that this node's fault
+// was detected, closing the latency window opened by DiagFaultManifest.
+func (env *Env) DiagFaultDetected(cycle uint64) {
+	env.engine.mon.FaultDetected(env.Node, cycle)
+}
+
 // HasLink reports whether output port p leads to a neighbour (Local always
 // exists).
 func (env *Env) HasLink(p flit.Port) bool {

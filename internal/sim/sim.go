@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"dxbar/internal/buffer"
+	"dxbar/internal/diag"
 	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/flit"
@@ -88,6 +89,14 @@ type Config struct {
 	// cost). Publication reads simulation state but never writes it, so
 	// results are bit-identical with telemetry on or off.
 	Telemetry *metrics.SimTelemetry
+	// Diag, when non-nil, is the run-health monitor: the engine feeds its
+	// progress watchdog every cycle and its windowed detectors (flit-age
+	// watermark, storm baselines) every detector window, and routers notify
+	// it of fault manifestation/detection through their Env. Like telemetry,
+	// the monitor observes state and never writes it back, so results are
+	// bit-identical with diagnostics on or off, and nothing allocates in
+	// steady state. Nil disables the layer (one nil check per cycle).
+	Diag *diag.Monitor
 	// Shards selects the cycle-engine backend: 0 or 1 runs the sequential
 	// engine, n > 1 partitions the mesh into a boundary-minimizing 2D grid
 	// of rectangular tiles stepped by parallel worker goroutines with a
@@ -158,6 +167,9 @@ type Engine struct {
 	telemetry   *metrics.SimTelemetry
 	retransmits uint64
 
+	// mon is the optional run-health monitor (see Config.Diag).
+	mon *diag.Monitor
+
 	cycle uint64
 }
 
@@ -188,6 +200,7 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		pool:        flit.NewPool(),
 		rec:         cfg.Events,
 		telemetry:   cfg.Telemetry,
+		mon:         cfg.Diag,
 		preCycle:    cfg.PreCycle,
 		bufferDepth: cfg.BufferDepth,
 		creditDelay: cfg.CreditDelay,
@@ -230,11 +243,33 @@ func New(cfg Config, factory RouterFactory) (*Engine, error) {
 		e.backend = seqBackend{e}
 	}
 	e.wireCollectors()
+	e.installDiag()
 	e.routers = make([]Router, n)
 	for i := 0; i < n; i++ {
 		e.routers[i] = factory(e.envs[i])
 	}
 	return e, nil
+}
+
+// installDiag hands the run-health monitor its trace widener. It runs after
+// wireCollectors (construction and Reset) because widening must reach the
+// per-env staged recorders, which wireCollectors just rebuilt.
+func (e *Engine) installDiag() {
+	if e.mon == nil {
+		return
+	}
+	if e.rec == nil {
+		e.mon.SetTraceWidener(nil)
+		return
+	}
+	e.mon.SetTraceWidener(func() {
+		e.rec.Widen()
+		for _, env := range e.envs {
+			if env.rec != e.rec {
+				env.rec.Widen()
+			}
+		}
+	})
 }
 
 // wireCollectors points every Env at the meter, collector and recorder its
@@ -460,6 +495,56 @@ func (e *Engine) Step() {
 			e.publishGauges(c)
 		}
 	}
+
+	// Run health. The per-cycle leg is the progress watchdog (two compares
+	// on the healthy path); the windowed leg scans the engine-visible flits
+	// for the age watermark and feeds the storm baselines. Both run at a
+	// sequential point after every staged side effect has been replayed, so
+	// the detectors see identical state on the sequential and sharded
+	// engines — and like telemetry they read state and never write it back.
+	if m := e.mon; m != nil {
+		m.ObserveCycle(c, e.coll.TotalEjected(), e.pool.Outstanding())
+		if m.WindowDue(c) {
+			e.observeDiagWindow(c)
+		}
+	}
+}
+
+// observeDiagWindow gathers the windowed detector sample: the oldest flit
+// visible to the engine — injection-queue heads, input latches and link
+// stages (router-internal buffers are design-private and excluded; a flit
+// starving inside one still ages on the latches around it) — plus the
+// whole-run deflection and retransmission totals. Allocation-free.
+func (e *Engine) observeDiagWindow(c uint64) {
+	var oldest *flit.Flit
+	node := int32(-1)
+	for u, env := range e.envs {
+		if f := env.injection.front(); f != nil && (oldest == nil || f.InjectionCycle < oldest.InjectionCycle) {
+			oldest, node = f, int32(u)
+		}
+		for b := env.InMask; b != 0; b &= b - 1 {
+			if f := env.In[bits.TrailingZeros8(b)]; f != nil && (oldest == nil || f.InjectionCycle < oldest.InjectionCycle) {
+				oldest, node = f, int32(u)
+			}
+		}
+		for b := e.linkMask[u]; b != 0; b &= b - 1 {
+			if f := e.linkStage[u][bits.TrailingZeros8(b)]; f != nil && (oldest == nil || f.InjectionCycle < oldest.InjectionCycle) {
+				oldest, node = f, int32(u)
+			}
+		}
+	}
+	s := diag.WindowSample{
+		Cycle:       c,
+		OldestNode:  node,
+		Deflected:   e.coll.TotalDeflected(),
+		Retransmits: e.retransmits,
+	}
+	if oldest != nil {
+		s.OldestAge = c - oldest.InjectionCycle
+		s.OldestPacket = oldest.PacketID
+		s.OldestFlit = oldest.ID
+	}
+	e.mon.ObserveWindow(s)
 }
 
 // counterSnapshot gathers the whole-run totals the telemetry publishes as
@@ -471,6 +556,7 @@ func (e *Engine) counterSnapshot() metrics.SimCounters {
 		EjectedFlits:     e.coll.TotalEjected(),
 		DroppedFlits:     e.coll.TotalDropped(),
 		RetransmitFlits:  e.retransmits,
+		DeflectedFlits:   e.coll.TotalDeflected(),
 		PacketsInjected:  e.coll.TotalPacketsInjected(),
 		PacketsDelivered: e.coll.TotalPacketsDelivered(),
 	}
@@ -605,6 +691,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.sink = cfg.Sink
 	e.rec = cfg.Events
 	e.telemetry = cfg.Telemetry
+	e.mon = cfg.Diag
 	e.preCycle = cfg.PreCycle
 	e.cycle = 0
 	e.retransmits = 0
@@ -618,6 +705,7 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	e.wheel.reset()
 	e.pool.DropOutstanding()
 	e.wireCollectors()
+	e.installDiag()
 	for i := range e.envs {
 		e.envs[i].reset()
 		e.reasm[i].Reset()
@@ -630,8 +718,20 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	return nil
 }
 
-// Run advances the engine by n cycles.
+// Run advances the engine by n cycles. With a run-health monitor attached it
+// honors stop requests (diag.Interrupt, Monitor.RequestStop) at cycle
+// boundaries — the graceful-shutdown path; the check is two atomic loads per
+// cycle and steers nothing else, so results stay bit-identical.
 func (e *Engine) Run(n uint64) {
+	if m := e.mon; m != nil {
+		for i := uint64(0); i < n; i++ {
+			if m.StopRequested() {
+				return
+			}
+			e.Step()
+		}
+		return
+	}
 	for i := uint64(0); i < n; i++ {
 		e.Step()
 	}

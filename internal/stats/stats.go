@@ -29,6 +29,7 @@ type Collector struct {
 	totalGenerated        uint64
 	totalEjected          uint64
 	totalDropped          uint64
+	totalDeflected        uint64
 	totalPacketsInjected  uint64
 	totalPacketsDelivered uint64
 
@@ -154,6 +155,15 @@ func (c *Collector) DroppedFlit(cycle uint64, node int) {
 	}
 }
 
+// DeflectedFlit records one flit deflected away from every productive
+// output port (bufferless designs). Whole-run total, no window: it feeds the
+// deflection-storm detector and the dxbar_flits_deflected_total counter,
+// both of which window it themselves (per-packet windowed deflections come
+// from PacketDone).
+func (c *Collector) DeflectedFlit() {
+	c.totalDeflected++
+}
+
 // FairnessFlip records one fairness-counter priority flip (§II.A.2): the
 // router's incoming flits won often enough, with flits waiting, that
 // priority flipped to the waiters (DXbar/unified).
@@ -172,9 +182,9 @@ func (c *Collector) Scratch() *Collector {
 }
 
 // AbsorbRouterPhase folds the counters a shard's routers staged in s back
-// into c and zeroes them. Routers touch exactly four collector entry points
-// during their Step — BufferingEvent, RoutedEvent, DroppedFlit and
-// FairnessFlip (everything else is recorded by the engine's sequential
+// into c and zeroes them. Routers touch exactly five collector entry points
+// during their Step — BufferingEvent, RoutedEvent, DroppedFlit, DeflectedFlit
+// and FairnessFlip (everything else is recorded by the engine's sequential
 // phases) — so those are the fields a scratch can accumulate. All are
 // commutative counters, which is why barrier-time absorption in any shard
 // order reproduces the sequential totals bit-identically.
@@ -182,9 +192,11 @@ func (c *Collector) AbsorbRouterPhase(s *Collector) {
 	c.bufferedSum += s.bufferedSum
 	c.routedFlits += s.routedFlits
 	c.fairnessFlips += s.fairnessFlips
+	c.totalDeflected += s.totalDeflected
 	s.bufferedSum = 0
 	s.routedFlits = 0
 	s.fairnessFlips = 0
+	s.totalDeflected = 0
 	// totalDropped counts out-of-window drops too, so it must be absorbed
 	// even when the windowed droppedFlits below short-circuits.
 	c.totalDropped += s.totalDropped
@@ -247,9 +259,24 @@ type Results struct {
 	FairnessFlips uint64
 }
 
+// Truncate clamps the measurement window's end to cycle. Interrupted runs
+// call this so per-cycle rates are normalized by the cycles actually
+// simulated, not the configured window that never completed.
+func (c *Collector) Truncate(cycle uint64) {
+	if cycle < c.end {
+		c.end = cycle
+		if c.end < c.start {
+			c.end = c.start
+		}
+	}
+}
+
 // Results computes the summary over the measurement window.
 func (c *Collector) Results() Results {
 	window := float64(c.end - c.start)
+	if window <= 0 {
+		window = 1 // run interrupted before the window opened: no rates to report
+	}
 	r := Results{
 		OfferedLoad:   float64(c.generatedFlits) / (window * float64(c.nodes)),
 		AcceptedLoad:  float64(c.ejectedFlits) / (window * float64(c.nodes)),

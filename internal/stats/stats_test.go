@@ -199,3 +199,37 @@ func TestResultsSanityProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// Truncate re-normalizes the per-cycle rates by the cycles actually
+// simulated — the interrupted-run path, where the configured window never
+// completed.
+func TestCollectorTruncate(t *testing.T) {
+	c := NewCollector(4, 100, 1100) // window of 1000 cycles, 4 nodes
+	c.GeneratedFlits(200, 400)
+	for i := 0; i < 200; i++ {
+		c.EjectedFlit(300)
+	}
+	full := c.Results()
+	if full.OfferedLoad != 0.1 || full.AcceptedLoad != 0.05 {
+		t.Fatalf("pre-truncate rates offered=%v accepted=%v, want 0.1/0.05", full.OfferedLoad, full.AcceptedLoad)
+	}
+
+	c.Truncate(600) // interrupted halfway: 500 cycles actually measured
+	half := c.Results()
+	if half.OfferedLoad != 0.2 || half.AcceptedLoad != 0.1 {
+		t.Errorf("truncated rates offered=%v accepted=%v, want 0.2/0.1", half.OfferedLoad, half.AcceptedLoad)
+	}
+
+	// Truncating past the current end is a no-op; truncating before the
+	// window opened clamps to a zero-width window with defined (zero-ish,
+	// finite) rates rather than a division blow-up.
+	c.Truncate(5000)
+	if got := c.Results(); got.OfferedLoad != 0.2 {
+		t.Errorf("late Truncate changed rates: %v", got.OfferedLoad)
+	}
+	c.Truncate(50)
+	got := c.Results()
+	if math.IsInf(got.OfferedLoad, 0) || math.IsNaN(got.OfferedLoad) {
+		t.Errorf("zero-width window produced non-finite rate %v", got.OfferedLoad)
+	}
+}

@@ -17,6 +17,9 @@ func (c *Collector) TotalEjected() uint64 { return c.totalEjected }
 // TotalDropped returns flits dropped across the whole run.
 func (c *Collector) TotalDropped() uint64 { return c.totalDropped }
 
+// TotalDeflected returns flits deflected across the whole run.
+func (c *Collector) TotalDeflected() uint64 { return c.totalDeflected }
+
 // TotalPacketsInjected returns packets injected across the whole run.
 func (c *Collector) TotalPacketsInjected() uint64 { return c.totalPacketsInjected }
 

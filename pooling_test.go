@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"dxbar/internal/diag"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
@@ -47,6 +48,11 @@ func steadyMeshNetwork(t *testing.T, design Design, w, h int, load float64, shar
 		Source: &sim.SourceAdapter{B: bern},
 		Stats:  coll,
 		Shards: shards,
+		// The run-health monitor is on by default in the public Run path, so
+		// the zero-alloc guard must hold with it attached. A short window
+		// keeps the windowed detector leg (the flit-age scan and storm
+		// deltas) inside the measured runs.
+		Diag: diag.NewMonitor(diag.Config{Window: 64}, mesh.Nodes()),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -188,6 +188,10 @@ func (r *runner) run(c Config) (Result, error) {
 	if cfg.Progress != nil {
 		cfg.Progress.SetTotal(cfg.WarmupCycles + cfg.MeasureCycles)
 	}
+	// Run-health monitor: on by default (newRunDiag returns a nil monitor —
+	// every hook no-ops — only with cfg.DisableDiag). Detectors observe and
+	// never steer, so results stay bit-identical either way.
+	dg := newRunDiag(cfg, mesh.Nodes())
 	net, err := r.network(NetworkOptions{
 		Design:               cfg.Design,
 		Routing:              cfg.Routing,
@@ -204,20 +208,47 @@ func (r *runner) run(c Config) (Result, error) {
 		Shards:               cfg.Shards,
 		RebalanceInterval:    cfg.RebalanceInterval,
 		Telemetry:            tel,
+		Diag:                 dg.mon,
 	})
 	if err != nil {
 		return Result{}, err
 	}
+	// The bundle writer closes over the live network, so it installs after
+	// the network exists; anomalies before the first detector window cannot
+	// occur (the watchdog thresholds exceed the window).
+	dg.installDumper(cfg, net, coll, rec)
 
 	net.Engine.Run(cfg.WarmupCycles)
 	base := net.Meter.Snapshot()
 	net.Engine.Run(cfg.MeasureCycles)
 	window := net.Meter.Snapshot().Sub(base)
+	interrupted := dg.mon.StopRequested()
+	// A graceful shutdown cuts the measurement window short; normalize the
+	// per-cycle rates and power by the cycles actually simulated rather than
+	// the configured window that never completed.
+	measured := cfg.MeasureCycles
+	if actual := net.Engine.Cycle(); interrupted && actual < cfg.WarmupCycles+cfg.MeasureCycles {
+		coll.Truncate(actual)
+		measured = 0
+		if actual > cfg.WarmupCycles {
+			measured = actual - cfg.WarmupCycles
+		}
+		if measured == 0 {
+			measured = 1 // interrupted in warmup: keep the power model defined
+		}
+	}
 	// Final telemetry flush, then detach this run's residual gauge
 	// contributions from the shared registry (counters stay — they are
-	// cumulative across runs by design).
+	// cumulative across runs by design). An interrupted run flushes the
+	// same way: graceful shutdown is exactly "stop early, publish, detach".
 	net.Engine.FlushTelemetry()
 	tel.Detach()
+	if interrupted {
+		// Leave a forensic bundle for the run that was cut short, unless an
+		// anomaly already wrote one.
+		dg.mon.FinalDump(net.Engine.Cycle(), "interrupt")
+	}
+	dg.mon.Detach()
 
 	res := Result{
 		Results:         coll.Results(),
@@ -244,10 +275,13 @@ func (r *runner) run(c Config) (Result, error) {
 		res.ShardImbalance = shardImbalance(res.ShardProfile)
 		res.ShardRebalances, res.ShardNodesMigrated = net.Engine.ShardRebalances()
 	}
+	res.Anomalies = dg.mon.Anomalies()
+	res.AnomaliesDropped = dg.mon.DroppedAnomalies()
+	res.Interrupted = interrupted
 	if res.Packets > 0 {
 		res.AvgEnergyNJ = res.TotalEnergyNJ / float64(res.Packets)
 	}
-	res.Power, err = net.Meter.Breakdown(string(cfg.Design), window, cfg.MeasureCycles, mesh.Nodes())
+	res.Power, err = net.Meter.Breakdown(string(cfg.Design), window, measured, mesh.Nodes())
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,0 +1,107 @@
+#!/bin/sh
+# Diagnostics smoke test: force an anomaly on a saturated dxbar-sim run and
+# assert a complete post-mortem bundle lands in -diag-dir, then SIGQUIT a
+# live healthy run and assert the signal bundle. Exercises the same black-box
+# path an operator (or CI triage) would use on a sick run. Needs the go
+# toolchain.
+set -eu
+
+WORK="$(mktemp -d)"
+DIAG="${1:-diag-artifacts}"
+SIM_PID=""
+cleanup() {
+	[ -n "$SIM_PID" ] && kill "$SIM_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/dxbar-sim" ./cmd/dxbar-sim
+rm -rf "$DIAG"
+
+# The bundle's required file set; manifest.json is written last, so its
+# presence marks a bundle complete.
+BUNDLE_FILES="anomalies.json config.json goroutines.txt latency.json manifest.json metrics.prom run.json shards.json trace.json"
+
+check_bundle() {
+	bdir="$1"
+	for f in $BUNDLE_FILES; do
+		if [ ! -s "$bdir/$f" ]; then
+			echo "diag-smoke: bundle $bdir is missing or has empty $f" >&2
+			ls -l "$bdir" >&2 || true
+			exit 1
+		fi
+	done
+	grep -q '"schema"' "$bdir/manifest.json" || {
+		echo "diag-smoke: $bdir/manifest.json has no schema field" >&2
+		exit 1
+	}
+}
+
+# 1. Forced anomaly: far past saturation with a low age watermark, the
+#    starvation detector must fire and auto-dump one bundle.
+"$WORK/dxbar-sim" -design dxbar -load 0.95 -warmup 200 -measure 4000 \
+	-diag-dir "$DIAG/anomaly" -diag-max-age 500 -diag-window 128 \
+	-log-format json >"$WORK/run.stdout" 2>"$WORK/run.stderr"
+
+grep -q '"kind":"starvation"' "$WORK/run.stderr" || {
+	echo "diag-smoke: no structured starvation record on stderr" >&2
+	cat "$WORK/run.stderr" >&2
+	exit 1
+}
+grep -q 'starvation' "$WORK/run.stdout" || {
+	echo "diag-smoke: run report has no anomaly table" >&2
+	cat "$WORK/run.stdout" >&2
+	exit 1
+}
+set -- "$DIAG"/anomaly/dxbar-diag-anomaly-starvation-*
+[ -d "$1" ] || {
+	echo "diag-smoke: no anomaly bundle under $DIAG/anomaly" >&2
+	exit 1
+}
+check_bundle "$1"
+grep -q '"reason": "anomaly-starvation"' "$1/manifest.json" || {
+	echo "diag-smoke: bundle reason is not anomaly-starvation" >&2
+	cat "$1/manifest.json" >&2
+	exit 1
+}
+
+# 2. SIGQUIT on a live healthy run: the dump request is consumed at the next
+#    detector-window boundary and writes a signal bundle while the run keeps
+#    going; cleanup kills the run afterwards.
+"$WORK/dxbar-sim" -measure 50000000 -diag-dir "$DIAG/signal" -diag-window 1024 \
+	>/dev/null 2>"$WORK/sig.stderr" &
+SIM_PID=$!
+sleep 1
+kill -0 "$SIM_PID" 2>/dev/null || {
+	echo "diag-smoke: dxbar-sim exited before SIGQUIT" >&2
+	cat "$WORK/sig.stderr" >&2
+	exit 1
+}
+kill -QUIT "$SIM_PID"
+
+bdir=""
+for _ in $(seq 1 40); do
+	set -- "$DIAG"/signal/dxbar-diag-signal-*
+	if [ -d "$1" ] && [ -s "$1/manifest.json" ]; then
+		bdir="$1"
+		break
+	fi
+	sleep 0.25
+done
+[ -n "$bdir" ] || {
+	echo "diag-smoke: SIGQUIT produced no signal bundle" >&2
+	cat "$WORK/sig.stderr" >&2
+	exit 1
+}
+kill -0 "$SIM_PID" 2>/dev/null || {
+	echo "diag-smoke: SIGQUIT killed the run instead of snapshotting it" >&2
+	exit 1
+}
+check_bundle "$bdir"
+grep -q '"reason": "signal"' "$bdir/manifest.json" || {
+	echo "diag-smoke: bundle reason is not signal" >&2
+	cat "$bdir/manifest.json" >&2
+	exit 1
+}
+
+echo "diag-smoke: ok (anomaly + SIGQUIT bundles complete under $DIAG)"

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dxbar/internal/diag"
 	"dxbar/internal/metrics"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
@@ -43,6 +44,10 @@ func steadyTelemeteredNetwork(t *testing.T, shards int) (*Network, *metrics.Regi
 		Stats:     coll,
 		Shards:    shards,
 		Telemetry: tel,
+		// Run-health detectors publish into the same registry; the zero-alloc
+		// and scrape-race guards must hold with them attached (short window so
+		// the windowed leg runs during the measured cycles).
+		Diag: diag.NewMonitor(diag.Config{Window: 64, Registry: reg}, mesh.Nodes()),
 	})
 	if err != nil {
 		t.Fatal(err)
