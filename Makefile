@@ -6,7 +6,7 @@ GO ?= go
 # example never requires touching this file.
 EXAMPLES := $(notdir $(wildcard examples/*))
 
-.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke diag-smoke clean
+.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke diag-smoke checkpoint-smoke determinism clean
 
 all: build test
 
@@ -31,13 +31,18 @@ race:
 
 # Static analysis beyond go vet. staticcheck is not vendored; install it with
 #   go install honnef.co/go/tools/cmd/staticcheck@latest
-# The target skips gracefully where it is missing (offline containers) — CI
-# installs and enforces it.
+# shellcheck covers the smoke scripts. Both skip gracefully where missing
+# (offline containers) — CI installs and enforces them.
 lint:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
 		echo "lint: staticcheck not installed, skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+	@if command -v shellcheck >/dev/null 2>&1; then \
+		shellcheck scripts/*.sh; \
+	else \
+		echo "lint: shellcheck not installed, skipping (apt install shellcheck)"; \
 	fi
 
 # Every paper table/figure plus the ablation and extension harnesses.
@@ -83,6 +88,20 @@ telemetry-smoke:
 # leave complete post-mortem bundles under diag-artifacts/.
 diag-smoke:
 	sh scripts/diag_smoke.sh diag-artifacts
+
+# Crash-recovery drill: kill -9 a checkpointed dxbar-sim mid-flight, resume
+# from the newest surviving checkpoint and assert the resumed run's metrics
+# match an uninterrupted reference exactly.
+checkpoint-smoke:
+	sh scripts/checkpoint_smoke.sh
+
+# The checkpoint/replay determinism suite under the race detector: resume
+# bit-identity across designs, seeds and both engine backends, snapshot
+# round-trip byte stability, corrupt-input robustness, rewind renormalization
+# and the committed golden checkpoint (cross-version format stability).
+determinism:
+	$(GO) test -race -count=1 -run 'TestCheckpoint|TestSnapshot|TestGolden|TestRewind|TestRestoreEngine' .
+	$(GO) test -race -count=1 ./internal/snapshot/
 
 clean:
 	rm -rf results flightrecorder_trace.json diag-artifacts

@@ -121,7 +121,7 @@ func main() {
 		noWrite   = flag.Bool("no-write", false, "measure and compare without writing a record")
 		shards    = flag.Int("shards", 0, "router-phase shards (0/1 sequential, -1 = GOMAXPROCS)")
 		scale     = flag.Bool("scale", false, "sharded-engine scaling study (16x16, 32x32 and 64x64 at per-size below-saturation loads, sequential vs -shards) instead of the regression suite")
-		scaleGate = flag.Bool("scale-gate", false, "with -scale: exit 1 if any >=1024-node point with >=2 effective shards runs slower than sequential")
+		scaleGate = flag.Bool("scale-gate", false, "with -scale: exit 1 if any >=1024-node point with >=2 effective shards falls below 1.2x speedup over sequential")
 
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")

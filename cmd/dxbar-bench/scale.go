@@ -140,10 +140,10 @@ func runScale(outDir, label, designsCS, pattern string, seed int64, warmup, cycl
 			fmt.Printf("%2dx%-2d load %.2f  seq %9.1f ns/cycle  sharded(%d/%d) %9.1f ns/cycle  speedup %.2fx\n",
 				p.Width, p.Height, p.Load, p.NsPerCycleSeq, p.ShardsEffective, p.ShardsRequested,
 				p.NsPerCycleSharded, *p.Speedup)
-			if gate && size.w*size.h >= 1024 && *p.Speedup < 1.0 {
-				logger.Error("SCALE GATE: sharded engine slower than sequential",
+			if gate && size.w*size.h >= 1024 && *p.Speedup < 1.2 {
+				logger.Error("SCALE GATE: sharded engine not meaningfully faster than sequential",
 					"mesh", fmt.Sprintf("%dx%d", p.Width, p.Height),
-					"shards", p.ShardsEffective, "speedup", *p.Speedup, "want", ">= 1.0x")
+					"shards", p.ShardsEffective, "speedup", *p.Speedup, "want", ">= 1.2x")
 				gateFailed = true
 			}
 		} else {

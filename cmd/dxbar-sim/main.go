@@ -51,6 +51,13 @@ func main() {
 		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
 		profile  = flag.Bool("shard-profile", false, "print the per-shard execution profile after the run (requires -shards > 1)")
 
+		ckptInterval = flag.Uint64("checkpoint-interval", 0, "write a checkpoint every N cycles into -checkpoint-dir (0 disables)")
+		ckptDir      = flag.String("checkpoint-dir", "", "directory for checkpoint files (required with -checkpoint-interval)")
+		ckptKeep     = flag.Int("checkpoint-keep", 0, "checkpoint files to retain (0 = default 3)")
+		resume       = flag.String("resume", "", "resume a checkpointed run: a ckpt-*.dxsn file, or a directory (newest checkpoint wins); other config flags are ignored")
+		rewind       = flag.String("rewind", "", "re-run a window from this checkpoint file with the flight recorder widened to every event kind; combine with -trace to size the ring")
+		rewindWindow = flag.Uint64("rewind-window", 512, "cycles to re-run after -rewind")
+
 		verbose    = flag.Bool("v", false, "verbose (debug-level) logging")
 		logFormat  = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
 		diagDir    = flag.String("diag-dir", "", "directory for post-mortem diagnostic bundles (anomaly, SIGQUIT, panic); empty disables bundles (detectors still run)")
@@ -106,41 +113,72 @@ func main() {
 		}()
 	}
 
-	res, err := dxbar.Run(dxbar.Config{
-		Design:         dxbar.Design(*design),
-		Routing:        *routing,
-		Pattern:        *pattern,
-		Load:           *load,
-		Width:          *width,
-		Height:         *height,
-		WarmupCycles:   *warmup,
-		MeasureCycles:  *measure,
-		Seed:           *seed,
-		FlitsPerPacket: *flits,
-		FaultFraction:  *faults,
-		FaultGranularity: func() string {
-			if *faults > 0 {
-				return *gran
+	// The diag config a run gets regardless of how it starts (fresh, resumed
+	// or rewound): saved checkpoints scrub live handles, so resume/rewind
+	// reattach this process's logger, registry and thresholds.
+	diagCfg := &diag.Config{
+		StallCycles: *diagStall,
+		MaxFlitAge:  *diagMaxAge,
+		Window:      *diagWindow,
+		Logger:      logger,
+		Registry:    reg,
+	}
+
+	var res dxbar.Result
+	switch {
+	case *resume != "" && *rewind != "":
+		fatal(fmt.Errorf("-resume and -rewind are mutually exclusive"))
+	case *resume != "":
+		path := *resume
+		if fi, statErr := os.Stat(path); statErr == nil && fi.IsDir() {
+			path, err = dxbar.LatestCheckpoint(path)
+			if err != nil {
+				fatal(err)
 			}
-			return ""
-		}(),
-		TrackUtilization: *heatmap,
-		SampleInterval:   *interval,
-		EventTrace:       *trace,
-		EventKinds:       kinds,
-		Shards:           *shards,
-		Metrics:          reg,
-		Progress:         prog,
-		ShardProfile:     *profile,
-		DiagDir:          *diagDir,
-		Diag: &diag.Config{
-			StallCycles: *diagStall,
-			MaxFlitAge:  *diagMaxAge,
-			Window:      *diagWindow,
-			Logger:      logger,
-			Registry:    reg,
-		},
-	})
+		}
+		logger.Info("resuming from checkpoint", "path", path)
+		res, err = dxbar.ResumeWith(path, func(c *dxbar.Config) {
+			c.Metrics, c.Progress = reg, prog
+			c.DiagDir = *diagDir
+			c.Diag = diagCfg
+		})
+	case *rewind != "":
+		logger.Info("rewinding from checkpoint", "path", *rewind, "window", *rewindWindow)
+		res, err = dxbar.Rewind(*rewind, *rewindWindow, *trace)
+	default:
+		res, err = dxbar.Run(dxbar.Config{
+			Design:         dxbar.Design(*design),
+			Routing:        *routing,
+			Pattern:        *pattern,
+			Load:           *load,
+			Width:          *width,
+			Height:         *height,
+			WarmupCycles:   *warmup,
+			MeasureCycles:  *measure,
+			Seed:           *seed,
+			FlitsPerPacket: *flits,
+			FaultFraction:  *faults,
+			FaultGranularity: func() string {
+				if *faults > 0 {
+					return *gran
+				}
+				return ""
+			}(),
+			TrackUtilization:   *heatmap,
+			SampleInterval:     *interval,
+			EventTrace:         *trace,
+			EventKinds:         kinds,
+			Shards:             *shards,
+			Metrics:            reg,
+			Progress:           prog,
+			ShardProfile:       *profile,
+			DiagDir:            *diagDir,
+			Diag:               diagCfg,
+			CheckpointInterval: *ckptInterval,
+			CheckpointDir:      *ckptDir,
+			CheckpointKeep:     *ckptKeep,
+		})
+	}
 	if err != nil {
 		fatal(err)
 	}

@@ -95,12 +95,12 @@ func newRunDiag(cfg Config, nodes int) runDiag {
 // installDumper wires the monitor's post-mortem dump callback to a bundle
 // writer over the run's live state. No-op when bundles are disabled (no
 // directory) or diagnostics are off.
-func (d runDiag) installDumper(cfg Config, net *Network, coll *stats.Collector, rec *events.Recorder) {
+func (d runDiag) installDumper(cfg Config, net *Network, coll *stats.Collector, rec *events.Recorder, ckpt *checkpointTracker) {
 	if d.mon == nil || d.dir == "" {
 		return
 	}
 	d.mon.SetDumper(func(cycle uint64, reason string) {
-		path, err := writeRunBundle(d.dir, reason, cycle, cfg, net, coll, rec, d.reg, d.mon)
+		path, err := writeRunBundle(d.dir, reason, cycle, cfg, net, coll, rec, d.reg, d.mon, ckpt)
 		if d.logger == nil {
 			return
 		}
@@ -131,6 +131,10 @@ type bundleRunState struct {
 	DroppedFlits  uint64  `json:"dropped_flits"`
 	MaxFlitAge    uint64  `json:"max_flit_age"`
 	Interrupted   bool    `json:"interrupted"`
+	// LastCheckpoint is the newest checkpoint file the run has written (empty
+	// when checkpointing is off) — the restore point for post-mortem replay
+	// (dxbar-sim -rewind) of the cycles leading into the anomaly.
+	LastCheckpoint string `json:"last_checkpoint,omitempty"`
 }
 
 // bundleAnomalies is anomalies.json.
@@ -155,7 +159,7 @@ type bundleShards struct {
 // runs at a sequential point of the cycle loop (a detector window boundary)
 // or after the run, so everything it reads is consistent; it allocates
 // freely — the failure path is not the hot path.
-func writeRunBundle(dir, reason string, cycle uint64, cfg Config, net *Network, coll *stats.Collector, rec *events.Recorder, reg *metrics.Registry, mon *diag.Monitor) (string, error) {
+func writeRunBundle(dir, reason string, cycle uint64, cfg Config, net *Network, coll *stats.Collector, rec *events.Recorder, reg *metrics.Registry, mon *diag.Monitor, ckpt *checkpointTracker) (string, error) {
 	// The config is scrubbed of its live attachments: handles and callbacks
 	// are not configuration, and some (the registry, the diag callbacks)
 	// cannot marshal.
@@ -166,22 +170,23 @@ func writeRunBundle(dir, reason string, cycle uint64, cfg Config, net *Network, 
 
 	rebal, migrated := net.Engine.ShardRebalances()
 	state := bundleRunState{
-		Reason:        reason,
-		Cycle:         cycle,
-		Design:        cfg.Design,
-		Routing:       cfg.Routing,
-		Pattern:       cfg.Pattern,
-		Load:          cfg.Load,
-		Seed:          cfg.Seed,
-		WarmupCycles:  cfg.WarmupCycles,
-		MeasureCycles: cfg.MeasureCycles,
-		Shards:        net.Engine.Shards(),
-		InFlightFlits: net.Engine.Pool().Outstanding(),
-		QueuedFlits:   net.Engine.QueuedFlits(),
-		EjectedFlits:  coll.TotalEjected(),
-		DroppedFlits:  coll.TotalDropped(),
-		MaxFlitAge:    mon.MaxFlitAge(),
-		Interrupted:   diag.Interrupted(),
+		Reason:         reason,
+		Cycle:          cycle,
+		Design:         cfg.Design,
+		Routing:        cfg.Routing,
+		Pattern:        cfg.Pattern,
+		Load:           cfg.Load,
+		Seed:           cfg.Seed,
+		WarmupCycles:   cfg.WarmupCycles,
+		MeasureCycles:  cfg.MeasureCycles,
+		Shards:         net.Engine.Shards(),
+		InFlightFlits:  net.Engine.Pool().Outstanding(),
+		QueuedFlits:    net.Engine.QueuedFlits(),
+		EjectedFlits:   coll.TotalEjected(),
+		DroppedFlits:   coll.TotalDropped(),
+		MaxFlitAge:     mon.MaxFlitAge(),
+		Interrupted:    diag.Interrupted(),
+		LastCheckpoint: ckpt.get(),
 	}
 
 	label := fmt.Sprintf("%s %s %s load %.3f seed %d", cfg.Design, cfg.Routing, cfg.Pattern, cfg.Load, cfg.Seed)

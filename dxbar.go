@@ -194,6 +194,22 @@ type Config struct {
 	// harnesses measuring the engine alone, or A/B-testing the detectors
 	// themselves, as TestDiagBitIdentity does).
 	DisableDiag bool
+	// CheckpointInterval, together with CheckpointDir, enables periodic
+	// checkpointing: every CheckpointInterval cycles the run serializes its
+	// complete engine state into CheckpointDir (atomic write — a kill cannot
+	// leave a torn file), keeping the newest CheckpointKeep files. A resumed
+	// run (Resume, dxbar-sim -resume) continues bit-identically: its Result
+	// is byte-for-byte the uninterrupted run's. 0 disables checkpointing;
+	// between writes the cycle loop stays allocation-free (one nil check and
+	// one compare per cycle).
+	CheckpointInterval uint64
+	// CheckpointDir is the directory checkpoint files are written under
+	// (created if absent). Empty disables checkpointing.
+	CheckpointDir string
+	// CheckpointKeep bounds the checkpoint files retained in CheckpointDir —
+	// after each write, older ckpt-*.dxsn files beyond the newest
+	// CheckpointKeep are pruned. 0 means DefaultCheckpointKeep.
+	CheckpointKeep int
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.
@@ -405,6 +421,7 @@ func factoryFor(d Design, algo routing.Algorithm, mesh *topology.Mesh, threshold
 		// controller — so sequential results are unchanged.
 		ctrl := router.NewAFCController(nodes)
 		return func(env *sim.Env) sim.Router {
+			env.RegisterShared(ctrl)
 			r := router.NewAFC(env, algo, ctrl)
 			r.SetReferenceArbitration(reference)
 			return r

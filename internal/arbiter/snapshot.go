@@ -1,0 +1,64 @@
+package arbiter
+
+import (
+	"fmt"
+
+	"dxbar/internal/snapshot"
+)
+
+// SaveState serializes the rotation pointer — the arbiter's only persistent
+// state (the grant history is the pointer).
+func (r *RoundRobin) SaveState(w *snapshot.Writer) {
+	w.Int(r.ptr)
+}
+
+// LoadState restores the rotation pointer.
+func (r *RoundRobin) LoadState(rd *snapshot.Reader) error {
+	ptr := rd.Int()
+	if err := rd.Err(); err != nil {
+		return err
+	}
+	if ptr < 0 || ptr >= r.n {
+		return fmt.Errorf("arbiter: snapshot rotation pointer %d out of [0,%d)", ptr, r.n)
+	}
+	r.ptr = ptr
+	return nil
+}
+
+// SaveState serializes the separable allocator: every output-stage and
+// input-stage rotation pointer.
+func (s *Separable) SaveState(w *snapshot.Writer) {
+	for _, a := range s.outArb {
+		a.SaveState(w)
+	}
+	for _, a := range s.inArb {
+		a.SaveState(w)
+	}
+}
+
+// LoadState restores the separable allocator's rotation pointers.
+func (s *Separable) LoadState(rd *snapshot.Reader) error {
+	for _, a := range s.outArb {
+		if err := a.LoadState(rd); err != nil {
+			return err
+		}
+	}
+	for _, a := range s.inArb {
+		if err := a.LoadState(rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SaveState serializes the dual-input allocator. Its arbitration is age-based
+// (stateless between cycles); only the swap counter persists.
+func (d *DualInput) SaveState(w *snapshot.Writer) {
+	w.U64(d.swaps)
+}
+
+// LoadState restores the dual-input allocator's swap counter.
+func (d *DualInput) LoadState(rd *snapshot.Reader) error {
+	d.swaps = rd.U64()
+	return rd.Err()
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"dxbar/internal/flit"
+	"dxbar/internal/snapshot"
+)
+
+// What the paper-core routers persist across cycles — and what they don't.
+// Both crossbar fabrics are Reset and re-faulted from the detector at the top
+// of every Step, so crossbar kill state is re-derived on the first post-
+// restore cycle and never serialized; the detectors themselves are pure
+// functions of (fault plan, cycle). What survives a cycle boundary is the
+// buffer contents, the fairness counter, and the one-shot event latches that
+// keep the flight recorder from re-reporting fault transitions.
+
+func (f *fairness) saveState(w *snapshot.Writer) {
+	w.Int(f.count)
+	w.U64(f.flips)
+}
+
+func (f *fairness) loadState(r *snapshot.Reader) error {
+	f.count = r.Int()
+	f.flips = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes the DXbar router's persistent state.
+func (d *DXbar) SaveState(w *snapshot.Writer) {
+	w.Tag("DXBR")
+	for _, b := range d.buffers {
+		b.SaveState(w)
+	}
+	d.fair.saveState(w)
+	w.Bool(d.manifestSeen)
+	w.Bool(d.detectedSeen)
+}
+
+// LoadState restores the DXbar router. The occupied-buffer bitmask is
+// re-derived from the restored FIFOs rather than trusted from the stream.
+func (d *DXbar) LoadState(r *snapshot.Reader, pool *flit.Pool, nodes int) error {
+	r.Expect("DXBR")
+	d.bufMask = 0
+	for p, b := range d.buffers {
+		if err := b.LoadState(r, pool, nodes); err != nil {
+			return err
+		}
+		if b.Len() > 0 {
+			d.bufMask |= 1 << uint(p)
+		}
+	}
+	if err := d.fair.loadState(r); err != nil {
+		return err
+	}
+	d.manifestSeen = r.Bool()
+	d.detectedSeen = r.Bool()
+	return r.Err()
+}
+
+// SaveState serializes the unified router's persistent state.
+func (u *Unified) SaveState(w *snapshot.Writer) {
+	w.Tag("UNIF")
+	for _, b := range u.buffers {
+		b.SaveState(w)
+	}
+	u.fair.saveState(w)
+	u.alloc.SaveState(w)
+	w.Bool(u.manifestSeen)
+	w.U64(u.lastSwaps)
+}
+
+// LoadState restores the unified router.
+func (u *Unified) LoadState(r *snapshot.Reader, pool *flit.Pool, nodes int) error {
+	r.Expect("UNIF")
+	for _, b := range u.buffers {
+		if err := b.LoadState(r, pool, nodes); err != nil {
+			return err
+		}
+	}
+	if err := u.fair.loadState(r); err != nil {
+		return err
+	}
+	if err := u.alloc.LoadState(r); err != nil {
+		return err
+	}
+	u.manifestSeen = r.Bool()
+	u.lastSwaps = r.U64()
+	return r.Err()
+}

@@ -1,0 +1,26 @@
+package energy
+
+import "dxbar/internal/snapshot"
+
+// SaveState serializes the meter's event counters. The per-event energies
+// (crossbarPJ, unified, buffered8) are configuration, re-derived from the
+// design on restore.
+func (m *Meter) SaveState(w *snapshot.Writer) {
+	w.Tag("ENRG")
+	w.U64(m.crossbarTraversals)
+	w.U64(m.linkTraversals)
+	w.U64(m.bufferWrites)
+	w.U64(m.bufferReads)
+	w.U64(m.nackHops)
+}
+
+// LoadState restores the meter's event counters.
+func (m *Meter) LoadState(r *snapshot.Reader) error {
+	r.Expect("ENRG")
+	m.crossbarTraversals = r.U64()
+	m.linkTraversals = r.U64()
+	m.bufferWrites = r.U64()
+	m.bufferReads = r.U64()
+	m.nackHops = r.U64()
+	return r.Err()
+}

@@ -170,6 +170,20 @@ type Engine struct {
 	// mon is the optional run-health monitor (see Config.Diag).
 	mon *diag.Monitor
 
+	// shared holds network-wide router state registered through
+	// Env.RegisterShared (the AFC mode controller) — state that belongs to
+	// the design but not to any single node, serialized once per snapshot.
+	shared []SharedState
+
+	// Checkpoint hook: when ckptFn is non-nil, Run invokes it after the step
+	// that reaches nextCkpt, then advances nextCkpt by ckptEvery. The hook
+	// runs between cycles, where the engine's transient state (output
+	// latches, staged shard side effects) is empty — the only point a
+	// snapshot is taken.
+	ckptFn    func(cycle uint64)
+	ckptEvery uint64
+	nextCkpt  uint64
+
 	cycle uint64
 }
 
@@ -704,6 +718,8 @@ func (e *Engine) Reset(cfg Config, factory RouterFactory) error {
 	}
 	e.wheel.reset()
 	e.pool.DropOutstanding()
+	e.shared = e.shared[:0]
+	e.ckptFn, e.ckptEvery, e.nextCkpt = nil, 0, 0
 	e.wireCollectors()
 	e.installDiag()
 	for i := range e.envs {
@@ -729,12 +745,37 @@ func (e *Engine) Run(n uint64) {
 				return
 			}
 			e.Step()
+			if e.ckptFn != nil && e.cycle == e.nextCkpt {
+				e.ckptFn(e.cycle)
+				e.nextCkpt += e.ckptEvery
+			}
 		}
 		return
 	}
 	for i := uint64(0); i < n; i++ {
 		e.Step()
+		if e.ckptFn != nil && e.cycle == e.nextCkpt {
+			e.ckptFn(e.cycle)
+			e.nextCkpt += e.ckptEvery
+		}
 	}
+}
+
+// SetCheckpointHook arranges for fn to run inside Run after every step that
+// lands on a multiple of every cycles — the inter-cycle point where a
+// snapshot captures the complete engine state. The steady-state cost with
+// checkpointing enabled is one nil check and one compare per cycle; fn itself
+// may allocate (it serializes). Pass every = 0 or fn = nil to disable. On a
+// resumed engine the next checkpoint is the first multiple of every strictly
+// after the restored cycle.
+func (e *Engine) SetCheckpointHook(every uint64, fn func(cycle uint64)) {
+	if every == 0 || fn == nil {
+		e.ckptFn, e.ckptEvery, e.nextCkpt = nil, 0, 0
+		return
+	}
+	e.ckptFn = fn
+	e.ckptEvery = every
+	e.nextCkpt = (e.cycle/every + 1) * every
 }
 
 // RunUntil advances the engine until pred returns true (checked after every

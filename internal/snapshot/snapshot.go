@@ -1,0 +1,305 @@
+// Package snapshot is the versioned binary serialization layer under the
+// engine checkpoints: a little-endian, CRC-trailed stream of fixed-width
+// scalars and length-prefixed byte strings, with four-byte section tags so a
+// truncated or mismatched stream fails loudly at the section boundary instead
+// of silently misaligning.
+//
+// The format is deliberately primitive — no reflection, no varints, no
+// self-describing schema. Every field is written and read by explicit code in
+// the package that owns it, in declaration order, so the byte stream is a
+// deterministic function of the simulation state (the round-trip property
+// Snapshot→Restore→Snapshot is byte-stable) and the CI determinism gate can
+// compare snapshots with cmp.
+//
+// Robustness contract: a Reader never panics on corrupt input. NewReader
+// verifies the magic, version and whole-stream CRC up front; every read
+// bounds-checks the remaining bytes; counts pass through Len, which validates
+// them against caller-supplied caps before anything allocates. Decoders
+// surface errors, callers discard the half-built object — nothing
+// half-restores.
+package snapshot
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+	"math"
+)
+
+// Magic is the four-byte stream magic.
+const Magic = "DXSN"
+
+// Version is the current format version. Bump on any incompatible layout
+// change; Readers reject other versions (the committed golden checkpoint in
+// bench/ turns an accidental bump or layout drift into a CI failure).
+const Version = 1
+
+// headerLen is magic + version; trailerLen the CRC32.
+const (
+	headerLen  = 4 + 2
+	trailerLen = 4
+)
+
+// Writer serializes a snapshot stream to an io.Writer, accumulating a CRC32
+// (IEEE) over everything including the header; Close appends the CRC as a
+// little-endian trailer. Errors are sticky: the first I/O error latches and
+// every later call is a no-op, so callers check once at Close.
+type Writer struct {
+	w   io.Writer
+	crc hash.Hash32
+	err error
+	buf [8]byte
+}
+
+// NewWriter starts a snapshot stream on w, writing the magic and version.
+func NewWriter(w io.Writer) *Writer {
+	sw := &Writer{w: w, crc: crc32.NewIEEE()}
+	sw.write([]byte(Magic))
+	sw.U16(Version)
+	return sw
+}
+
+func (w *Writer) write(p []byte) {
+	if w.err != nil {
+		return
+	}
+	w.crc.Write(p)
+	_, w.err = w.w.Write(p)
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) {
+	w.buf[0] = v
+	w.write(w.buf[:1])
+}
+
+// U16 writes a little-endian uint16.
+func (w *Writer) U16(v uint16) {
+	binary.LittleEndian.PutUint16(w.buf[:2], v)
+	w.write(w.buf[:2])
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	binary.LittleEndian.PutUint32(w.buf[:4], v)
+	w.write(w.buf[:4])
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	binary.LittleEndian.PutUint64(w.buf[:8], v)
+	w.write(w.buf[:8])
+}
+
+// I64 writes a two's-complement little-endian int64.
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an I64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// F64 writes an IEEE-754 float64 bit pattern.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bool writes a byte 0/1.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// Bytes writes a U32 length prefix followed by the raw bytes.
+func (w *Writer) Bytes(p []byte) {
+	w.U32(uint32(len(p)))
+	w.write(p)
+}
+
+// Tag writes a four-byte section tag. Tags cost four bytes per section and
+// buy misalignment detection: a decoder that drifted off-layout hits a tag
+// mismatch at the next section boundary instead of reading garbage to EOF.
+func (w *Writer) Tag(tag string) {
+	if len(tag) != 4 {
+		panic("snapshot: section tag must be 4 bytes")
+	}
+	w.write([]byte(tag))
+}
+
+// Err returns the sticky error, if any.
+func (w *Writer) Err() error { return w.err }
+
+// Close writes the CRC trailer and returns the sticky error. The Writer must
+// not be used afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	binary.LittleEndian.PutUint32(w.buf[:4], w.crc.Sum32())
+	_, w.err = w.w.Write(w.buf[:4])
+	return w.err
+}
+
+// Reader decodes a snapshot stream from an in-memory byte slice. NewReader
+// verifies the whole stream (length, magic, version, CRC) before any field is
+// decoded, so decode-time errors can only come from structural validation —
+// counts out of range, tag mismatches, trailing bytes — never from flipped
+// bits. Errors are sticky; reads after an error return zero values.
+type Reader struct {
+	data []byte // payload, header included, trailer stripped
+	off  int
+	err  error
+}
+
+// NewReader validates data as a complete snapshot stream and positions a
+// Reader after the header. It never panics on arbitrary input.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < headerLen+trailerLen {
+		return nil, fmt.Errorf("snapshot: stream truncated (%d bytes)", len(data))
+	}
+	body := data[:len(data)-trailerLen]
+	want := binary.LittleEndian.Uint32(data[len(data)-trailerLen:])
+	if got := crc32.ChecksumIEEE(body); got != want {
+		return nil, fmt.Errorf("snapshot: CRC mismatch (got %08x, want %08x)", got, want)
+	}
+	if string(data[:4]) != Magic {
+		return nil, fmt.Errorf("snapshot: bad magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, fmt.Errorf("snapshot: unsupported format version %d (have %d)", v, Version)
+	}
+	return &Reader{data: body, off: headerLen}, nil
+}
+
+// fail latches the first error.
+func (r *Reader) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.data) {
+		r.fail(io.ErrUnexpectedEOF)
+		return nil
+	}
+	p := r.data[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+// U16 reads a little-endian uint16.
+func (r *Reader) U16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+// I64 reads a two's-complement int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// F64 reads an IEEE-754 float64.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bool reads a byte and requires it to be 0 or 1.
+func (r *Reader) Bool() bool {
+	switch r.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail(fmt.Errorf("snapshot: invalid boolean byte at offset %d", r.off-1))
+		return false
+	}
+}
+
+// Bytes reads a length-prefixed byte string. The returned slice aliases the
+// Reader's buffer; copy it if it must outlive the snapshot bytes.
+func (r *Reader) Bytes() []byte {
+	n := r.Len(len(r.data))
+	return r.take(n)
+}
+
+// Len reads a U32 count and validates it against both the caller's cap and
+// the bytes remaining in the stream — a count can never force a decoder to
+// allocate or loop beyond either. It returns 0 after a validation failure.
+func (r *Reader) Len(max int) int {
+	n := r.U32()
+	if r.err != nil {
+		return 0
+	}
+	if int64(n) > int64(max) {
+		r.fail(fmt.Errorf("snapshot: count %d exceeds limit %d at offset %d", n, max, r.off-4))
+		return 0
+	}
+	if int(n) > len(r.data)-r.off {
+		r.fail(io.ErrUnexpectedEOF)
+		return 0
+	}
+	return int(n)
+}
+
+// Expect consumes a four-byte section tag and fails unless it matches.
+func (r *Reader) Expect(tag string) {
+	if len(tag) != 4 {
+		panic("snapshot: section tag must be 4 bytes")
+	}
+	p := r.take(4)
+	if p == nil {
+		return
+	}
+	if string(p) != tag {
+		r.fail(fmt.Errorf("snapshot: section tag mismatch at offset %d: got %q, want %q", r.off-4, p, tag))
+	}
+}
+
+// Remaining returns the undecoded byte count.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+// Err returns the sticky error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Close verifies the stream was fully consumed and returns the sticky error.
+func (r *Reader) Close() error {
+	if r.err == nil && r.off != len(r.data) {
+		r.fail(fmt.Errorf("snapshot: %d trailing bytes after final section", len(r.data)-r.off))
+	}
+	return r.err
+}

@@ -1,0 +1,158 @@
+package snapshot
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// writeSample emits one of every field type and returns the stream bytes.
+func writeSample(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Tag("SMPL")
+	w.U8(0xAB)
+	w.U16(0xBEEF)
+	w.U32(0xDEADBEEF)
+	w.U64(0x0102030405060708)
+	w.I64(-42)
+	w.Int(-7)
+	w.F64(3.14159)
+	w.Bool(true)
+	w.Bool(false)
+	w.Bytes([]byte("hello"))
+	w.Tag("DONE")
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	data := writeSample(t)
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Expect("SMPL")
+	if v := r.U8(); v != 0xAB {
+		t.Errorf("U8 = %#x", v)
+	}
+	if v := r.U16(); v != 0xBEEF {
+		t.Errorf("U16 = %#x", v)
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 0x0102030405060708 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.I64(); v != -42 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.Int(); v != -7 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := r.F64(); v != 3.14159 {
+		t.Errorf("F64 = %v", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Errorf("Bool round-trip broken")
+	}
+	if v := r.Bytes(); string(v) != "hello" {
+		t.Errorf("Bytes = %q", v)
+	}
+	r.Expect("DONE")
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// Flipping any single bit anywhere in the stream must fail the up-front CRC.
+func TestBitFlipDetected(t *testing.T) {
+	data := writeSample(t)
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x40
+		if _, err := NewReader(mut); err == nil {
+			t.Fatalf("bit flip at byte %d not detected", i)
+		}
+	}
+}
+
+// Every truncation of the stream must be rejected, never panic.
+func TestTruncationDetected(t *testing.T) {
+	data := writeSample(t)
+	for n := 0; n < len(data); n++ {
+		if _, err := NewReader(data[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes not detected", n)
+		}
+	}
+}
+
+func TestTagMismatch(t *testing.T) {
+	data := writeSample(t)
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	r.Expect("NOPE")
+	if r.Err() == nil {
+		t.Fatal("tag mismatch not detected")
+	}
+}
+
+func TestLenLimits(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U32(1 << 30) // a count far beyond the stream
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Len(16); n != 0 || r.Err() == nil {
+		t.Fatalf("Len accepted oversized count: n=%d err=%v", n, r.Err())
+	}
+}
+
+// Reads past the payload return zero values with a sticky error, no panic.
+func TestReadPastEnd(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U8(1)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = r.U8()
+	if v := r.U64(); v != 0 {
+		t.Fatalf("read past end returned %d", v)
+	}
+	if r.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", r.Err())
+	}
+}
+
+// An unconsumed suffix is a structural error at Close.
+func TestTrailingBytes(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.U64(7)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("trailing bytes not detected")
+	}
+}

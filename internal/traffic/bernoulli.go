@@ -73,9 +73,33 @@ type Bernoulli struct {
 	prob    float64 // per-node per-cycle packet probability
 	nflits  uint16
 	rng     *rand.Rand
+	src     *countingSource
+	seed    int64
 	nextID  uint64
 	spec    PacketSpec // reused across Generate calls (see Generate)
 }
+
+// countingSource wraps the seeded source and counts raw draws. The count is
+// the injector's serializable RNG position: every consumer path (Float64,
+// Intn rejection loops, pattern draws) bottoms out in exactly one source call
+// per count, so replaying `draws` calls against a fresh source of the same
+// seed reproduces the stream position without modelling any consumer.
+type countingSource struct {
+	src rand.Source64
+	n   uint64
+}
+
+func (s *countingSource) Int63() int64 {
+	s.n++
+	return s.src.Int63()
+}
+
+func (s *countingSource) Uint64() uint64 {
+	s.n++
+	return s.src.Uint64()
+}
+
+func (s *countingSource) Seed(seed int64) { s.src.Seed(seed) }
 
 // NewBernoulli returns an injector offering `load` flits/node/cycle with
 // packets of flitsPerPacket flits each.
@@ -86,12 +110,15 @@ func NewBernoulli(m *topology.Mesh, p Pattern, load float64, flitsPerPacket int,
 	if flitsPerPacket < 1 || flitsPerPacket > 64 {
 		return nil, fmt.Errorf("traffic: flits per packet %d out of [1,64]", flitsPerPacket)
 	}
+	src := &countingSource{src: rand.NewSource(seed).(rand.Source64)}
 	return &Bernoulli{
 		mesh:    m,
 		pattern: p,
 		prob:    load / float64(flitsPerPacket),
 		nflits:  uint16(flitsPerPacket),
-		rng:     rand.New(rand.NewSource(seed)),
+		rng:     rand.New(src),
+		src:     src,
+		seed:    seed,
 		nextID:  1,
 	}, nil
 }

@@ -1,0 +1,76 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dxbar/internal/flit"
+	"dxbar/internal/snapshot"
+)
+
+// SaveState serializes the injector's mutable state: the RNG stream position
+// (raw source draws since seeding) and the next packet ID. The seed, load and
+// pattern are configuration — the restore side reconstructs the injector from
+// the run's config and overlays this state.
+func (b *Bernoulli) SaveState(w *snapshot.Writer) {
+	w.Tag("BERN")
+	w.U64(b.src.n)
+	w.U64(b.nextID)
+}
+
+// LoadState restores the injector to a saved stream position by reseeding the
+// source and replaying the recorded number of raw draws. The replay is
+// O(draws) — microseconds per billion cycles of low-load simulation — and is
+// what makes the position portable: no generator internals are serialized,
+// only how far the stream advanced.
+func (b *Bernoulli) LoadState(r *snapshot.Reader) error {
+	r.Expect("BERN")
+	draws := r.U64()
+	nextID := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nextID == 0 {
+		return fmt.Errorf("traffic: snapshot has invalid next packet ID 0")
+	}
+	src := &countingSource{src: rand.NewSource(b.seed).(rand.Source64)}
+	for i := uint64(0); i < draws; i++ {
+		src.src.Uint64()
+	}
+	src.n = draws
+	b.src = src
+	b.rng = rand.New(src)
+	b.nextID = nextID
+	return nil
+}
+
+// SaveSpec serializes one queued packet spec.
+func SaveSpec(w *snapshot.Writer, p PacketSpec) {
+	w.U64(p.ID)
+	w.Int(p.Src)
+	w.Int(p.Dst)
+	w.U16(p.NumFlits)
+	w.U8(uint8(p.Kind))
+	w.U64(p.Cycle)
+}
+
+// LoadSpec decodes one packet spec, validating node indices against the mesh.
+func LoadSpec(r *snapshot.Reader, nodes int) (PacketSpec, error) {
+	var p PacketSpec
+	p.ID = r.U64()
+	p.Src = r.Int()
+	p.Dst = r.Int()
+	p.NumFlits = r.U16()
+	p.Kind = flit.Kind(r.U8())
+	p.Cycle = r.U64()
+	if err := r.Err(); err != nil {
+		return p, err
+	}
+	if p.Src < 0 || p.Src >= nodes || p.Dst < 0 || p.Dst >= nodes {
+		return p, fmt.Errorf("traffic: snapshot spec endpoints %d->%d out of range for %d nodes", p.Src, p.Dst, nodes)
+	}
+	if p.NumFlits < 1 || p.NumFlits > 64 {
+		return p, fmt.Errorf("traffic: snapshot spec flit count %d out of [1,64]", p.NumFlits)
+	}
+	return p, nil
+}

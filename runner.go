@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"dxbar/internal/coherence"
+	"dxbar/internal/energy"
 	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/metrics"
@@ -141,6 +142,17 @@ func (r *runner) network(o NetworkOptions) (*Network, error) {
 
 // run is the open-loop synthetic-traffic simulation behind the public Run.
 func (r *runner) run(c Config) (Result, error) {
+	return r.runFrom(c, nil, 0)
+}
+
+// runFrom executes a run, optionally continuing from a checkpoint. With a
+// nil Checkpoint it is the ordinary cold-start path. With one, the engine is
+// restored before any cycle runs, and the warmup/measure legs shrink to the
+// cycles the checkpoint hasn't already covered — the resumed run's Result is
+// bit-identical to the uninterrupted run's. rewindWindow > 0 additionally
+// clips the run to that many cycles past the checkpoint (the Rewind path);
+// the partial window is renormalized like an interrupted run's.
+func (r *runner) runFrom(c Config, ck *Checkpoint, rewindWindow uint64) (Result, error) {
 	cfg := c.withDefaults()
 	mesh, err := r.mesh(cfg.Width, cfg.Height)
 	if err != nil {
@@ -213,28 +225,93 @@ func (r *runner) run(c Config) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
+	if ck != nil {
+		if err := net.Engine.Restore(ck.engine); err != nil {
+			return Result{}, err
+		}
+	}
+
+	// Periodic checkpointing. The hook is one nil check and one compare per
+	// cycle between writes; a failed write logs and the run continues — a
+	// full disk should cost the safety net, not the simulation.
+	var (
+		base      energy.Counts
+		baseSet   bool
+		ckptTrack *checkpointTracker
+	)
+	if cfg.CheckpointInterval > 0 && cfg.CheckpointDir != "" {
+		ckptTrack = &checkpointTracker{}
+		net.Engine.SetCheckpointHook(cfg.CheckpointInterval, func(cyc uint64) {
+			past := cyc >= cfg.WarmupCycles
+			var b energy.Counts
+			if past {
+				if baseSet {
+					b = base
+				} else {
+					// The hook fired exactly on the warmup boundary, inside
+					// the warmup leg — this snapshot is the base that leg
+					// captures when it returns.
+					b = net.Meter.Snapshot()
+				}
+			}
+			path, err := writeCheckpoint(cfg.CheckpointDir, cfg.CheckpointKeep, cfg, cyc, past, b, net.Engine)
+			if err != nil {
+				if dg.logger != nil {
+					dg.logger.Error("checkpoint write failed", "dir", cfg.CheckpointDir, "cycle", cyc, "err", err)
+				}
+				return
+			}
+			ckptTrack.set(path)
+		})
+	}
 	// The bundle writer closes over the live network, so it installs after
 	// the network exists; anomalies before the first detector window cannot
 	// occur (the watchdog thresholds exceed the window).
-	dg.installDumper(cfg, net, coll, rec)
+	dg.installDumper(cfg, net, coll, rec, ckptTrack)
 
-	net.Engine.Run(cfg.WarmupCycles)
-	base := net.Meter.Snapshot()
-	net.Engine.Run(cfg.MeasureCycles)
+	total := cfg.WarmupCycles + cfg.MeasureCycles
+	stop := total
+	if ck != nil && rewindWindow > 0 {
+		if s := ck.Cycle + rewindWindow; s < stop {
+			stop = s
+		}
+	}
+	runTo := func(target uint64) {
+		if cyc := net.Engine.Cycle(); target > cyc {
+			net.Engine.Run(target - cyc)
+		}
+	}
+	if w := cfg.WarmupCycles; net.Engine.Cycle() < w {
+		if stop < w {
+			runTo(stop) // rewind window ends inside warmup
+		} else {
+			runTo(w)
+		}
+	}
+	if ck != nil && ck.PastWarmup {
+		base = ck.Base
+	} else {
+		base = net.Meter.Snapshot()
+	}
+	baseSet = true
+	runTo(stop)
+
 	window := net.Meter.Snapshot().Sub(base)
 	interrupted := dg.mon.StopRequested()
-	// A graceful shutdown cuts the measurement window short; normalize the
-	// per-cycle rates and power by the cycles actually simulated rather than
-	// the configured window that never completed.
+	// A run that stopped short of the configured window — graceful shutdown,
+	// or a rewind clipped to its window — covers fewer cycles than the
+	// collector was sized for; normalize the per-cycle rates and power by the
+	// cycles actually simulated rather than the window that never completed.
+	// One path for every early ending, whether or not Interrupted is set.
 	measured := cfg.MeasureCycles
-	if actual := net.Engine.Cycle(); interrupted && actual < cfg.WarmupCycles+cfg.MeasureCycles {
+	if actual := net.Engine.Cycle(); actual < total {
 		coll.Truncate(actual)
 		measured = 0
 		if actual > cfg.WarmupCycles {
 			measured = actual - cfg.WarmupCycles
 		}
 		if measured == 0 {
-			measured = 1 // interrupted in warmup: keep the power model defined
+			measured = 1 // ended in warmup: keep the power model defined
 		}
 	}
 	// Final telemetry flush, then detach this run's residual gauge
