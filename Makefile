@@ -6,7 +6,7 @@ GO ?= go
 # example never requires touching this file.
 EXAMPLES := $(notdir $(wildcard examples/*))
 
-.PHONY: all build test test-race race lint bench bench-smoke figures figures-full examples examples-smoke telemetry-smoke diag-smoke checkpoint-smoke determinism clean
+.PHONY: all build test test-race race lint bench bench-smoke bench-trend figures figures-full examples examples-smoke telemetry-smoke dashboard-smoke diag-smoke checkpoint-smoke determinism clean
 
 all: build test
 
@@ -58,6 +58,13 @@ bench-smoke:
 	$(GO) run ./cmd/dxbar-bench -quick -out bench -suffix _ci
 	$(GO) test -run '^$$' -bench . -benchmem ./internal/bitarb | tee bench/BITARB_bench.txt
 
+# Chronological trend tables over the committed bench history: every
+# BENCH_*.json and SCALE_*.json under bench/, date-sorted, as markdown on
+# stdout. CI runs it after bench-smoke and uploads the report next to the
+# records.
+bench-trend:
+	$(GO) run ./cmd/dxbar-report -trend bench
+
 # Regenerate every figure as CSV + SVG + Markdown under results/.
 figures:
 	$(GO) run ./cmd/dxbar-sweep -fig all -quality quick -out results -svg -md
@@ -83,6 +90,13 @@ examples-smoke:
 # serve the expected series while the simulation runs (needs curl).
 telemetry-smoke:
 	sh scripts/telemetry_smoke.sh
+
+# Run-ledger + live-dashboard smoke: a short run must archive its Result
+# under its content key (and a -ledger-reuse re-run must be served from the
+# archive), then a live run with -http must serve the dashboard page at /
+# and stream SSE frames from /events (needs curl).
+dashboard-smoke:
+	sh scripts/dashboard_smoke.sh
 
 # Force an anomaly on a saturated run and SIGQUIT a live one; assert both
 # leave complete post-mortem bundles under diag-artifacts/.

@@ -48,6 +48,7 @@ import (
 
 	"dxbar"
 	"dxbar/internal/diag"
+	"dxbar/internal/runstore"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
@@ -98,6 +99,7 @@ type BenchFile struct {
 	Date      string                 `json:"date"`
 	Label     string                 `json:"label,omitempty"`
 	GoVersion string                 `json:"go"`
+	Env       runstore.EnvStamp      `json:"env"`
 	Config    BenchConfig            `json:"config"`
 	Designs   map[string]DesignBench `json:"designs"`
 }
@@ -164,6 +166,7 @@ func main() {
 		Date:      time.Now().UTC().Format(time.RFC3339),
 		Label:     *label,
 		GoVersion: runtime.Version(),
+		Env:       runstore.Stamp(),
 		Config:    cfg,
 		Designs:   make(map[string]DesignBench, len(designs)),
 	}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"dxbar"
+	"dxbar/internal/runstore"
 	"dxbar/internal/sim"
 )
 
@@ -50,10 +51,11 @@ type ScalePoint struct {
 // ScaleFile is the on-disk scaling record (bench/SCALE_<date>.json — a name
 // distinct from BENCH_* so the regression baseline glob never picks it up).
 type ScaleFile struct {
-	Schema    int    `json:"schema"`
-	Date      string `json:"date"`
-	Label     string `json:"label,omitempty"`
-	GoVersion string `json:"go"`
+	Schema    int               `json:"schema"`
+	Date      string            `json:"date"`
+	Label     string            `json:"label,omitempty"`
+	GoVersion string            `json:"go"`
+	Env       runstore.EnvStamp `json:"env"`
 	// NumCPU and GOMAXPROCS record the host parallelism the speedups were
 	// measured under — a speedup is meaningless without them.
 	NumCPU     int          `json:"num_cpu"`
@@ -98,6 +100,7 @@ func runScale(outDir, label, designsCS, pattern string, seed int64, warmup, cycl
 		Date:       time.Now().UTC().Format(time.RFC3339),
 		Label:      label,
 		GoVersion:  runtime.Version(),
+		Env:        runstore.Stamp(),
 		NumCPU:     runtime.NumCPU(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Design:     string(design),

@@ -48,8 +48,11 @@ func main() {
 		traceOut = flag.String("trace-out", "", "write the recorded events as Chrome trace-event JSON to this file (load at ui.perfetto.dev; requires -trace)")
 		traceEv  = flag.String("trace-events", "", "comma-separated event kinds to record (default all; e.g. inject,buffered,eject)")
 		shards   = flag.Int("shards", 0, "parallel router-phase shards (0/1 sequential, -1 auto-sizes to CPUs; bit-identical results)")
-		httpAddr = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
+		httpAddr = flag.String("http", "", "serve live telemetry on this address (dashboard at /, /events SSE, /metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
 		profile  = flag.Bool("shard-profile", false, "print the per-shard execution profile after the run (requires -shards > 1)")
+
+		ledgerDir   = flag.String("ledger", "", "run-ledger directory: archive the completed run's full Result under its content key (see dxbar-report)")
+		ledgerReuse = flag.Bool("ledger-reuse", false, "serve the run from an identical archived record in -ledger instead of re-simulating, when one exists")
 
 		ckptInterval = flag.Uint64("checkpoint-interval", 0, "write a checkpoint every N cycles into -checkpoint-dir (0 disables)")
 		ckptDir      = flag.String("checkpoint-dir", "", "directory for checkpoint files (required with -checkpoint-interval)")
@@ -177,6 +180,8 @@ func main() {
 			CheckpointInterval: *ckptInterval,
 			CheckpointDir:      *ckptDir,
 			CheckpointKeep:     *ckptKeep,
+			LedgerDir:          *ledgerDir,
+			LedgerReuse:        *ledgerReuse,
 		})
 	}
 	if err != nil {

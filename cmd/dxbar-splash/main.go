@@ -33,6 +33,7 @@ func main() {
 		record  = flag.String("record", "", "record the workload's trace to this file")
 		replay  = flag.String("replay", "", "replay a recorded trace instead of a benchmark")
 		detail  = flag.Bool("detailed", false, "use real set-associative L1/L2 caches instead of profile hit rates")
+		ledger  = flag.String("ledger", "", "run-ledger directory: archive each completed run's full result under its content key (see dxbar-report)")
 
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
@@ -71,16 +72,30 @@ func main() {
 		designs = []dxbar.Design{dxbar.Design(*design)}
 	}
 
+	var led *dxbar.Ledger
+	if *ledger != "" {
+		led, err = dxbar.OpenLedger(*ledger)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
 	fmt.Printf("%-10s %-10s %-4s %10s %10s %10s %8s %8s %12s\n",
 		"benchmark", "design", "alg", "exec (cyc)", "packets", "lat (cyc)", "p50", "p99", "nJ/packet")
 	for _, b := range benches {
 		for _, d := range designs {
-			res, err := dxbar.RunSplash(dxbar.SplashConfig{
+			cfg := dxbar.SplashConfig{
 				Design: d, Routing: *routing, Benchmark: b, Seed: *seed,
 				DetailedCaches: *detail,
-			})
+			}
+			res, err := dxbar.RunSplash(cfg)
 			if err != nil {
 				fatal(err)
+			}
+			if led != nil {
+				if _, err := led.ArchiveSplash(cfg, res); err != nil {
+					fatal(err)
+				}
 			}
 			fmt.Printf("%-10s %-10s %-4s %10d %10d %10.1f %8d %8d %12.4f\n",
 				b, d, res.Routing, res.ExecutionCycles, res.Packets, res.AvgLatency,

@@ -36,20 +36,22 @@ var logger *slog.Logger
 
 func main() {
 	var (
-		figFlag    = flag.String("fig", "all", "figure to regenerate: 5 6 7 8 9 10 11 12 | table3 | all")
-		quality    = flag.String("quality", "quick", "quick | full")
-		seed       = flag.Int64("seed", 42, "random seed")
-		outDir     = flag.String("out", "", "directory for file output (optional)")
-		svg        = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
-		md         = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
-		hist       = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
-		trace      = flag.Int("trace", 0, "for figs 5/6 with -hist: flight-recorder ring capacity per sweep point; writes one Chrome trace JSON per point to -out (0 disables)")
-		shards     = flag.Int("shards", 0, "router-phase shards for the -hist load sweep (0/1 sequential, -1 = one per CPU); results are bit-identical either way")
-		profile    = flag.Bool("shard-profile", false, "with -hist and -shards > 1: print the final sweep point's per-shard execution profile")
-		httpAddr   = flag.String("http", "", "serve live telemetry on this address (/metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
-		quiet      = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		figFlag     = flag.String("fig", "all", "figure to regenerate: 5 6 7 8 9 10 11 12 | table3 | all")
+		quality     = flag.String("quality", "quick", "quick | full")
+		seed        = flag.Int64("seed", 42, "random seed")
+		outDir      = flag.String("out", "", "directory for file output (optional)")
+		svg         = flag.Bool("svg", false, "also write an SVG rendering of each figure to -out")
+		md          = flag.Bool("md", false, "also write a Markdown table of each figure to -out")
+		hist        = flag.Bool("hist", false, "for figs 5/6: print the per-point latency table and write per-point latency histograms (NDJSON + CSV) to -out")
+		trace       = flag.Int("trace", 0, "for figs 5/6 with -hist: flight-recorder ring capacity per sweep point; writes one Chrome trace JSON per point to -out (0 disables)")
+		shards      = flag.Int("shards", 0, "router-phase shards for the -hist load sweep (0/1 sequential, -1 = one per CPU); results are bit-identical either way")
+		profile     = flag.Bool("shard-profile", false, "with -hist and -shards > 1: print the final sweep point's per-shard execution profile")
+		httpAddr    = flag.String("http", "", "serve live telemetry on this address (dashboard at /, /events SSE, /metrics, /healthz, /progress, /debug/pprof), e.g. :8080")
+		quiet       = flag.Bool("quiet", false, "suppress the periodic progress line on stderr")
+		ledgerDir   = flag.String("ledger", "", "run-ledger directory: archive each completed sweep point's Result under its content key (see dxbar-report)")
+		ledgerReuse = flag.Bool("ledger-reuse", false, "serve sweep points from identical archived records in -ledger instead of re-simulating")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file on exit")
 
 		verbose   = flag.Bool("v", false, "verbose (debug-level) logging")
 		logFormat = flag.String("log-format", diag.LogText, "structured log format on stderr: text | json")
@@ -147,6 +149,10 @@ func main() {
 	// registry and bundle directory.
 	dxbar.SetDiagDefaults(&diag.Config{Logger: logger, Registry: reg}, *diagDir)
 	defer dxbar.SetDiagDefaults(nil, "")
+	// Every run behind every figure — not just the shared -hist sweep —
+	// archives into (and with -ledger-reuse is served from) the ledger.
+	dxbar.SetLedgerDefaults(*ledgerDir, *ledgerReuse)
+	defer dxbar.SetLedgerDefaults("", false)
 	if *diagDir != "" {
 		// A crash mid-sweep still leaves a post-mortem behind.
 		defer func() {
@@ -185,6 +191,7 @@ func main() {
 		pts, err := dxbar.LoadSweepOpts("UR", q, *seed, dxbar.SweepOptions{
 			EventTrace: *trace, Shards: *shards,
 			Metrics: reg, ShardProfile: *profile,
+			LedgerDir: *ledgerDir, LedgerReuse: *ledgerReuse,
 		})
 		if err != nil {
 			fatal(err)

@@ -210,6 +210,23 @@ type Config struct {
 	// after each write, older ckpt-*.dxsn files beyond the newest
 	// CheckpointKeep are pruned. 0 means DefaultCheckpointKeep.
 	CheckpointKeep int
+	// LedgerDir, when non-empty, archives the completed run into the
+	// content-addressed run ledger under that directory (one atomic JSON
+	// record per configuration hash, holding the full Result, the latency
+	// distribution and an environment stamp — see OpenLedger /
+	// internal/runstore). Interrupted or rewind-clipped runs are not
+	// archived: a record always describes the configured window. Archiving
+	// happens once, after the run completes — the cycle loop never touches
+	// the ledger, and results are bit-identical with it on or off.
+	LedgerDir string
+	// LedgerReuse additionally short-circuits Run: when LedgerDir already
+	// holds a record for this exact configuration, the archived Result is
+	// decoded and returned without simulating — runs are deterministic, so
+	// the archived Result IS this run's result. Configurations whose Result
+	// carries payloads that cannot be reconstructed from JSON (event traces)
+	// or that vary run to run (ShardProfile wall-clock profiles), and
+	// checkpoint resumes, always simulate.
+	LedgerReuse bool
 }
 
 // Result is a simulation summary: the stats.Results metrics plus energy.

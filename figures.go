@@ -96,6 +96,11 @@ type SweepOptions struct {
 	// ShardProfile populates each point's Result.ShardProfile
 	// (Config.ShardProfile).
 	ShardProfile bool
+	// LedgerDir archives each completed point's Result in a run ledger
+	// (Config.LedgerDir); LedgerReuse serves points from identical archived
+	// records instead of re-simulating (Config.LedgerReuse).
+	LedgerDir   string
+	LedgerReuse bool
 }
 
 // LoadSweep runs every figure design over the quality's load axis in
@@ -116,6 +121,7 @@ func LoadSweepOpts(pattern string, q Quality, seed int64, opts SweepOptions) ([]
 				WarmupCycles: q.Warmup, MeasureCycles: q.Measure, Seed: seed,
 				EventTrace: opts.EventTrace, EventKinds: opts.EventKinds,
 				Shards: opts.Shards, Metrics: opts.Metrics, ShardProfile: opts.ShardProfile,
+				LedgerDir: opts.LedgerDir, LedgerReuse: opts.LedgerReuse,
 			})
 			pts = append(pts, SweepPoint{Label: fd.Label, Load: l})
 		}

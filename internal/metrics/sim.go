@@ -30,6 +30,16 @@ const (
 	MetricShardNodes      = "dxbar_shard_nodes"
 )
 
+// Metric names published by the run ledger (dxbar.Config.LedgerDir) and the
+// SSE streaming hub (the /events endpoint).
+const (
+	MetricLedgerRecords   = "dxbar_ledger_records_total"
+	MetricLedgerReuseHits = "dxbar_ledger_reuse_hits_total"
+	MetricSSEClients      = "dxbar_sse_clients"
+	MetricSSEFrames       = "dxbar_sse_frames_total"
+	MetricSSEDropped      = "dxbar_sse_dropped_frames_total"
+)
+
 // DefaultPublishInterval is the gauge/histogram/shard-profile publish period
 // in cycles. Counters publish every cycle (a handful of atomic adds); the
 // interval only paces the O(nodes) gauge scans and the histogram copy.

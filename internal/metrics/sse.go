@@ -1,0 +1,320 @@
+package metrics
+
+// Server-Sent Events streaming: the /events endpoint pushes periodic JSON
+// snapshots of the registry (progress, counter totals and per-frame deltas,
+// latency quantiles, shard imbalance, anomaly counts) to any number of
+// subscribers — the live dashboard at /, curl -N, or a sweep-watching
+// script.
+//
+// Design constraints, in the registry's spirit:
+//
+//   - The publish path never blocks. Every subscriber owns a small buffered
+//     channel; a slow client's full buffer drops that frame for that client
+//     (counted in dxbar_sse_dropped_frames_total) instead of stalling the
+//     sampler or other clients.
+//   - An idle hub is free. The sampler goroutine starts with the first
+//     subscriber and stops with the last, so a simulation that nobody is
+//     watching pays nothing — and the engine's cycle loop never interacts
+//     with the hub at all (the sampler reads the same atomics a /metrics
+//     scrape does), keeping 0 allocs/cycle with SSE attached.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SSESchema versions the snapshot JSON shape pushed over /events.
+const SSESchema = 1
+
+// DefaultSSEInterval is the frame period when SSEHubOptions.Interval is 0.
+const DefaultSSEInterval = time.Second
+
+// sseBufferedFrames is each subscriber's channel capacity: enough to ride
+// out scheduling hiccups, small enough that a dead client is dropped within
+// a few frames.
+const sseBufferedFrames = 8
+
+// anomalyFamily is the run-health monitor's per-kind anomaly counter
+// (internal/diag registers it); the snapshot aggregates it over kinds.
+const anomalyFamily = "dxbar_anomaly_total"
+
+// SSESnapshot is one /events frame. Totals are process-wide registry
+// readings; the *_delta fields are the change since the previous frame of
+// this hub (0 on the first frame), which is what the dashboard sparklines
+// plot.
+type SSESnapshot struct {
+	Schema int    `json:"schema"`
+	Seq    uint64 `json:"seq"`
+
+	Cycles           uint64  `json:"cycles"`
+	CyclesPerSecond  float64 `json:"cycles_per_second"`
+	FlitsInjected    uint64  `json:"flits_injected"`
+	FlitsEjected     uint64  `json:"flits_ejected"`
+	FlitsDropped     uint64  `json:"flits_dropped"`
+	FlitsDeflected   uint64  `json:"flits_deflected"`
+	Retransmits      uint64  `json:"flits_retransmitted"`
+	PacketsDelivered uint64  `json:"packets_delivered"`
+
+	CyclesDelta  uint64 `json:"cycles_delta"`
+	EjectedDelta uint64 `json:"flits_ejected_delta"`
+
+	InFlightFlits int64 `json:"in_flight_flits"`
+	QueuedFlits   int64 `json:"queued_flits"`
+	BufferedFlits int64 `json:"buffered_flits"`
+
+	LatencyP50 float64 `json:"latency_p50_cycles"`
+	LatencyP99 float64 `json:"latency_p99_cycles"`
+
+	ShardImbalance float64 `json:"shard_imbalance"`
+	Anomalies      uint64  `json:"anomalies"`
+	LedgerRecords  uint64  `json:"ledger_records"`
+
+	Clients  int64            `json:"sse_clients"`
+	Progress ProgressSnapshot `json:"progress"`
+}
+
+// SSEHub samples a registry at a fixed interval and fans the frames out to
+// its subscribers. Safe for concurrent use; the zero value is not usable —
+// construct with NewSSEHub.
+type SSEHub struct {
+	reg      *Registry
+	prog     *Progress
+	interval time.Duration
+
+	clients *Gauge
+	frames  *Counter
+	dropped *Counter
+
+	mu     sync.Mutex
+	subs   map[chan []byte]struct{}
+	stopc  chan struct{}
+	closed bool
+	seq    uint64
+	last   SSESnapshot
+}
+
+// SSEHubOptions configures NewSSEHub.
+type SSEHubOptions struct {
+	// Interval is the frame period (default DefaultSSEInterval).
+	Interval time.Duration
+}
+
+// NewSSEHub returns a hub over reg and prog (either may be nil; the frames
+// then carry zeros for the missing side). The hub registers its own
+// dxbar_sse_* families on reg. No goroutine runs until the first subscriber
+// arrives.
+func NewSSEHub(reg *Registry, prog *Progress, o SSEHubOptions) *SSEHub {
+	h := &SSEHub{
+		reg:      reg,
+		prog:     prog,
+		interval: o.Interval,
+		subs:     make(map[chan []byte]struct{}),
+	}
+	if h.interval <= 0 {
+		h.interval = DefaultSSEInterval
+	}
+	h.clients = reg.Gauge(MetricSSEClients, "Connected /events SSE subscribers.")
+	h.frames = reg.Counter(MetricSSEFrames, "SSE snapshot frames published (all subscribers).")
+	h.dropped = reg.Counter(MetricSSEDropped, "SSE frames dropped because a slow subscriber's buffer was full.")
+	return h
+}
+
+// Snapshot builds one frame from the current registry state. Exported for
+// the golden-shape test and one-shot probes; the sampler calls it per tick.
+func (h *SSEHub) Snapshot() SSESnapshot {
+	u := func(name string) uint64 {
+		v, _ := h.reg.Value(name)
+		return uint64(v)
+	}
+	i := func(name string) int64 {
+		v, _ := h.reg.Value(name)
+		return int64(v)
+	}
+	f := func(name string) float64 {
+		v, _ := h.reg.Value(name)
+		return v
+	}
+	s := SSESnapshot{
+		Schema:           SSESchema,
+		Cycles:           u(MetricCycles),
+		CyclesPerSecond:  f(MetricCyclesPerSec),
+		FlitsInjected:    u(MetricInjectedFlits),
+		FlitsEjected:     u(MetricEjectedFlits),
+		FlitsDropped:     u(MetricDroppedFlits),
+		FlitsDeflected:   u(MetricDeflectedFlits),
+		Retransmits:      u(MetricRetransmits),
+		PacketsDelivered: u(MetricPacketsOut),
+		InFlightFlits:    i(MetricInFlight),
+		QueuedFlits:      i(MetricQueued),
+		BufferedFlits:    i(MetricBuffered),
+		ShardImbalance:   f(MetricShardImbalance),
+		LedgerRecords:    u(MetricLedgerRecords),
+		Clients:          h.clients.Value(),
+	}
+	if p50, ok := h.reg.HistogramQuantile(MetricLatency, 0.50); ok {
+		s.LatencyP50 = p50
+	}
+	if p99, ok := h.reg.HistogramQuantile(MetricLatency, 0.99); ok {
+		s.LatencyP99 = p99
+	}
+	if anoms, ok := h.reg.Sum(anomalyFamily); ok {
+		s.Anomalies = uint64(anoms)
+	}
+	if h.prog != nil {
+		s.Progress = h.prog.Snapshot()
+	}
+
+	h.mu.Lock()
+	h.seq++
+	s.Seq = h.seq
+	if h.last.Seq != 0 {
+		s.CyclesDelta = s.Cycles - h.last.Cycles
+		s.EjectedDelta = s.FlitsEjected - h.last.FlitsEjected
+	}
+	h.last = s
+	h.mu.Unlock()
+	return s
+}
+
+// Subscribe registers a frame channel and returns it with its cancel
+// function. The first subscriber starts the sampler goroutine; the cancel of
+// the last one stops it. Cancel is idempotent and must be called — an
+// abandoned subscription keeps the sampler alive.
+func (h *SSEHub) Subscribe() (<-chan []byte, func()) {
+	ch := make(chan []byte, sseBufferedFrames)
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	h.subs[ch] = struct{}{}
+	h.clients.Add(1)
+	if h.stopc == nil {
+		h.stopc = make(chan struct{})
+		go h.sample(h.stopc)
+	}
+	h.mu.Unlock()
+
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			if _, ok := h.subs[ch]; ok {
+				delete(h.subs, ch)
+				h.clients.Add(-1)
+				if len(h.subs) == 0 && h.stopc != nil {
+					close(h.stopc)
+					h.stopc = nil
+				}
+			}
+			h.mu.Unlock()
+		})
+	}
+	return ch, cancel
+}
+
+// sample is the hub's frame loop: one Snapshot per interval, fanned out
+// non-blocking. It exits when stopc closes (last unsubscribe, or Close).
+func (h *SSEHub) sample(stopc chan struct{}) {
+	t := time.NewTicker(h.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-stopc:
+			return
+		case <-t.C:
+			h.publish()
+		}
+	}
+}
+
+// publish marshals one frame and offers it to every subscriber, dropping
+// the frame for any whose buffer is full.
+func (h *SSEHub) publish() {
+	frame, err := json.Marshal(h.Snapshot())
+	if err != nil {
+		return // a marshal failure of a plain struct cannot happen
+	}
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- frame:
+			h.frames.Add(1)
+		default:
+			h.dropped.Add(1)
+		}
+	}
+	h.mu.Unlock()
+}
+
+// ServeHTTP streams frames as text/event-stream: one immediate frame so a
+// probe sees data without waiting out the interval, then the sampler's
+// cadence until the client disconnects or the hub closes.
+func (h *SSEHub) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("X-Accel-Buffering", "no")
+
+	ch, cancel := h.Subscribe()
+	defer cancel()
+
+	first, err := json.Marshal(h.Snapshot())
+	if err == nil {
+		if err := writeSSEFrame(w, first); err != nil {
+			return
+		}
+		flusher.Flush()
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case frame, ok := <-ch:
+			if !ok {
+				return // hub closed
+			}
+			if err := writeSSEFrame(w, frame); err != nil {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSEFrame emits one event-stream record (data: <json>\n\n).
+func writeSSEFrame(w http.ResponseWriter, frame []byte) error {
+	_, err := fmt.Fprintf(w, "data: %s\n\n", frame)
+	return err
+}
+
+// Close stops the sampler and disconnects every subscriber. The hub accepts
+// no new subscriptions afterwards. Nil-safe and idempotent.
+func (h *SSEHub) Close() {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	if h.stopc != nil {
+		close(h.stopc)
+		h.stopc = nil
+	}
+	for ch := range h.subs {
+		delete(h.subs, ch)
+		h.clients.Add(-1)
+		close(ch)
+	}
+}

@@ -1,0 +1,320 @@
+package metrics
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// sseTestHub builds a hub over a registry populated with known values for
+// every family the snapshot reads, plus a latency histogram whose quantiles
+// are exact. Progress is nil so the frame is fully deterministic.
+func sseTestHub(t *testing.T, interval time.Duration) (*SSEHub, *Registry) {
+	t.Helper()
+	reg := NewRegistry()
+	reg.Counter(MetricCycles, "t").Add(1500)
+	reg.FloatGauge(MetricCyclesPerSec, "t").Set(250000)
+	reg.Counter(MetricInjectedFlits, "t").Add(900)
+	reg.Counter(MetricEjectedFlits, "t").Add(850)
+	reg.Counter(MetricDroppedFlits, "t").Add(3)
+	reg.Counter(MetricDeflectedFlits, "t").Add(47)
+	reg.Counter(MetricRetransmits, "t").Add(2)
+	reg.Counter(MetricPacketsOut, "t").Add(850)
+	reg.Gauge(MetricInFlight, "t").Add(21)
+	reg.Gauge(MetricQueued, "t").Add(5)
+	reg.Gauge(MetricBuffered, "t").Add(0)
+	reg.FloatGauge(MetricShardImbalance, "t").Set(1.25)
+	reg.Counter(MetricLedgerRecords, "t").Add(2)
+	reg.Counter(anomalyFamily, "t", Label{Key: "kind", Value: "livelock"}).Add(1)
+	reg.Counter(anomalyFamily, "t", Label{Key: "kind", Value: "starvation"}).Add(2)
+	// 10 observations in buckets ≤4 and ≤16: ranks 1-6 land in the first,
+	// 7-10 in the second, so p50=4 and p99=16 exactly.
+	h := reg.Histogram(MetricLatency, "t", []float64{4, 16, 64})
+	h.Update([]uint64{6, 4, 0}, 10, 70)
+	return NewSSEHub(reg, nil, SSEHubOptions{Interval: interval}), reg
+}
+
+// TestSSESnapshotGolden pins the /events frame shape: the exact JSON the
+// dashboard and any external watcher parse. A field rename or reorder is a
+// schema change and must show up here (and bump SSESchema).
+func TestSSESnapshotGolden(t *testing.T) {
+	hub, _ := sseTestHub(t, time.Hour)
+	hub.Snapshot() // frame 1 establishes the delta baseline
+	hub.reg.Counter(MetricCycles, "t").Add(500)
+	hub.reg.Counter(MetricEjectedFlits, "t").Add(120)
+
+	frame, err := json.Marshal(hub.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"schema":1,"seq":2,"cycles":2000,"cycles_per_second":250000,` +
+		`"flits_injected":900,"flits_ejected":970,"flits_dropped":3,` +
+		`"flits_deflected":47,"flits_retransmitted":2,"packets_delivered":850,` +
+		`"cycles_delta":500,"flits_ejected_delta":120,` +
+		`"in_flight_flits":21,"queued_flits":5,"buffered_flits":0,` +
+		`"latency_p50_cycles":4,"latency_p99_cycles":16,` +
+		`"shard_imbalance":1.25,"anomalies":3,"ledger_records":2,` +
+		`"sse_clients":0,"progress":{"unit":"","done":0,"total":0,"percent":0,` +
+		`"per_second":0,"elapsed_seconds":0,"eta_seconds":0}}`
+	if string(frame) != golden {
+		t.Errorf("frame JSON drifted from the golden shape\ngot:  %s\nwant: %s", frame, golden)
+	}
+}
+
+// TestSSESnapshotEmptyRegistry: a hub over a registry with nothing published
+// (or a nil registry) must produce zero frames, not panic.
+func TestSSESnapshotEmptyRegistry(t *testing.T) {
+	for name, reg := range map[string]*Registry{"empty": NewRegistry(), "nil": nil} {
+		hub := NewSSEHub(reg, nil, SSEHubOptions{})
+		s := hub.Snapshot()
+		if s.Schema != SSESchema || s.Seq != 1 || s.Cycles != 0 || s.LatencyP99 != 0 {
+			t.Errorf("%s registry: unexpected snapshot %+v", name, s)
+		}
+	}
+}
+
+// TestSSESlowClientDrop: a subscriber that never drains must cost dropped
+// frames, never a blocked publish. The publish loop below would deadlock the
+// test on any blocking send.
+func TestSSESlowClientDrop(t *testing.T) {
+	hub, reg := sseTestHub(t, time.Hour)
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+
+	const published = sseBufferedFrames + 5
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < published; i++ {
+			hub.publish()
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publish blocked on a slow subscriber")
+	}
+	if len(ch) != sseBufferedFrames {
+		t.Errorf("subscriber buffer holds %d frames, want %d", len(ch), sseBufferedFrames)
+	}
+	if v, _ := reg.Value(MetricSSEDropped); v != published-sseBufferedFrames {
+		t.Errorf("dropped %v frames, want %d", v, published-sseBufferedFrames)
+	}
+	if v, _ := reg.Value(MetricSSEFrames); v != sseBufferedFrames {
+		t.Errorf("delivered %v frames, want %d", v, sseBufferedFrames)
+	}
+}
+
+// TestSSESubscribeRace hammers subscribe/cancel from many goroutines while
+// frames publish concurrently — the race-detector guard for the hub's
+// bookkeeping (the Makefile race matcher picks it up by name).
+func TestSSESubscribeRace(t *testing.T) {
+	hub, reg := sseTestHub(t, time.Hour)
+	stop := make(chan struct{})
+	var pubs sync.WaitGroup
+	pubs.Add(1)
+	go func() {
+		defer pubs.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				hub.publish()
+			}
+		}
+	}()
+
+	var subs sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		subs.Add(1)
+		go func() {
+			defer subs.Done()
+			for i := 0; i < 50; i++ {
+				ch, cancel := hub.Subscribe()
+				// Drain a frame if one lands, then leave; cancel twice to
+				// prove idempotence under race.
+				select {
+				case <-ch:
+				default:
+				}
+				cancel()
+				cancel()
+			}
+		}()
+	}
+	subs.Wait()
+	close(stop)
+	pubs.Wait()
+
+	if v, _ := reg.Value(MetricSSEClients); v != 0 {
+		t.Errorf("client gauge = %v after all cancels, want 0", v)
+	}
+	hub.mu.Lock()
+	if hub.stopc != nil || len(hub.subs) != 0 {
+		t.Error("sampler still running or subscribers leaked after last cancel")
+	}
+	hub.mu.Unlock()
+}
+
+// TestSSEHubClose: Close disconnects subscribers (channel closed), further
+// subscriptions come back pre-closed, and a second Close is a no-op.
+func TestSSEHubClose(t *testing.T) {
+	hub, _ := sseTestHub(t, time.Hour)
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	hub.Close()
+	if _, ok := <-ch; ok {
+		t.Error("subscriber channel not closed by hub Close")
+	}
+	late, lateCancel := hub.Subscribe()
+	defer lateCancel()
+	if _, ok := <-late; ok {
+		t.Error("post-Close subscription returned a live channel")
+	}
+	hub.Close() // idempotent
+}
+
+// TestSSEServeHTTPStream reads the live endpoint end to end: an immediate
+// first frame, then sampler-paced frames, each a well-formed event-stream
+// record carrying the schema-stamped JSON.
+func TestSSEServeHTTPStream(t *testing.T) {
+	hub, _ := sseTestHub(t, 10*time.Millisecond)
+	defer hub.Close()
+	srv := httptest.NewServer(HandlerWith(hub.reg, nil, hub))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	var frames []SSESnapshot
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() && len(frames) < 3 {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			if line != "" {
+				t.Fatalf("malformed event-stream line %q", line)
+			}
+			continue
+		}
+		var s SSESnapshot
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &s); err != nil {
+			t.Fatalf("frame does not parse: %v", err)
+		}
+		frames = append(frames, s)
+	}
+	if len(frames) < 3 {
+		t.Fatalf("read %d frames, want 3 (scan err: %v)", len(frames), sc.Err())
+	}
+	for i, f := range frames {
+		if f.Schema != SSESchema {
+			t.Errorf("frame %d schema = %d, want %d", i, f.Schema, SSESchema)
+		}
+		if i > 0 && f.Seq <= frames[i-1].Seq {
+			t.Errorf("frame %d seq %d did not advance past %d", i, f.Seq, frames[i-1].Seq)
+		}
+	}
+	if frames[0].Clients != 1 {
+		t.Errorf("first frame reports %d clients, want 1", frames[0].Clients)
+	}
+}
+
+// TestDashboardServed: the root path serves the self-contained dashboard,
+// and only the root path (no accidental catch-all).
+func TestDashboardServed(t *testing.T) {
+	hub, _ := sseTestHub(t, time.Hour)
+	defer hub.Close()
+	srv := httptest.NewServer(HandlerWith(hub.reg, nil, hub))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	html := b.String()
+	for _, want := range []string{"<title>dxbar telemetry</title>", "EventSource(\"/events\")"} {
+		if !strings.Contains(html, want) {
+			t.Errorf("dashboard HTML is missing %q", want)
+		}
+	}
+	for _, ext := range []string{"<script src", "<link ", "@import", "url(http"} {
+		if strings.Contains(html, ext) {
+			t.Errorf("dashboard must be self-contained, found %q", ext)
+		}
+	}
+
+	if resp, err := http.Get(srv.URL + "/no-such-page"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET /no-such-page = %d, want 404", resp.StatusCode)
+		}
+	}
+}
+
+// TestRegistryReadAPI covers the introspection layer the snapshot builder
+// uses: Value on each series kind, label-summed families, and histogram
+// quantile edge ranks.
+func TestRegistryReadAPI(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total", "t").Add(7)
+	reg.Gauge("g", "t").Add(-3)
+	reg.FloatGauge("fg", "t").Set(2.5)
+	if v, ok := reg.Value("c_total"); !ok || v != 7 {
+		t.Errorf("counter Value = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("g"); !ok || v != -3 {
+		t.Errorf("gauge Value = %v, %v", v, ok)
+	}
+	if v, ok := reg.Value("fg"); !ok || v != 2.5 {
+		t.Errorf("float gauge Value = %v, %v", v, ok)
+	}
+	if _, ok := reg.Value("absent"); ok {
+		t.Error("Value invented an unregistered series")
+	}
+	reg.Counter("lab_total", "t", Label{Key: "k", Value: "a"}).Add(1)
+	reg.Counter("lab_total", "t", Label{Key: "k", Value: "b"}).Add(2)
+	if v, ok := reg.Sum("lab_total"); !ok || v != 3 {
+		t.Errorf("Sum = %v, %v, want 3", v, ok)
+	}
+	if _, ok := reg.Value("lab_total"); ok {
+		t.Error("unlabeled Value matched a labeled-only family")
+	}
+
+	h := reg.Histogram("lat", "t", []float64{1, 2, 4})
+	if _, ok := reg.HistogramQuantile("lat", 0.5); ok {
+		t.Error("quantile of an empty histogram reported ok")
+	}
+	h.Update([]uint64{1, 1, 2}, 4, 10)
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0, 1}, {0.25, 1}, {0.5, 2}, {0.75, 4}, {1, 4}} {
+		if v, ok := reg.HistogramQuantile("lat", tc.q); !ok || v != tc.want {
+			t.Errorf("q%.2f = %v, %v, want %v", tc.q, v, ok, tc.want)
+		}
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.Value("x"); ok {
+		t.Error("nil registry Value reported ok")
+	}
+}

@@ -15,6 +15,11 @@ import (
 	"strconv"
 )
 
+// ExportSchema versions the structured export shapes (NDJSON objects and
+// CSV column sets) below. Consumers should reject a schema they don't know;
+// bump it on any field rename, removal, or meaning change.
+const ExportSchema = 1
+
 // HistogramBucket is one non-empty latency bin.
 type HistogramBucket struct {
 	Low   uint64 `json:"low"`
@@ -25,6 +30,9 @@ type HistogramBucket struct {
 // HistogramRecord is one run's latency distribution with its summary
 // percentiles and truncation indicator.
 type HistogramRecord struct {
+	// Schema is the export schema version (ExportSchema); the writers stamp
+	// it when zero.
+	Schema int `json:"schema"`
 	// Series labels the run (design name, "DXbar WF", ...).
 	Series string `json:"series"`
 	// Load is the offered load the run was driven at (0 when not a load
@@ -39,10 +47,14 @@ type HistogramRecord struct {
 	Buckets  []HistogramBucket `json:"buckets"`
 }
 
-// WriteHistogramsNDJSON writes one JSON object per record.
+// WriteHistogramsNDJSON writes one JSON object per record, each stamped
+// with the export schema version.
 func WriteHistogramsNDJSON(w io.Writer, recs []HistogramRecord) error {
 	enc := json.NewEncoder(w)
 	for _, r := range recs {
+		if r.Schema == 0 {
+			r.Schema = ExportSchema
+		}
 		if err := enc.Encode(r); err != nil {
 			return err
 		}
@@ -51,18 +63,22 @@ func WriteHistogramsNDJSON(w io.Writer, recs []HistogramRecord) error {
 }
 
 // WriteHistogramsCSV writes long-format CSV: one row per bucket, with the
-// run's summary columns repeated (series,load,packets,in_flight,p50,p90,
-// p99,max,bucket_low,bucket_high,count).
+// run's summary columns repeated (schema,series,load,packets,in_flight,p50,
+// p90,p99,max,bucket_low,bucket_high,count).
 func WriteHistogramsCSV(w io.Writer, recs []HistogramRecord) error {
 	cw := csv.NewWriter(w)
-	head := []string{"series", "load", "packets", "in_flight", "p50", "p90", "p99", "max",
+	head := []string{"schema", "series", "load", "packets", "in_flight", "p50", "p90", "p99", "max",
 		"bucket_low", "bucket_high", "count"}
 	if err := cw.Write(head); err != nil {
 		return err
 	}
 	for _, r := range recs {
+		if r.Schema == 0 {
+			r.Schema = ExportSchema
+		}
 		for _, b := range r.Buckets {
 			rec := []string{
+				strconv.Itoa(r.Schema),
 				r.Series,
 				strconv.FormatFloat(r.Load, 'f', 3, 64),
 				strconv.FormatUint(r.Packets, 10),
@@ -96,6 +112,9 @@ type TimeSample struct {
 
 // TimeSeriesRecord is one run's sampled time series.
 type TimeSeriesRecord struct {
+	// Schema is the export schema version (ExportSchema); the writers stamp
+	// it when zero.
+	Schema   int          `json:"schema"`
 	Series   string       `json:"series"`
 	Interval uint64       `json:"interval"`
 	Samples  []TimeSample `json:"samples"`
@@ -103,18 +122,22 @@ type TimeSeriesRecord struct {
 
 // timeSampleLine is the flattened NDJSON shape: one line per sample.
 type timeSampleLine struct {
+	Schema   int    `json:"schema"`
 	Series   string `json:"series"`
 	Interval uint64 `json:"interval"`
 	TimeSample
 }
 
 // WriteTimeSeriesNDJSON writes one JSON object per sample (flattened with
-// the series label so each line is self-describing).
+// the schema version and series label so each line is self-describing).
 func WriteTimeSeriesNDJSON(w io.Writer, recs []TimeSeriesRecord) error {
 	enc := json.NewEncoder(w)
 	for _, r := range recs {
+		if r.Schema == 0 {
+			r.Schema = ExportSchema
+		}
 		for _, s := range r.Samples {
-			if err := enc.Encode(timeSampleLine{Series: r.Series, Interval: r.Interval, TimeSample: s}); err != nil {
+			if err := enc.Encode(timeSampleLine{Schema: r.Schema, Series: r.Series, Interval: r.Interval, TimeSample: s}); err != nil {
 				return err
 			}
 		}
@@ -122,18 +145,22 @@ func WriteTimeSeriesNDJSON(w io.Writer, recs []TimeSeriesRecord) error {
 	return nil
 }
 
-// WriteTimeSeriesCSV writes long-format CSV: series,cycle,injected_flits,
-// ejected_flits,in_flight_flits,queued_flits,buffered_flits.
+// WriteTimeSeriesCSV writes long-format CSV: schema,series,cycle,
+// injected_flits,ejected_flits,in_flight_flits,queued_flits,buffered_flits.
 func WriteTimeSeriesCSV(w io.Writer, recs []TimeSeriesRecord) error {
 	cw := csv.NewWriter(w)
-	head := []string{"series", "cycle", "injected_flits", "ejected_flits",
+	head := []string{"schema", "series", "cycle", "injected_flits", "ejected_flits",
 		"in_flight_flits", "queued_flits", "buffered_flits"}
 	if err := cw.Write(head); err != nil {
 		return err
 	}
 	for _, r := range recs {
+		if r.Schema == 0 {
+			r.Schema = ExportSchema
+		}
 		for _, s := range r.Samples {
 			rec := []string{
+				strconv.Itoa(r.Schema),
 				r.Series,
 				strconv.FormatUint(s.Cycle, 10),
 				strconv.FormatUint(s.InjectedFlits, 10),

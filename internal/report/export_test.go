@@ -53,10 +53,10 @@ func TestWriteHistogramsCSV(t *testing.T) {
 	if len(lines) != 4 { // header + 3 bucket rows
 		t.Fatalf("got %d CSV lines, want 4:\n%s", len(lines), b.String())
 	}
-	if !strings.HasPrefix(lines[0], "series,load,packets,in_flight,p50") {
+	if !strings.HasPrefix(lines[0], "schema,series,load,packets,in_flight,p50") {
 		t.Errorf("header = %q", lines[0])
 	}
-	if !strings.Contains(lines[1], "DXbar DOR,0.400,1000,3,20,35,60,80,18,18,400") {
+	if !strings.Contains(lines[1], "1,DXbar DOR,0.400,1000,3,20,35,60,80,18,18,400") {
 		t.Errorf("first bucket row = %q", lines[1])
 	}
 }
@@ -89,8 +89,51 @@ func TestWriteTimeSeries(t *testing.T) {
 	if err := WriteTimeSeriesCSV(&cs, recs); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(cs.String(), "scarab,99,50,40,10,4,0") {
+	if !strings.Contains(cs.String(), "1,scarab,99,50,40,10,4,0") {
 		t.Errorf("CSV missing sample row:\n%s", cs.String())
+	}
+}
+
+// TestExportSchemaRoundTrip pins the schema stamping contract: every NDJSON
+// line and CSV row carries the export schema version, a pre-set version is
+// preserved, and the stamped records parse back with the version intact.
+func TestExportSchemaRoundTrip(t *testing.T) {
+	var nd strings.Builder
+	if err := WriteHistogramsNDJSON(&nd, sampleHistRecords()); err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(strings.TrimRight(nd.String(), "\n"), "\n") {
+		var rec HistogramRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatal(err)
+		}
+		if rec.Schema != ExportSchema {
+			t.Errorf("histogram line %d schema = %d, want %d", i, rec.Schema, ExportSchema)
+		}
+	}
+
+	ts := []TimeSeriesRecord{{Series: "s", Interval: 10, Samples: []TimeSample{{Cycle: 9}}}}
+	var tnd strings.Builder
+	if err := WriteTimeSeriesNDJSON(&tnd, ts); err != nil {
+		t.Fatal(err)
+	}
+	var line map[string]any
+	if err := json.Unmarshal([]byte(strings.TrimRight(tnd.String(), "\n")), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["schema"] != float64(ExportSchema) {
+		t.Errorf("time-series line schema = %v, want %d", line["schema"], ExportSchema)
+	}
+
+	// An explicit version wins over the stamp (a future writer emitting an
+	// older shape on purpose must be able to say so).
+	pinned := []TimeSeriesRecord{{Schema: 7, Series: "s", Samples: []TimeSample{{Cycle: 1}}}}
+	var p strings.Builder
+	if err := WriteTimeSeriesCSV(&p, pinned); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "7,s,1,") {
+		t.Errorf("pinned schema not preserved:\n%s", p.String())
 	}
 }
 

@@ -123,6 +123,21 @@ func (h *Histogram) Buckets() []Bucket {
 	return out
 }
 
+// RebuildHistogram reconstructs a histogram from its exported Buckets() form
+// plus the recorded maximum — the exact inverse of Buckets() for any
+// histogram, since each bin's Low maps back to its bucket index. The run
+// ledger uses it to round-trip latency distributions through JSON: a
+// rebuilt histogram is deep-equal to the snapshot it was exported from.
+func RebuildHistogram(bs []Bucket, max uint64) *Histogram {
+	h := &Histogram{}
+	for _, b := range bs {
+		h.counts[bucketIndex(b.Low)] += b.Count
+		h.total += b.Count
+	}
+	h.max = max
+	return h
+}
+
 // snapshot returns a heap copy of the histogram (Results detaches the
 // distribution from the live collector).
 func (h *Histogram) snapshot() *Histogram {

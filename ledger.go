@@ -1,0 +1,203 @@
+package dxbar
+
+// The run ledger: every completed run can be archived into a
+// content-addressed store (internal/runstore) keyed by a hash of its
+// configuration. Runs are deterministic — same config + seed is
+// bit-identical — so the key is the result's identity and the ledger doubles
+// as a cross-process result cache: Config.LedgerReuse returns an archived
+// Result without simulating. Archiving happens once, after the run
+// completes; the cycle loop never sees the ledger, so results are
+// bit-identical with it on or off (TestLedgerBitIdentity).
+//
+// A record stores the Result with its latency histogram detached into an
+// explicit bucket list (the histogram's fixed count array is unexported and
+// would not survive JSON); LedgerResult rebuilds the histogram exactly, so a
+// reused Result is deep-equal to the freshly simulated one.
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"dxbar/internal/metrics"
+	"dxbar/internal/runstore"
+	"dxbar/internal/stats"
+)
+
+var (
+	ledgerDefaultsMu    sync.RWMutex
+	ledgerDefaultDir    string
+	ledgerDefaultsReuse bool
+)
+
+// SetLedgerDefaults installs package-level ledger settings consumed by any
+// run whose Config.LedgerDir is empty — the hook the sweep CLI uses so every
+// run a figure function triggers internally archives into (and, with reuse,
+// is served from) one shared ledger, the same way SetDiagDefaults threads
+// the shared logger and registry. Clear with SetLedgerDefaults("", false).
+// An explicit Config.LedgerDir always wins over the default.
+func SetLedgerDefaults(dir string, reuse bool) {
+	ledgerDefaultsMu.Lock()
+	defer ledgerDefaultsMu.Unlock()
+	ledgerDefaultDir, ledgerDefaultsReuse = dir, reuse
+}
+
+func ledgerDefaults() (string, bool) {
+	ledgerDefaultsMu.RLock()
+	defer ledgerDefaultsMu.RUnlock()
+	return ledgerDefaultDir, ledgerDefaultsReuse
+}
+
+// LedgerRecord is one archived run entry (see internal/runstore.Record):
+// schema version, content key, environment stamp, and the raw config/result
+// JSON payloads.
+type LedgerRecord = runstore.Record
+
+// Ledger is a handle on a run-ledger directory.
+type Ledger struct {
+	store *runstore.Store
+}
+
+// OpenLedger opens (creating if needed) the ledger directory dir.
+func OpenLedger(dir string) (*Ledger, error) {
+	s, err := runstore.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return &Ledger{store: s}, nil
+}
+
+// Dir returns the ledger directory.
+func (l *Ledger) Dir() string { return l.store.Dir() }
+
+// List returns every readable record, oldest first.
+func (l *Ledger) List() ([]*LedgerRecord, error) { return l.store.List() }
+
+// Get loads the record for a content key; missing or corrupt records are
+// errors.
+func (l *Ledger) Get(key string) (*LedgerRecord, error) { return l.store.Get(key) }
+
+// Lookup is the dedup probe: (record, true) when the key is archived and
+// readable.
+func (l *Ledger) Lookup(key string) (*LedgerRecord, bool) { return l.store.Lookup(key) }
+
+// Path returns the file a key's record lives at.
+func (l *Ledger) Path(key string) string { return l.store.Path(key) }
+
+// LedgerKey returns the content address Run archives c under: a SHA-256
+// over the defaulted, scrubbed configuration. Execution-layer fields that
+// cannot change the Result (live handles, checkpoint/ledger/diag
+// directories, shard count — sharding is bit-identical) are excluded, so a
+// sequential run and a sharded run of the same experiment share one record.
+func LedgerKey(c Config) (string, error) {
+	cfgJSON, err := ledgerConfigJSON(c.withDefaults())
+	if err != nil {
+		return "", err
+	}
+	return runstore.Key(runstore.KindRun, cfgJSON)
+}
+
+// ledgerConfigJSON marshals the key-relevant slice of a defaulted config:
+// scrubConfig's live handles plus every field that only changes how a run
+// executes or observes itself — never what Result it produces. Fields that
+// do change Result contents (SampleInterval, EventTrace, TrackUtilization,
+// ShardProfile, DisableDiag, fault knobs…) stay in the key.
+func ledgerConfigJSON(cfg Config) ([]byte, error) {
+	k := scrubConfig(cfg) // Metrics, Progress, Diag
+	k.LedgerDir, k.LedgerReuse = "", false
+	k.CheckpointInterval, k.CheckpointKeep = 0, 0
+	k.CheckpointDir, k.DiagDir = "", ""
+	k.Shards, k.RebalanceInterval = 0, 0
+	return json.Marshal(k)
+}
+
+// ledgerReusable reports whether a config's Result can be faithfully
+// reconstructed from a ledger record: event traces carry an opaque
+// per-router counter matrix, and shard profiles are wall-clock measurements
+// that differ run to run — both fall back to simulating.
+func ledgerReusable(cfg Config) bool {
+	return cfg.EventTrace == 0 && !cfg.ShardProfile
+}
+
+// ledgerLatency is the archived form of the latency distribution: the
+// histogram's non-empty bins plus the exact observed maximum.
+type ledgerLatency struct {
+	Buckets []stats.Bucket `json:"buckets"`
+	Max     uint64         `json:"max"`
+}
+
+// archiveRun writes a completed run into the ledger under its precomputed
+// key and returns the record path.
+func (l *Ledger) archiveRun(key string, cfgJSON []byte, res Result, meta map[string]string) (string, error) {
+	detached := res
+	detached.LatencyHistogram = nil
+	resJSON, err := json.Marshal(detached)
+	if err != nil {
+		return "", fmt.Errorf("dxbar: ledger: marshal result: %w", err)
+	}
+	rec := &runstore.Record{
+		Kind:   runstore.KindRun,
+		Key:    key,
+		Config: cfgJSON,
+		Result: resJSON,
+		Meta:   meta,
+	}
+	if h := res.LatencyHistogram; h != nil {
+		lat, err := json.Marshal(ledgerLatency{Buckets: h.Buckets(), Max: h.Max()})
+		if err != nil {
+			return "", fmt.Errorf("dxbar: ledger: marshal latency: %w", err)
+		}
+		rec.Latency = lat
+	}
+	return l.store.Put(rec)
+}
+
+// ArchiveSplash archives a closed-loop coherence run under the hash of its
+// defaulted SplashConfig.
+func (l *Ledger) ArchiveSplash(c SplashConfig, res SplashResult) (string, error) {
+	cfgJSON, err := json.Marshal(splashDefaults(c))
+	if err != nil {
+		return "", fmt.Errorf("dxbar: ledger: marshal splash config: %w", err)
+	}
+	resJSON, err := json.Marshal(res)
+	if err != nil {
+		return "", fmt.Errorf("dxbar: ledger: marshal splash result: %w", err)
+	}
+	return l.store.Put(&runstore.Record{
+		Kind:   runstore.KindSplash,
+		Config: cfgJSON,
+		Result: resJSON,
+	})
+}
+
+// LedgerResult decodes a run record back into a Result, rebuilding the
+// latency histogram from its archived bucket form. The decoded Result is
+// deep-equal to the one the archiving run returned (for configs
+// ledgerReusable accepts — reuse never serves traced or profiled runs).
+func LedgerResult(rec *LedgerRecord) (Result, error) {
+	if rec.Kind != runstore.KindRun {
+		return Result{}, fmt.Errorf("dxbar: ledger record %.12s is a %q record, not a run", rec.Key, rec.Kind)
+	}
+	var res Result
+	if err := json.Unmarshal(rec.Result, &res); err != nil {
+		return Result{}, fmt.Errorf("dxbar: ledger record %.12s: %w", rec.Key, err)
+	}
+	if len(rec.Latency) > 0 {
+		var ll ledgerLatency
+		if err := json.Unmarshal(rec.Latency, &ll); err != nil {
+			return Result{}, fmt.Errorf("dxbar: ledger record %.12s latency: %w", rec.Key, err)
+		}
+		res.LatencyHistogram = stats.RebuildHistogram(ll.Buckets, ll.Max)
+	}
+	return res, nil
+}
+
+// ledgerMetrics registers (or fetches) the ledger's counter families on reg.
+// Nil-safe: a nil registry hands back no-op handles.
+func ledgerMetrics(reg *metrics.Registry) (records, reuseHits *metrics.Counter) {
+	records = reg.Counter(metrics.MetricLedgerRecords,
+		"Run-ledger records archived (one per completed run with Config.LedgerDir set).")
+	reuseHits = reg.Counter(metrics.MetricLedgerReuseHits,
+		"Runs satisfied from the ledger without re-simulating (content-hash dedup).")
+	return records, reuseHits
+}

@@ -1,0 +1,259 @@
+package dxbar
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dxbar/internal/metrics"
+)
+
+// ledgerTestConfig is a short deterministic run used across the ledger suite.
+func ledgerTestConfig() Config {
+	return Config{
+		Design:        DesignDXbar,
+		Pattern:       "UR",
+		Load:          0.30,
+		Seed:          42,
+		WarmupCycles:  300,
+		MeasureCycles: 1200,
+	}
+}
+
+// TestLedgerBitIdentity proves the acceptance invariant: a run with the
+// ledger attached returns exactly the Result of the same run without it, the
+// record lands on disk, and a LedgerReuse run reconstructs that same Result
+// from the archive without simulating.
+func TestLedgerBitIdentity(t *testing.T) {
+	cfg := ledgerTestConfig()
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	ledgered := cfg
+	ledgered.LedgerDir = dir
+	got, err := Run(ledgered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, got) {
+		t.Fatal("ledger archiving changed the Result")
+	}
+
+	l, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("archived %d records, want 1", len(recs))
+	}
+	key, err := LedgerKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs[0].Key != key {
+		t.Fatalf("record key %.12s does not match LedgerKey %.12s", recs[0].Key, key)
+	}
+	if recs[0].Env.Go == "" {
+		t.Fatal("record is missing its environment stamp")
+	}
+
+	// Reuse: decoding the archive must reproduce the fresh Result exactly,
+	// latency histogram included.
+	reused := ledgered
+	reused.LedgerReuse = true
+	reg := metrics.NewRegistry()
+	reused.Metrics = reg
+	r3, err := Run(reused)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, r3) {
+		t.Fatal("reused Result differs from the simulated one")
+	}
+	_, hits := ledgerMetrics(reg)
+	if hits.Value() != 1 {
+		t.Fatalf("reuse hit counter = %d, want 1", hits.Value())
+	}
+}
+
+// TestLedgerKeyInvariance: execution-layer knobs (shard count, checkpoint
+// and ledger directories) must not change the content key; result-shaping
+// knobs must.
+func TestLedgerKeyInvariance(t *testing.T) {
+	base := ledgerTestConfig()
+	k0, err := LedgerKey(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same := base
+	same.Shards = 4
+	same.RebalanceInterval = 512
+	same.LedgerDir = "/somewhere/else"
+	same.LedgerReuse = true
+	same.CheckpointDir = "/ckpt"
+	same.CheckpointInterval = 100
+	same.DiagDir = "/diag"
+	if k, _ := LedgerKey(same); k != k0 {
+		t.Fatal("execution-layer fields leaked into the ledger key")
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"seed":        func(c *Config) { c.Seed++ },
+		"load":        func(c *Config) { c.Load += 0.05 },
+		"design":      func(c *Config) { c.Design = DesignFlitBless },
+		"trace":       func(c *Config) { c.EventTrace = 128 },
+		"samples":     func(c *Config) { c.SampleInterval = 100 },
+		"disablediag": func(c *Config) { c.DisableDiag = true },
+	} {
+		c := base
+		mut(&c)
+		if k, _ := LedgerKey(c); k == k0 {
+			t.Fatalf("%s change did not change the ledger key", name)
+		}
+	}
+}
+
+// TestLedgerReuseSkipsIneligible: traced runs must simulate even with a
+// record present (their Result carries payloads the archive cannot
+// faithfully reproduce).
+func TestLedgerReuseSkipsIneligible(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ledgerTestConfig()
+	cfg.LedgerDir = dir
+	cfg.EventTrace = 256
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.EventsRecorded == 0 {
+		t.Fatal("fixture assumption broke: traced run recorded no events")
+	}
+	cfg.LedgerReuse = true
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.EventsRecorded == 0 || second.RouterEvents == nil {
+		t.Fatal("reuse served a traced run from the archive")
+	}
+}
+
+// TestLedgerSharded: a sharded run shares the sequential run's key and its
+// archived payload is bit-identical, so either engine can populate — or be
+// served by — the same record.
+func TestLedgerSharded(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ledgerTestConfig()
+	cfg.Width, cfg.Height = 8, 8
+	cfg.LedgerDir = dir
+	seq, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded := cfg
+	sharded.Shards = 2
+	sharded.LedgerReuse = true
+	got, err := Run(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, got) {
+		t.Fatal("sharded reuse differs from the sequential archive")
+	}
+}
+
+// TestLedgerSplashArchive covers the closed-loop archive path.
+func TestLedgerSplashArchive(t *testing.T) {
+	dir := t.TempDir()
+	l, err := OpenLedger(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := SplashConfig{Design: DesignDXbar, Benchmark: "fft", Seed: 3}
+	res := SplashResult{ExecutionCycles: 1234, Packets: 99, Design: DesignDXbar, Benchmark: "fft"}
+	path, err := l.ArchiveSplash(cfg, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("list: %v, %d records", err, len(recs))
+	}
+	if recs[0].Kind != "splash" {
+		t.Fatalf("kind = %q", recs[0].Kind)
+	}
+	// A splash record is not a run: LedgerResult must refuse it.
+	if _, err := LedgerResult(recs[0]); err == nil {
+		t.Fatal("LedgerResult accepted a splash record")
+	}
+	// Defaulted and explicit configs share a key.
+	again := cfg
+	again.Width, again.Height = 8, 8
+	again.MaxCycles = 3_000_000
+	again.Routing = "DOR"
+	if _, err := l.ArchiveSplash(again, res); err != nil {
+		t.Fatal(err)
+	}
+	if recs, _ := l.List(); len(recs) != 1 {
+		t.Fatalf("defaulted splash config did not dedup: %d records", len(recs))
+	}
+	if files, _ := filepath.Glob(filepath.Join(dir, "run-*.json")); len(files) != 1 {
+		t.Fatalf("expected one record file, found %d", len(files))
+	}
+}
+
+// TestLedgerRewindNotArchived: a rewind-clipped partial window must not
+// claim — or overwrite — the full window's content key.
+func TestLedgerRewindNotArchived(t *testing.T) {
+	ckDir := t.TempDir()
+	ledDir := t.TempDir()
+	cfg := ledgerTestConfig()
+	cfg.CheckpointDir = ckDir
+	cfg.CheckpointInterval = 500
+	cfg.LedgerDir = ledDir
+	full, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := OpenLedger(ledDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := l.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("full run: %v, %d records", err, len(recs))
+	}
+
+	// Rewind replays a clipped window from a mid-run checkpoint under the
+	// (ledgered) saved config; the partial Result must not be archived.
+	path, err := LatestCheckpoint(ckDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rewind(path, 100, 0); err != nil {
+		t.Fatal(err)
+	}
+	recs, err = l.List()
+	if err != nil || len(recs) != 1 {
+		t.Fatalf("after rewind: %v, %d records", err, len(recs))
+	}
+	archived, err := LedgerResult(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(full, archived) {
+		t.Fatal("rewind overwrote the full run's record with a partial window")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"dxbar/internal/events"
 	"dxbar/internal/faults"
 	"dxbar/internal/metrics"
+	"dxbar/internal/runstore"
 	"dxbar/internal/sim"
 	"dxbar/internal/stats"
 	"dxbar/internal/topology"
@@ -154,6 +155,49 @@ func (r *runner) run(c Config) (Result, error) {
 // the partial window is renormalized like an interrupted run's.
 func (r *runner) runFrom(c Config, ck *Checkpoint, rewindWindow uint64) (Result, error) {
 	cfg := c.withDefaults()
+	// Run ledger: archive the completed run under its content hash and —
+	// with LedgerReuse — recognize an already-archived identical run before
+	// simulating a single cycle. Runs are deterministic, so a key hit is the
+	// run's result. A misconfigured ledger directory fails fast here; write
+	// failures later only log (like checkpoints, the archive is a safety
+	// net, never the simulation's problem).
+	var (
+		led        *Ledger
+		ledKey     string
+		ledCfgJSON []byte
+	)
+	if cfg.LedgerDir == "" {
+		cfg.LedgerDir, cfg.LedgerReuse = ledgerDefaults()
+	}
+	if cfg.LedgerDir != "" {
+		var err error
+		led, err = OpenLedger(cfg.LedgerDir)
+		if err != nil {
+			return Result{}, err
+		}
+		ledCfgJSON, err = ledgerConfigJSON(cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		ledKey, err = runstore.Key(runstore.KindRun, ledCfgJSON)
+		if err != nil {
+			return Result{}, err
+		}
+		if cfg.LedgerReuse && ck == nil && rewindWindow == 0 && ledgerReusable(cfg) {
+			if rec, ok := led.Lookup(ledKey); ok {
+				if res, err := LedgerResult(rec); err == nil {
+					_, reuseHits := ledgerMetrics(cfg.Metrics)
+					reuseHits.Add(1)
+					if cfg.Progress != nil {
+						total := cfg.WarmupCycles + cfg.MeasureCycles
+						cfg.Progress.SetTotal(total)
+						cfg.Progress.Set(total)
+					}
+					return res, nil
+				}
+			}
+		}
+	}
 	mesh, err := r.mesh(cfg.Width, cfg.Height)
 	if err != nil {
 		return Result{}, err
@@ -362,11 +406,25 @@ func (r *runner) runFrom(c Config, ck *Checkpoint, rewindWindow uint64) (Result,
 	if err != nil {
 		return Result{}, err
 	}
+	// Archive the completed run. Partial windows (graceful interrupt, rewind
+	// clip) are skipped: a ledger record always describes the configured
+	// window, so the content key stays truthful.
+	if led != nil && !interrupted && net.Engine.Cycle() == total {
+		if _, err := led.archiveRun(ledKey, ledCfgJSON, res, nil); err != nil {
+			if dg.logger != nil {
+				dg.logger.Error("ledger write failed", "dir", cfg.LedgerDir, "key", ledKey, "err", err)
+			}
+		} else {
+			records, _ := ledgerMetrics(cfg.Metrics)
+			records.Add(1)
+		}
+	}
 	return res, nil
 }
 
-// runSplash is the closed-loop coherence simulation behind RunSplash.
-func (r *runner) runSplash(c SplashConfig) (SplashResult, error) {
+// splashDefaults applies SplashConfig's defaults (shared with the ledger's
+// key computation, which must hash the defaulted config).
+func splashDefaults(c SplashConfig) SplashConfig {
 	if c.Width == 0 {
 		c.Width = 8
 	}
@@ -379,6 +437,12 @@ func (r *runner) runSplash(c SplashConfig) (SplashResult, error) {
 	if c.Routing == "" {
 		c.Routing = "DOR"
 	}
+	return c
+}
+
+// runSplash is the closed-loop coherence simulation behind RunSplash.
+func (r *runner) runSplash(c SplashConfig) (SplashResult, error) {
+	c = splashDefaults(c)
 	mesh, err := r.mesh(c.Width, c.Height)
 	if err != nil {
 		return SplashResult{}, err

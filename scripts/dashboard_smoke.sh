@@ -1,0 +1,111 @@
+#!/bin/sh
+# Dashboard + ledger smoke test. Two phases:
+#
+#  1. Ledger: run a short dxbar-sim with -ledger and assert the completed
+#     run's record (run-<key>.json, full Result + env stamp) landed on disk,
+#     then re-run with -ledger-reuse and assert the second run was served
+#     from the archive (no second record, reuse reported).
+#  2. Dashboard: launch a longer run with -http, assert the root path serves
+#     the self-contained dashboard page and that /events streams at least
+#     two SSE frames while the simulation is live.
+#
+# Needs curl and the go toolchain.
+set -eu
+
+PORT="${1:-18231}"
+BASE="http://127.0.0.1:$PORT"
+WORK="$(mktemp -d)"
+SIM_PID=""
+cleanup() {
+	[ -n "$SIM_PID" ] && kill "$SIM_PID" 2>/dev/null || true
+	rm -rf "$WORK"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$WORK/dxbar-sim" ./cmd/dxbar-sim
+
+# --- Phase 1: run ledger ---------------------------------------------------
+
+LEDGER="$WORK/ledger"
+"$WORK/dxbar-sim" -warmup 100 -measure 500 -ledger "$LEDGER" >/dev/null
+
+records=$(ls "$LEDGER"/run-*.json 2>/dev/null | wc -l)
+if [ "$records" -ne 1 ]; then
+	echo "dashboard-smoke: expected 1 ledger record after the run, found $records" >&2
+	ls -l "$LEDGER" >&2 || true
+	exit 1
+fi
+REC="$(ls "$LEDGER"/run-*.json)"
+for field in '"schema"' '"key"' '"config"' '"result"' '"env"'; do
+	if ! grep -q "$field" "$REC"; then
+		echo "dashboard-smoke: ledger record $REC is missing $field" >&2
+		exit 1
+	fi
+done
+
+# Same config + seed with -ledger-reuse must be served from the archive:
+# still exactly one record, and the run reports the reuse.
+"$WORK/dxbar-sim" -warmup 100 -measure 500 -ledger "$LEDGER" -ledger-reuse \
+	>"$WORK/reuse.out" 2>&1
+records=$(ls "$LEDGER"/run-*.json | wc -l)
+if [ "$records" -ne 1 ]; then
+	echo "dashboard-smoke: -ledger-reuse wrote a duplicate record ($records files)" >&2
+	exit 1
+fi
+
+echo "dashboard-smoke: ledger ok ($(basename "$REC"))"
+
+# --- Phase 2: live dashboard + SSE -----------------------------------------
+
+"$WORK/dxbar-sim" -measure 50000000 -http "127.0.0.1:$PORT" \
+	>/dev/null 2>"$WORK/sim.stderr" &
+SIM_PID=$!
+
+ready=""
+for _ in $(seq 1 60); do
+	if curl -sf "$BASE/healthz" >/dev/null 2>&1; then
+		ready=yes
+		break
+	fi
+	if ! kill -0 "$SIM_PID" 2>/dev/null; then
+		echo "dashboard-smoke: dxbar-sim exited before serving" >&2
+		cat "$WORK/sim.stderr" >&2
+		exit 1
+	fi
+	sleep 0.25
+done
+if [ -z "$ready" ]; then
+	echo "dashboard-smoke: /healthz never came up on $BASE" >&2
+	exit 1
+fi
+
+# The root path serves the self-contained dashboard page.
+PAGE="$WORK/page.html"
+curl -sf "$BASE/" >"$PAGE"
+grep -q '<title>dxbar telemetry</title>' "$PAGE" || {
+	echo "dashboard-smoke: / is not serving the dashboard page" >&2
+	exit 1
+}
+grep -q 'EventSource' "$PAGE" || {
+	echo "dashboard-smoke: dashboard page has no EventSource wiring" >&2
+	exit 1
+}
+
+# /events must stream at least two SSE data frames while the run is live.
+# The hub emits one frame immediately on subscribe and then one per sampling
+# interval (1s), so 3 seconds is comfortably enough for two.
+FRAMES="$WORK/frames.txt"
+curl -sf --max-time 4 -N "$BASE/events" >"$FRAMES" 2>/dev/null || true
+frames=$(grep -c '^data: ' "$FRAMES" || true)
+if [ "$frames" -lt 2 ]; then
+	echo "dashboard-smoke: expected >=2 SSE frames from /events, got $frames" >&2
+	cat "$FRAMES" >&2
+	exit 1
+fi
+grep -q '"schema":1' "$FRAMES" || {
+	echo "dashboard-smoke: SSE frames carry no schema stamp" >&2
+	head -2 "$FRAMES" >&2
+	exit 1
+}
+
+echo "dashboard-smoke: ok ($frames SSE frames, dashboard live at $BASE/)"

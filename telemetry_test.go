@@ -104,6 +104,34 @@ func TestStepZeroAllocTelemetry(t *testing.T) {
 	}
 }
 
+// TestStepZeroAllocObserved is the guard with the full observability stack
+// of this PR attached: an SSE hub with a live subscriber and the ledger
+// counter families registered on the same registry. The sampler goroutine
+// reads the registry on its own clock (held off here by a long interval so
+// its per-tick marshal does not pollute the process-global alloc counter);
+// the engine's cycle loop must stay allocation-free regardless.
+func TestStepZeroAllocObserved(t *testing.T) {
+	net, reg := steadyTelemeteredNetwork(t, 0)
+	hub := metrics.NewSSEHub(reg, nil, metrics.SSEHubOptions{Interval: time.Hour})
+	defer hub.Close()
+	ch, cancel := hub.Subscribe()
+	defer cancel()
+	records, hits := ledgerMetrics(reg)
+	records.Add(1)
+	hits.Add(1)
+
+	net.Engine.Run(3000)
+	avg := testing.AllocsPerRun(5, func() { net.Engine.Run(200) })
+	if avg != 0 {
+		t.Errorf("%.2f allocations per 200-cycle observed run in steady state, want 0", avg)
+	}
+	// The subscriber is still live and the hub functional after the run.
+	hub.Close()
+	if _, ok := <-ch; ok {
+		t.Error("subscriber channel not closed by hub Close")
+	}
+}
+
 // TestShardZeroAllocTelemetry is the same guard on the sharded engine, where
 // publication additionally reads the per-shard execution profile.
 func TestShardZeroAllocTelemetry(t *testing.T) {
